@@ -1,0 +1,57 @@
+//! Criterion bench for the offline learning engine (Exp-1 / Figure 9
+//! unit operations): sub-query enumeration per threshold and end-to-end
+//! learning of one problem pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use galo_core::{KnowledgeBase, LearningConfig};
+use galo_sql::subqueries;
+use galo_workloads::tpcds;
+
+fn bench_subquery_enumeration(c: &mut Criterion) {
+    let w = tpcds::workload();
+    // A mid-size query keeps enumeration measurable but bounded.
+    let query = w
+        .queries
+        .iter()
+        .find(|q| q.tables.len() >= 8 && q.tables.len() <= 12)
+        .expect("tpcds has mid-size queries");
+    let mut group = c.benchmark_group("subquery_enumeration");
+    for threshold in [1usize, 2, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| b.iter(|| subqueries(query, t).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_learn_single_query(c: &mut Criterion) {
+    let w = tpcds::workload();
+    let single = galo_workloads::Workload {
+        name: w.name.clone(),
+        db: w.db.clone(),
+        queries: vec![w.queries[3].clone()],
+    };
+    let cfg = LearningConfig {
+        threads: 1,
+        random_plans: 6,
+        runs_per_plan: 3,
+        probes_per_pred: 2,
+        max_subqueries_per_query: 20,
+        ..LearningConfig::default()
+    };
+    c.bench_function("learn_one_tpcds_query", |b| {
+        b.iter(|| {
+            let kb = KnowledgeBase::new();
+            galo_core::learn_workload(&single, &kb, &cfg).subqueries_unique
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_subquery_enumeration, bench_learn_single_query
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for routinization (Exp-4 / Figure 12): matching a
+//! fixed query batch against knowledge bases of growing template count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use galo_bench::inflate_kb;
+use galo_core::{match_plan, KnowledgeBase, MatchConfig};
+use galo_optimizer::Optimizer;
+use galo_workloads::tpcds;
+
+fn bench_routinization(c: &mut Criterion) {
+    let w = tpcds::workload();
+    let optimizer = Optimizer::new(&w.db);
+    let plans: Vec<_> = w.queries[..10]
+        .iter()
+        .filter_map(|q| optimizer.optimize(q).ok())
+        .collect();
+
+    let mut group = c.benchmark_group("routinize_10_queries");
+    for kb_size in [100usize, 500, 1000] {
+        let kb = KnowledgeBase::new();
+        inflate_kb(&kb, &w.db, &w.queries[..6], kb_size);
+        group.bench_with_input(BenchmarkId::from_parameter(kb_size), &kb, |b, kb| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for plan in &plans {
+                    total += match_plan(&w.db, kb, plan, &MatchConfig::default()).sparql_queries;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_routinization
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! System configuration: the knobs a DB2 instance exposes that feed the
+//! cost model (buffer pool, sort heap, page costs derived from the disk
+//! transfer rate).
+//!
+//! Like statistics, configuration is *two-view*: the optimizer costs plans
+//! with its belief about the hardware, the executor charges what the
+//! simulated hardware actually does. The paper's Figure 7 pattern (TBSCAN
+//! cost overestimated because the stored transfer rate was wrong, fixed by
+//! "reducing the transfer rate property in the database") is exactly a
+//! belief/actual divergence on `seq_page_ms`.
+
+use std::collections::HashMap;
+
+use crate::schema::TableId;
+
+/// Physical cost parameters, all in milliseconds per unit of work.
+#[derive(Debug, Clone)]
+pub struct SystemParams {
+    /// Page size in bytes.
+    pub page_size: u32,
+    /// Buffer pool capacity in pages.
+    pub buffer_pool_pages: u64,
+    /// Sort heap capacity in pages (per sort).
+    pub sort_heap_pages: u64,
+    /// Time to read one page sequentially (prefetched). Derived from the
+    /// disk transfer rate: `page_size / transfer_rate`.
+    pub seq_page_ms: f64,
+    /// Time to read one page with a random seek.
+    pub random_page_ms: f64,
+    /// CPU time to process one row through one operator.
+    pub cpu_row_ms: f64,
+    /// CPU time to evaluate one predicate term on one row.
+    pub cpu_pred_ms: f64,
+    /// CPU time to hash/probe one row in a hash join.
+    pub cpu_hash_ms: f64,
+    /// Per-table multiplier on the sequential page cost. DB2 stores a
+    /// transfer rate per tablespace; a stale entry shows up as a multiplier
+    /// different from the runtime's. Empty means 1.0 everywhere.
+    pub seq_cost_multiplier: HashMap<TableId, f64>,
+}
+
+impl SystemParams {
+    /// Parameters roughly calibrated to the paper's environment: a 1 GB
+    /// database, conventional disks, a buffer pool sized so the fact tables
+    /// do not fit ("main memory adjusted accordingly to simulate real-world
+    /// environment", §4).
+    pub fn default_1gb() -> Self {
+        SystemParams {
+            page_size: 4096,
+            buffer_pool_pages: 20_000, // ~80 MB
+            sort_heap_pages: 2_000,    // ~8 MB
+            seq_page_ms: 0.02,
+            random_page_ms: 0.5,
+            cpu_row_ms: 0.0001,
+            cpu_pred_ms: 0.00002,
+            cpu_hash_ms: 0.00015,
+            seq_cost_multiplier: HashMap::new(),
+        }
+    }
+
+    /// Effective sequential page cost for a table, honoring any per-table
+    /// transfer-rate multiplier.
+    pub fn seq_page_ms_for(&self, table: TableId) -> f64 {
+        self.seq_page_ms * self.seq_cost_multiplier.get(&table).copied().unwrap_or(1.0)
+    }
+
+    /// Set the per-table sequential-cost multiplier (used to plant the
+    /// Figure 7 transfer-rate quirk).
+    pub fn set_seq_multiplier(&mut self, table: TableId, factor: f64) {
+        self.seq_cost_multiplier.insert(table, factor);
+    }
+}
+
+/// Two-view configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// What the optimizer believes about the machine.
+    pub belief: SystemParams,
+    /// What the simulated machine actually does.
+    pub actual: SystemParams,
+}
+
+impl SystemConfig {
+    /// Identical belief and actual parameters (no configuration quirks).
+    pub fn faithful(params: SystemParams) -> Self {
+        SystemConfig {
+            belief: params.clone(),
+            actual: params,
+        }
+    }
+
+    /// Default two-view configuration for a 1 GB database.
+    pub fn default_1gb() -> Self {
+        Self::faithful(SystemParams::default_1gb())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_sane() {
+        let p = SystemParams::default_1gb();
+        assert!(p.random_page_ms > p.seq_page_ms * 5.0);
+        assert!(p.buffer_pool_pages > p.sort_heap_pages);
+        assert!(p.cpu_row_ms < p.seq_page_ms);
+    }
+
+    #[test]
+    fn per_table_multiplier_defaults_to_one() {
+        let mut p = SystemParams::default_1gb();
+        let t = TableId(3);
+        assert_eq!(p.seq_page_ms_for(t), p.seq_page_ms);
+        p.set_seq_multiplier(t, 2.5);
+        assert!((p.seq_page_ms_for(t) - p.seq_page_ms * 2.5).abs() < 1e-12);
+        // Other tables unaffected.
+        assert_eq!(p.seq_page_ms_for(TableId(4)), p.seq_page_ms);
+    }
+
+    #[test]
+    fn faithful_config_has_equal_views() {
+        let c = SystemConfig::default_1gb();
+        assert_eq!(c.belief.buffer_pool_pages, c.actual.buffer_pool_pages);
+        assert_eq!(c.belief.seq_page_ms, c.actual.seq_page_ms);
+    }
+}

@@ -1,0 +1,30 @@
+//! # galo-catalog
+//!
+//! Database substrate for the GALO reproduction: schemas, *two-view*
+//! statistics (the optimizer's belief vs the ground truth), indexes,
+//! system configuration, and the database-sampling primitives the learning
+//! engine uses to build predicate property ranges.
+//!
+//! The central type is [`Database`]. The deliberate split between
+//! [`Database::belief`] and [`Database::truth`] is what makes the paper's
+//! problem patterns reproducible: the optimizer costs plans against belief,
+//! the executor charges plans against truth, and [`Quirks`] describe the
+//! realistic divergences (stale cluster ratios, predicate/join correlation,
+//! mis-set transfer rates, join skew).
+
+pub mod config;
+pub mod database;
+pub mod sampling;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use config::{SystemConfig, SystemParams};
+pub use database::{CorrelationQuirk, Database, DatabaseBuilder, JoinSkewQuirk, Quirks, StatsView};
+pub use sampling::{cardinality_bounds, equality_probes, Probe};
+pub use schema::{col, Column, ColumnId, ColumnType, Index, IndexId, Table, TableId};
+pub use stats::{ColumnStats, TableStats, DEFAULT_RANGE_SELECTIVITY};
+pub use value::Value;
+
+#[cfg(test)]
+mod proptests;

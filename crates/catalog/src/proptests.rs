@@ -1,0 +1,91 @@
+//! Property-based tests for statistics: selectivities stay in `[0, 1]`,
+//! range selectivity is monotone in the bounds, and page derivation is
+//! consistent.
+
+use proptest::prelude::*;
+
+use crate::stats::{ColumnStats, TableStats};
+use crate::value::Value;
+
+fn arb_stats() -> impl Strategy<Value = (ColumnStats, u64)> {
+    (
+        1u64..1_000_000,            // n_distinct
+        0.0f64..0.4,                // null fraction
+        (0.0f64..1e6, 1.0f64..1e6), // low, span
+        prop::collection::vec((0u64..200_000, "[a-z]{1,6}"), 0..6),
+        1_000u64..10_000_000, // row count
+    )
+        .prop_map(|(nd, nf, (lo, span), freq, rows)| {
+            let frequent: Vec<(Value, u64)> = freq
+                .into_iter()
+                .map(|(c, name)| (Value::Str(name), c.min(rows / 2)))
+                .collect();
+            (
+                ColumnStats::uniform(nd, lo, lo + span, 8)
+                    .with_null_fraction(nf)
+                    .with_frequent(frequent),
+                rows,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Equality selectivity is always a valid probability, for histogram
+    /// hits, misses, and NULL probes alike.
+    #[test]
+    fn eq_selectivity_in_unit_interval(
+        (stats, rows) in arb_stats(),
+        probe in prop_oneof![
+            "[a-z]{1,6}".prop_map(Value::Str),
+            any::<i64>().prop_map(Value::Int),
+            Just(Value::Null),
+        ],
+    ) {
+        let sel = stats.eq_selectivity(&probe, rows);
+        prop_assert!((0.0..=1.0).contains(&sel), "sel {sel}");
+    }
+
+    /// Range selectivity is monotone: widening the interval never lowers
+    /// the selectivity, and it stays in [0, 1].
+    #[test]
+    fn range_selectivity_monotone(
+        (stats, _rows) in arb_stats(),
+        a in 0.0f64..2e6,
+        width in 0.0f64..1e6,
+        widen in 0.0f64..1e6,
+    ) {
+        let narrow = stats.range_selectivity(Some(a), Some(a + width));
+        let wide = stats.range_selectivity(Some(a - widen), Some(a + width + widen));
+        prop_assert!((0.0..=1.0).contains(&narrow));
+        prop_assert!((0.0..=1.0).contains(&wide));
+        prop_assert!(wide >= narrow - 1e-12, "wide {wide} < narrow {narrow}");
+    }
+
+    /// IN-list selectivity is bounded by the sum of its parts and by 1.
+    #[test]
+    fn in_selectivity_bounded(
+        (stats, rows) in arb_stats(),
+        values in prop::collection::vec("[a-z]{1,6}".prop_map(Value::Str), 1..10),
+    ) {
+        let sel = stats.in_selectivity(&values, rows);
+        let sum: f64 = values.iter().map(|v| stats.eq_selectivity(v, rows)).sum();
+        prop_assert!(sel <= 1.0 + 1e-12);
+        prop_assert!(sel <= sum + 1e-12);
+    }
+
+    /// Derived page counts hold at least one row per page worth of data
+    /// and never drop below one page.
+    #[test]
+    fn table_stats_pages_consistent(
+        rows in 0u64..50_000_000,
+        row_size in 1u32..2_000,
+        page_size in prop::sample::select(vec![4096u32, 8192, 16384]),
+    ) {
+        let t = TableStats::derive(rows, row_size, page_size);
+        prop_assert!(t.pages >= 1);
+        let capacity = t.pages * (page_size / row_size.max(1)).max(1) as u64;
+        prop_assert!(capacity >= rows, "capacity {capacity} < rows {rows}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Tables, columns and indexes.
+
+use std::fmt;
+
+/// Identifies a table within a [`crate::Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Identifies a column within its table (position in the column list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub u32);
+
+/// Identifies an index within its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Column data types. The simulator only needs enough typing to drive
+/// widths and ordinal math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Integer,
+    Decimal,
+    Varchar(u32),
+    /// Days-since-epoch encoded as integers by the generators.
+    Date,
+}
+
+impl ColumnType {
+    /// Average stored width in bytes.
+    pub fn avg_width(&self) -> u32 {
+        match self {
+            ColumnType::Integer | ColumnType::Date => 4,
+            ColumnType::Decimal => 8,
+            ColumnType::Varchar(n) => (n / 2).max(1),
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+/// An index definition. `cluster_ratio` is the fraction of the table stored
+/// in index-key order — the property whose staleness produces the paper's
+/// Figure 4 "flooding" pattern.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub name: String,
+    /// Leading column the index is keyed on (single-column indexes suffice
+    /// for the workloads in the paper; composite keys add nothing to the
+    /// problem patterns).
+    pub column: ColumnId,
+    pub unique: bool,
+    pub cluster_ratio: f64,
+}
+
+/// A table definition: columns and indexes. Statistics live separately in
+/// [`crate::Database`] so the optimizer view and ground truth can diverge.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub columns: Vec<Column>,
+    pub indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Construct a table with the given columns and no indexes.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        Table {
+            name: name.into(),
+            columns,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Find a column by name (case-insensitive, matching SQL identifiers).
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .map(|i| ColumnId(i as u32))
+    }
+
+    /// Column definition by id; panics on out-of-range ids, which indicate
+    /// a construction bug rather than a runtime condition.
+    pub fn column(&self, id: ColumnId) -> &Column {
+        &self.columns[id.0 as usize]
+    }
+
+    /// All indexes whose leading column is `col`.
+    pub fn indexes_on(&self, col: ColumnId) -> impl Iterator<Item = (IndexId, &Index)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .filter(move |(_, ix)| ix.column == col)
+            .map(|(i, ix)| (IndexId(i as u32), ix))
+    }
+
+    /// Index definition by id.
+    pub fn index(&self, id: IndexId) -> &Index {
+        &self.indexes[id.0 as usize]
+    }
+
+    /// Add an index, returning its id.
+    pub fn add_index(&mut self, index: Index) -> IndexId {
+        self.indexes.push(index);
+        IndexId((self.indexes.len() - 1) as u32)
+    }
+
+    /// Total average row width in bytes.
+    pub fn row_size(&self) -> u32 {
+        self.columns.iter().map(|c| c.ty.avg_width()).sum::<u32>().max(1)
+    }
+}
+
+/// Convenience constructor for columns.
+pub fn col(name: &str, ty: ColumnType) -> Column {
+    Column {
+        name: name.to_string(),
+        ty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item_table() -> Table {
+        let mut t = Table::new(
+            "ITEM",
+            vec![
+                col("I_ITEM_SK", ColumnType::Integer),
+                col("I_CATEGORY", ColumnType::Varchar(50)),
+                col("I_CURRENT_PRICE", ColumnType::Decimal),
+            ],
+        );
+        t.add_index(Index {
+            name: "I_ITEM_PK".into(),
+            column: ColumnId(0),
+            unique: true,
+            cluster_ratio: 0.97,
+        });
+        t
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let t = item_table();
+        assert_eq!(t.column_id("i_category"), Some(ColumnId(1)));
+        assert_eq!(t.column_id("I_CATEGORY"), Some(ColumnId(1)));
+        assert_eq!(t.column_id("missing"), None);
+    }
+
+    #[test]
+    fn indexes_on_filters_by_leading_column() {
+        let t = item_table();
+        assert_eq!(t.indexes_on(ColumnId(0)).count(), 1);
+        assert_eq!(t.indexes_on(ColumnId(1)).count(), 0);
+    }
+
+    #[test]
+    fn row_size_sums_column_widths() {
+        let t = item_table();
+        assert_eq!(t.row_size(), 4 + 25 + 8);
+    }
+
+    #[test]
+    fn varchar_width_is_half_declared() {
+        assert_eq!(ColumnType::Varchar(50).avg_width(), 25);
+        assert_eq!(ColumnType::Varchar(1).avg_width(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Column- and table-level statistics.
+//!
+//! The same [`ColumnStats`] structure serves two roles: the *optimizer view*
+//! (what DB2's RUNSTATS would have collected — possibly stale or simplified)
+//! and the *ground truth* (what the data actually looks like). The optimizer
+//! crate only ever receives the former, the executor only the latter; this
+//! separation is what lets estimation errors arise and be exploited, exactly
+//! as in the paper's problem patterns.
+
+use crate::value::Value;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub n_distinct: u64,
+    /// Fraction of rows that are NULL in this column, in `[0, 1]`.
+    pub null_fraction: f64,
+    /// Minimum value ordinal (see [`Value::ordinal`]); `None` if unknown.
+    pub low: Option<f64>,
+    /// Maximum value ordinal; `None` if unknown.
+    pub high: Option<f64>,
+    /// Frequency histogram: the most frequent values with their row counts.
+    /// Values absent from the histogram are assumed to share the remaining
+    /// rows uniformly.
+    pub frequent: Vec<(Value, u64)>,
+    /// Average column width in bytes (feeds row size and sort costs).
+    pub avg_width: u32,
+}
+
+impl ColumnStats {
+    /// A uniform column: `n_distinct` values spread evenly over
+    /// `[low, high]`, no NULLs, no frequency skew.
+    pub fn uniform(n_distinct: u64, low: f64, high: f64, avg_width: u32) -> Self {
+        ColumnStats {
+            n_distinct: n_distinct.max(1),
+            null_fraction: 0.0,
+            low: Some(low),
+            high: Some(high),
+            frequent: Vec::new(),
+            avg_width,
+        }
+    }
+
+    /// Builder-style: attach a frequency histogram.
+    pub fn with_frequent(mut self, frequent: Vec<(Value, u64)>) -> Self {
+        self.frequent = frequent;
+        self
+    }
+
+    /// Builder-style: set the NULL fraction.
+    pub fn with_null_fraction(mut self, f: f64) -> Self {
+        self.null_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Selectivity of `col = value` against a table of `row_count` rows.
+    ///
+    /// Uses the frequency histogram when the value is listed; otherwise
+    /// assumes the remaining rows are spread uniformly over the distinct
+    /// values not covered by the histogram.
+    pub fn eq_selectivity(&self, value: &Value, row_count: u64) -> f64 {
+        if row_count == 0 {
+            return 0.0;
+        }
+        if value.is_null() {
+            return self.null_fraction;
+        }
+        if let Some((_, count)) = self.frequent.iter().find(|(v, _)| v == value) {
+            return (*count as f64 / row_count as f64).clamp(0.0, 1.0);
+        }
+        let frequent_rows: u64 = self.frequent.iter().map(|(_, c)| c).sum();
+        let frequent_distinct = self.frequent.len() as u64;
+        let remaining_rows = row_count.saturating_sub(frequent_rows) as f64
+            * (1.0 - self.null_fraction);
+        let remaining_distinct = self.n_distinct.saturating_sub(frequent_distinct).max(1);
+        (remaining_rows / remaining_distinct as f64 / row_count as f64).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of a half-open or closed range over value ordinals.
+    ///
+    /// `lo`/`hi` are ordinals of the bounds (`None` = unbounded on that
+    /// side). Uses linear interpolation over `[low, high]` — the classic
+    /// uniform assumption.
+    pub fn range_selectivity(&self, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        let (cmin, cmax) = match (self.low, self.high) {
+            (Some(a), Some(b)) if b > a => (a, b),
+            // Degenerate domain: fall back to a default reduction factor,
+            // matching what DB2 does when statistics are missing.
+            _ => return DEFAULT_RANGE_SELECTIVITY,
+        };
+        let lo = lo.unwrap_or(cmin).max(cmin);
+        let hi = hi.unwrap_or(cmax).min(cmax);
+        if hi <= lo {
+            // Out-of-range probes still match *something* occasionally in
+            // real data; use a floor of one distinct value's share.
+            return (1.0 / self.n_distinct as f64).min(1.0);
+        }
+        ((hi - lo) / (cmax - cmin) * (1.0 - self.null_fraction)).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `col IS NULL`.
+    pub fn is_null_selectivity(&self) -> f64 {
+        self.null_fraction
+    }
+
+    /// Selectivity of `col IN (v1, .., vk)`: sum of equality selectivities,
+    /// capped at 1.
+    pub fn in_selectivity(&self, values: &[Value], row_count: u64) -> f64 {
+        values
+            .iter()
+            .map(|v| self.eq_selectivity(v, row_count))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+}
+
+/// Reduction factor DB2-style optimizers assume for a range predicate with
+/// no usable statistics.
+pub const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Statistics for one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Row count ("cardinality" in the paper's figures).
+    pub row_count: u64,
+    /// Number of data pages on disk (FPAGES).
+    pub pages: u64,
+    /// Average row width in bytes.
+    pub row_size: u32,
+}
+
+impl TableStats {
+    /// Derive page count from row count, row width and page size.
+    pub fn derive(row_count: u64, row_size: u32, page_size: u32) -> Self {
+        let rows_per_page = (page_size / row_size.max(1)).max(1) as u64;
+        TableStats {
+            row_count,
+            pages: row_count.div_ceil(rows_per_page).max(1),
+            row_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jewelry_hist() -> ColumnStats {
+        ColumnStats::uniform(10, 0.0, 1.0e6, 16).with_frequent(vec![
+            (Value::Str("Music".into()), 74_426),
+            (Value::Str("Jewelry".into()), 30_000),
+        ])
+    }
+
+    #[test]
+    fn eq_selectivity_uses_histogram_when_present() {
+        let s = jewelry_hist();
+        let sel = s.eq_selectivity(&Value::Str("Music".into()), 1_000_000);
+        assert!((sel - 0.074426).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_selectivity_uniform_for_missing_value() {
+        let s = jewelry_hist();
+        // 1_000_000 - 104_426 rows over 8 remaining distinct values.
+        let sel = s.eq_selectivity(&Value::Str("Books".into()), 1_000_000);
+        let expect = (1_000_000.0 - 104_426.0) / 8.0 / 1_000_000.0;
+        assert!((sel - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_selectivity_null_uses_null_fraction() {
+        let s = ColumnStats::uniform(100, 0.0, 100.0, 8).with_null_fraction(0.0019);
+        assert!((s.eq_selectivity(&Value::Null, 10_000) - 0.0019).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let s = ColumnStats::uniform(200, 0.0, 200.0, 8);
+        let sel = s.range_selectivity(Some(0.0), Some(100.0));
+        assert!((sel - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_selectivity_out_of_domain_floors() {
+        let s = ColumnStats::uniform(200, 0.0, 200.0, 8);
+        let sel = s.range_selectivity(Some(500.0), Some(600.0));
+        assert!((sel - 1.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_selectivity_without_bounds_defaults() {
+        let s = ColumnStats {
+            n_distinct: 5,
+            null_fraction: 0.0,
+            low: None,
+            high: None,
+            frequent: vec![],
+            avg_width: 4,
+        };
+        assert_eq!(s.range_selectivity(Some(1.0), Some(2.0)), DEFAULT_RANGE_SELECTIVITY);
+    }
+
+    #[test]
+    fn in_selectivity_caps_at_one() {
+        let s = jewelry_hist();
+        let vals: Vec<Value> = (0..100).map(|i| Value::Str(format!("v{i}"))).collect();
+        assert!(s.in_selectivity(&vals, 100) <= 1.0);
+    }
+
+    #[test]
+    fn table_stats_derive_pages() {
+        let t = TableStats::derive(1_000, 100, 4096);
+        // 40 rows per page -> 25 pages.
+        assert_eq!(t.pages, 25);
+        let tiny = TableStats::derive(0, 100, 4096);
+        assert_eq!(tiny.pages, 1);
+    }
+}

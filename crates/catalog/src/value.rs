@@ -1,0 +1,142 @@
+//! Literal values stored in column statistics and compared by predicates.
+//!
+//! The simulator never materializes rows; values appear only inside
+//! frequency histograms, predicate literals, and sampling output. Dates are
+//! encoded as days-since-epoch integers by the workload generators, which
+//! keeps range arithmetic uniform across types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// NULL marker. Compares equal to itself for histogram bookkeeping, but
+    /// predicate evaluation treats comparisons with NULL as false (SQL
+    /// three-valued logic collapsed to false, which is all a selectivity
+    /// model needs).
+    Null,
+    /// 64-bit integer (also used for encoded dates).
+    Int(i64),
+    /// Floating point (decimal columns).
+    Float(f64),
+    /// Character data.
+    Str(String),
+}
+
+impl Value {
+    /// A stable ordinal used for range selectivity math. Strings hash to a
+    /// deterministic position so `BETWEEN` over character data still yields
+    /// a usable fraction; numeric types map to their magnitude.
+    pub fn ordinal(&self) -> Option<f64> {
+        match self {
+            Value::Null => None,
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(s) => Some(str_ordinal(s)),
+        }
+    }
+
+    /// True if this is the NULL marker.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Total order used by histograms and tests. NULL sorts first; values of
+    /// different types order by type tag then by content.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Int(_) | Float(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_) | Float(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+/// Map a string to a deterministic position in [0, 1e6) for range math.
+fn str_ordinal(s: &str) -> f64 {
+    // First four bytes give a lexicographically monotone-ish prefix code.
+    let mut code = 0u64;
+    for (i, b) in s.bytes().take(4).enumerate() {
+        code |= (b as u64) << (8 * (3 - i));
+    }
+    code as f64 / (u32::MAX as f64) * 1.0e6
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+        assert_eq!(Value::Int(-100).total_cmp(&Value::Null), Ordering::Greater);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn string_ordinal_is_monotone_on_prefixes() {
+        let a = Value::Str("Apple".into()).ordinal().unwrap();
+        let b = Value::Str("Banana".into()).ordinal().unwrap();
+        let m = Value::Str("Music".into()).ordinal().unwrap();
+        assert!(a < b && b < m);
+    }
+
+    #[test]
+    fn null_has_no_ordinal() {
+        assert!(Value::Null.ordinal().is_none());
+        assert_eq!(Value::Int(7).ordinal(), Some(7.0));
+    }
+
+    #[test]
+    fn display_quotes_strings_only() {
+        assert_eq!(Value::Str("Jewelry".into()).to_string(), "'Jewelry'");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,330 @@
+//! A simulated IBM expert, for the paper's comparative study (Exp-5 cost,
+//! Exp-6 quality).
+//!
+//! The paper measured four IBM experts diagnosing problem queries by hand.
+//! We model an expert as a bounded local search with a human time model:
+//!
+//! * **analysis**: the expert reads the QGM operator by operator, charging
+//!   minutes per LOLEPOP, and targets the join with the worst
+//!   actual-vs-estimated discrepancy — but "problem determination is prone
+//!   to human errors. Misinterpretation was common; for example, the value
+//!   for a property … can appear in either decimal (e.g., 13.1688) or
+//!   exponential format (e.g., 1.441e+06)" (§4.3), so with some
+//!   probability the expert misreads magnitudes and targets the wrong
+//!   operator;
+//! * **trials**: a limited repertoire of rewrites at the target join
+//!   (join-method change, input swap, access-path toggle), each trial
+//!   costing wall-clock minutes; the bloom-filter hash-join rewrite is
+//!   *not* in the repertoire — which is exactly why the paper's experts
+//!   could not resolve problem-pattern #2 and lost 8.6% to GALO on the
+//!   Figure 4 query.
+
+use galo_catalog::Database;
+use galo_executor::{compute_actuals, Simulator};
+use galo_optimizer::Optimizer;
+use galo_qgm::{guideline_from_plan, GuidelineDoc, GuidelineNode, PopId, Qgm};
+use galo_sql::Query;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Expert model parameters.
+#[derive(Debug, Clone)]
+pub struct ExpertConfig {
+    /// Minutes to analyze one LOLEPOP during problem determination.
+    pub minutes_per_pop: f64,
+    /// Minutes per rewrite trial (edit guideline, re-run, compare).
+    pub minutes_per_trial: f64,
+    /// Trial budget.
+    pub trials: usize,
+    /// Probability of misreading magnitudes and targeting the wrong join.
+    pub misread_rate: f64,
+    /// Whether bloom-filter hash joins are in the repertoire (IBM experts:
+    /// no).
+    pub knows_bloom: bool,
+    pub seed: u64,
+}
+
+impl Default for ExpertConfig {
+    fn default() -> Self {
+        ExpertConfig {
+            // Calibrated against the paper's §4.3 observation that manual
+            // determination took hours-to-days per pattern: reading one
+            // LOLEPOP's detail block plus cross-checking estimates takes
+            // minutes, and every rewrite trial (edit guidelines, re-run on
+            // a loaded system, compare counters) costs the better part of
+            // an hour.
+            minutes_per_pop: 6.0,
+            minutes_per_trial: 45.0,
+            trials: 8,
+            misread_rate: 0.15,
+            knows_bloom: false,
+            seed: 0xE47,
+        }
+    }
+}
+
+/// Outcome of a manual diagnosis session.
+#[derive(Debug)]
+pub struct ExpertOutcome {
+    /// Total simulated wall-clock minutes spent.
+    pub minutes_spent: f64,
+    /// Relative improvement over the optimizer's plan, in `[0, 1)`.
+    pub improvement: f64,
+    /// Whether any improving fix was found.
+    pub found_fix: bool,
+    /// The expert's best plan.
+    pub best_plan: Option<Qgm>,
+}
+
+/// Run one simulated expert session on a query.
+pub fn expert_diagnose(db: &Database, query: &Query, cfg: &ExpertConfig) -> ExpertOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let optimizer = Optimizer::new(db);
+    let sim = Simulator::new(db);
+    let Ok(base) = optimizer.optimize(query) else {
+        return ExpertOutcome {
+            minutes_spent: 0.0,
+            improvement: 0.0,
+            found_fix: false,
+            best_plan: None,
+        };
+    };
+    let base_ms = sim.run(&base, true).elapsed_ms;
+    let mut minutes = base.len() as f64 * cfg.minutes_per_pop;
+
+    // Problem determination: worst q-error join, unless misread.
+    let actuals = compute_actuals(db, &base);
+    let mut joins: Vec<PopId> = base
+        .pops()
+        .filter(|(_, p)| p.kind.is_join())
+        .map(|(id, _)| id)
+        .collect();
+    if joins.is_empty() {
+        return ExpertOutcome {
+            minutes_spent: minutes,
+            improvement: 0.0,
+            found_fix: false,
+            best_plan: None,
+        };
+    }
+    joins.sort_by(|&a, &b| {
+        actuals
+            .q_error(&base, b)
+            .partial_cmp(&actuals.q_error(&base, a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let target = if rng.gen_bool(cfg.misread_rate.clamp(0.0, 1.0)) {
+        *joins.choose(&mut rng).expect("non-empty")
+    } else {
+        joins[0]
+    };
+
+    // Repertoire: mutations of the target join's subtree.
+    let Some(subtree_guideline) = guideline_from_plan(&base, target) else {
+        return ExpertOutcome {
+            minutes_spent: minutes,
+            improvement: 0.0,
+            found_fix: false,
+            best_plan: None,
+        };
+    };
+    let mut candidates = mutations(&subtree_guideline, cfg.knows_bloom);
+    candidates.shuffle(&mut rng);
+
+    let mut best_ms = base_ms;
+    let mut best_plan: Option<Qgm> = None;
+    for cand in candidates.into_iter().take(cfg.trials) {
+        minutes += cfg.minutes_per_trial;
+        let doc = GuidelineDoc::new(vec![cand]);
+        let Ok(reopt) = optimizer.optimize_with_guidelines(query, &doc) else {
+            continue;
+        };
+        if reopt.outcome.honored.contains(&false) {
+            continue;
+        }
+        let ms = sim.run(&reopt.qgm, true).elapsed_ms;
+        if ms < best_ms {
+            best_ms = ms;
+            best_plan = Some(reopt.qgm);
+        }
+    }
+
+    let improvement = if best_ms < base_ms {
+        (base_ms - best_ms) / base_ms
+    } else {
+        0.0
+    };
+    ExpertOutcome {
+        minutes_spent: minutes,
+        improvement,
+        found_fix: best_plan.is_some(),
+        best_plan,
+    }
+}
+
+/// The expert's rewrite repertoire over one guideline subtree: method
+/// changes at the root, an input swap, and access toggles at the leaves.
+fn mutations(g: &GuidelineNode, knows_bloom: bool) -> Vec<GuidelineNode> {
+    let mut out = Vec::new();
+    if let GuidelineNode::HsJoin(o, i) | GuidelineNode::MsJoin(o, i) | GuidelineNode::NlJoin(o, i) =
+        g
+    {
+        // Method changes.
+        out.push(GuidelineNode::HsJoin(o.clone(), i.clone()));
+        out.push(GuidelineNode::MsJoin(o.clone(), i.clone()));
+        out.push(GuidelineNode::NlJoin(o.clone(), i.clone()));
+        // Input swaps per method.
+        out.push(GuidelineNode::HsJoin(i.clone(), o.clone()));
+        out.push(GuidelineNode::MsJoin(i.clone(), o.clone()));
+        out.push(GuidelineNode::NlJoin(i.clone(), o.clone()));
+        // Access toggles on direct leaf children.
+        for (which, child) in [(0usize, o), (1usize, i)] {
+            let toggled = match &**child {
+                GuidelineNode::TbScan { tabid } => Some(GuidelineNode::IxScan {
+                    tabid: tabid.clone(),
+                    index: None,
+                }),
+                GuidelineNode::IxScan { tabid, .. } => {
+                    Some(GuidelineNode::TbScan { tabid: tabid.clone() })
+                }
+                _ => None,
+            };
+            if let Some(t) = toggled {
+                let (no, ni) = if which == 0 {
+                    (Box::new(t), i.clone())
+                } else {
+                    (o.clone(), Box::new(t))
+                };
+                out.push(GuidelineNode::HsJoin(no, ni));
+            }
+        }
+    }
+    out.retain(|c| c != g);
+    // The bloom-filter variant is the same guideline shape in this
+    // reproduction (the planner decides bloom cost-based), so `knows_bloom`
+    // gates nothing structural here; it documents the repertoire limit and
+    // is consulted by Exp-6's GALO-vs-expert comparison.
+    let _ = knows_bloom;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galo_catalog::{
+        col, ColumnId, ColumnStats, ColumnType, DatabaseBuilder, Index, IndexId, SystemConfig,
+        Table, Value,
+    };
+
+    fn quirky_db() -> Database {
+        let mut b = DatabaseBuilder::new("expert_test", SystemConfig::default_1gb());
+        let mut fact = Table::new(
+            "FACT",
+            vec![
+                col("F_ADDR", ColumnType::Integer),
+                col("F_PAYLOAD", ColumnType::Varchar(180)),
+            ],
+        );
+        fact.add_index(Index {
+            name: "F_ADDR_IX".into(),
+            column: ColumnId(0),
+            unique: false,
+            cluster_ratio: 0.93,
+        });
+        let f = b.add_table(
+            fact,
+            1_441_000,
+            vec![
+                ColumnStats::uniform(50_000, 0.0, 50_000.0, 4),
+                ColumnStats::uniform(500_000, 0.0, 1e6, 90),
+            ],
+        );
+        let addr = b.add_table(
+            Table::new(
+                "ADDR",
+                vec![
+                    col("A_SK", ColumnType::Integer),
+                    col("A_STATE", ColumnType::Varchar(4)),
+                ],
+            ),
+            50_000,
+            vec![
+                ColumnStats::uniform(50_000, 0.0, 50_000.0, 4),
+                ColumnStats::uniform(50, 0.0, 1e6, 2).with_frequent(vec![
+                    (Value::Str("CA".into()), 9_000),
+                    (Value::Str("TX".into()), 6_000),
+                ]),
+            ],
+        );
+        *b.belief_mut().column_mut(addr, ColumnId(1)) =
+            ColumnStats::uniform(5_000, 0.0, 1e6, 2);
+        b.plant_stale_cluster_ratio(f, IndexId(0), 0.03);
+        b.build()
+    }
+
+    #[test]
+    fn expert_spends_time_and_may_find_fix() {
+        let db = quirky_db();
+        let q = galo_sql::parse(
+            &db,
+            "q",
+            "SELECT f_payload FROM addr, fact WHERE a_sk = f_addr AND a_state = 'TX'",
+        )
+        .unwrap();
+        let out = expert_diagnose(&db, &q, &ExpertConfig::default());
+        assert!(out.minutes_spent > 0.0);
+        // With a strong planted quirk and a method-change repertoire the
+        // expert should find some fix.
+        assert!(out.found_fix, "expert should find the hash-join fix");
+        assert!(out.improvement > 0.0);
+    }
+
+    #[test]
+    fn time_scales_with_plan_size_and_trials() {
+        let db = quirky_db();
+        let q = galo_sql::parse(
+            &db,
+            "q",
+            "SELECT f_payload FROM addr, fact WHERE a_sk = f_addr AND a_state = 'TX'",
+        )
+        .unwrap();
+        let fast = expert_diagnose(
+            &db,
+            &q,
+            &ExpertConfig {
+                trials: 1,
+                ..ExpertConfig::default()
+            },
+        );
+        let slow = expert_diagnose(
+            &db,
+            &q,
+            &ExpertConfig {
+                trials: 8,
+                ..ExpertConfig::default()
+            },
+        );
+        assert!(slow.minutes_spent > fast.minutes_spent);
+    }
+
+    #[test]
+    fn single_table_query_yields_no_fix() {
+        let db = quirky_db();
+        let q = galo_sql::parse(&db, "q", "SELECT f_payload FROM fact").unwrap();
+        let out = expert_diagnose(&db, &q, &ExpertConfig::default());
+        assert!(!out.found_fix);
+        assert_eq!(out.improvement, 0.0);
+    }
+
+    #[test]
+    fn mutations_exclude_identity() {
+        let g = GuidelineNode::HsJoin(
+            Box::new(GuidelineNode::TbScan { tabid: "Q1".into() }),
+            Box::new(GuidelineNode::TbScan { tabid: "Q2".into() }),
+        );
+        let ms = mutations(&g, false);
+        assert!(!ms.contains(&g));
+        assert!(ms.len() >= 5);
+    }
+}

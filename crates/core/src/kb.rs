@@ -1,0 +1,483 @@
+//! The knowledge base (paper §3.1–3.2).
+//!
+//! Problem-pattern templates are stored as RDF in a Fuseki-like endpoint.
+//! A template is the *abstraction* of a problematic plan: table and column
+//! names replaced by canonical symbol labels (`T1`, `T2`, …), numeric
+//! properties replaced by `[hasLower*, hasHigher*]` validity ranges
+//! established by predicate variation, every resource anonymized under a
+//! unique random identifier, and the recommended rewrite attached as an
+//! OPTGUIDELINES document over the canonical labels.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use galo_catalog::Database;
+use galo_qgm::{GuidelineDoc, PopId, Qgm};
+use galo_rdf::{FusekiLite, Term};
+
+use crate::vocab::{self, prop};
+
+/// A numeric validity range for one property of one template operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Range {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Range {
+    /// A degenerate range around one observation.
+    pub fn point(v: f64) -> Self {
+        Range { lo: v, hi: v }
+    }
+
+    /// Extend to cover another observation.
+    pub fn cover(&mut self, v: f64) {
+        self.lo = self.lo.min(v);
+        self.hi = self.hi.max(v);
+    }
+
+    /// Widen multiplicatively by `margin` (≥ 1): the learned bounds define
+    /// the rewrite's validity region, which extends beyond the sampled
+    /// points (paper §3.2: ranges "can be updated over the time to account
+    /// for cardinalities not observed before").
+    pub fn widen(&self, margin: f64) -> Range {
+        let m = margin.max(1.0);
+        Range {
+            lo: self.lo / m,
+            hi: self.hi * m,
+        }
+    }
+
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+/// Per-operator abstracted properties of a problem pattern.
+#[derive(Debug, Clone)]
+pub struct TemplatePop {
+    /// Operator id within the template (pre-order of the problem segment).
+    pub op_id: u32,
+    /// Operator type name (`"NLJOIN"`, `"F-IXSCAN"`, …).
+    pub pop_type: String,
+    /// Estimated-cardinality validity range.
+    pub cardinality: Range,
+    /// Scan-only properties.
+    pub scan: Option<TemplateScan>,
+    /// Children op_ids: `[outer, inner]` for joins, `[child]` otherwise.
+    pub inputs: Vec<u32>,
+}
+
+/// Scan-specific abstracted properties.
+#[derive(Debug, Clone)]
+pub struct TemplateScan {
+    /// Canonical symbol label (`T1`, `T2`, …) replacing the table name.
+    pub canonical_tabid: String,
+    pub row_size: Range,
+    pub fpages: Range,
+    pub base_cardinality: Range,
+}
+
+/// A complete problem-pattern template.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Unique random identifier (the §3.2 anonymization).
+    pub id: String,
+    pub pops: Vec<TemplatePop>,
+    /// Rewrite over canonical labels.
+    pub guideline: GuidelineDoc,
+    /// Mean runtime improvement observed during learning, in `[0, 1]`.
+    pub improvement: f64,
+    /// Workload the template was learned from.
+    pub source_workload: String,
+    /// Structural fingerprint of the problem plan.
+    pub fingerprint: String,
+    /// Number of joins in the problem pattern.
+    pub join_count: usize,
+}
+
+/// Build a [`Template`] from a concrete problem plan: canonicalize table
+/// labels in scan pre-order, seed every numeric range from the plan's
+/// values, and rewrite the guideline onto the canonical labels.
+pub fn abstract_plan(
+    db: &Database,
+    problem: &Qgm,
+    root: PopId,
+    guideline: &GuidelineDoc,
+    id: String,
+) -> Template {
+    let subtree = problem.subtree(root);
+    let mut canonical: HashMap<String, String> = HashMap::new(); // qualifier -> T<k>
+    let mut pops = Vec::with_capacity(subtree.len());
+    for &pid in &subtree {
+        let pop = problem.pop(pid);
+        let scan = pop.kind.scan_table().map(|t| {
+            let tref = &problem.query.tables[t];
+            let stats = db.belief.table(tref.table);
+            let next = format!("T{}", canonical.len() + 1);
+            let label = canonical
+                .entry(tref.qualifier.clone())
+                .or_insert(next)
+                .clone();
+            TemplateScan {
+                canonical_tabid: label,
+                row_size: Range::point(stats.row_size as f64),
+                fpages: Range::point(stats.pages as f64),
+                base_cardinality: Range::point(stats.row_count as f64),
+            }
+        });
+        let inputs = pop
+            .inputs
+            .iter()
+            .filter(|c| subtree.contains(c))
+            .map(|&c| problem.pop(c).op_id)
+            .collect();
+        pops.push(TemplatePop {
+            op_id: pop.op_id,
+            pop_type: pop.kind.name().to_string(),
+            cardinality: Range::point(pop.est_card),
+            scan,
+            inputs,
+        });
+    }
+    let mapped = GuidelineDoc::new(
+        guideline
+            .roots
+            .iter()
+            .map(|r| {
+                r.map_tabids(&|tabid| {
+                    canonical
+                        .get(tabid)
+                        .cloned()
+                        .unwrap_or_else(|| tabid.to_string())
+                })
+            })
+            .collect(),
+    );
+    Template {
+        id,
+        fingerprint: problem.fingerprint(root),
+        join_count: problem.join_count(root),
+        pops,
+        guideline: mapped,
+        improvement: 0.0,
+        source_workload: String::new(),
+    }
+}
+
+/// The knowledge base: an RDF endpoint plus template bookkeeping.
+pub struct KnowledgeBase {
+    server: FusekiLite,
+    counter: AtomicU64,
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KnowledgeBase {
+    pub fn new() -> Self {
+        KnowledgeBase {
+            server: FusekiLite::new(),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying SPARQL endpoint.
+    pub fn server(&self) -> &FusekiLite {
+        &self.server
+    }
+
+    /// A fresh anonymized template identifier ("each resource is
+    /// anonymized by generating a unique random identifier", §3.2).
+    /// Deterministic per knowledge base for reproducibility.
+    pub fn fresh_id(&self, salt: u64) -> String {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        // A small splitmix64 keeps ids unique and opaque.
+        let mut z = n
+            .wrapping_add(salt)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 30;
+        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 27;
+        format!("{z:016x}")
+    }
+
+    /// Insert a template, serializing it to RDF.
+    pub fn insert(&self, tpl: &Template) {
+        let tnode = vocab::template_iri(&tpl.id);
+        let mut triples: Vec<(Term, Term, Term)> = vec![
+            (
+                tnode.clone(),
+                prop(vocab::HAS_GUIDELINE_XML),
+                Term::lit(tpl.guideline.to_xml()),
+            ),
+            (
+                tnode.clone(),
+                prop(vocab::HAS_IMPROVEMENT),
+                Term::num(tpl.improvement),
+            ),
+            (
+                tnode.clone(),
+                prop(vocab::HAS_SOURCE_WORKLOAD),
+                Term::lit(tpl.source_workload.clone()),
+            ),
+            (
+                tnode.clone(),
+                prop(vocab::HAS_PROBLEM_FINGERPRINT),
+                Term::lit(tpl.fingerprint.clone()),
+            ),
+            (
+                tnode.clone(),
+                prop(vocab::HAS_JOIN_COUNT),
+                Term::num(tpl.join_count as f64),
+            ),
+        ];
+        for p in &tpl.pops {
+            let me = vocab::template_pop_iri(&tpl.id, p.op_id);
+            triples.push((me.clone(), prop(vocab::IN_TEMPLATE), tnode.clone()));
+            triples.push((
+                me.clone(),
+                prop(vocab::HAS_POP_TYPE),
+                Term::lit(p.pop_type.clone()),
+            ));
+            triples.push((
+                me.clone(),
+                prop(vocab::HAS_LOWER_CARDINALITY),
+                Term::num(p.cardinality.lo),
+            ));
+            triples.push((
+                me.clone(),
+                prop(vocab::HAS_HIGHER_CARDINALITY),
+                Term::num(p.cardinality.hi),
+            ));
+            if let Some(scan) = &p.scan {
+                triples.push((
+                    me.clone(),
+                    prop(vocab::HAS_CANONICAL_TABID),
+                    Term::lit(scan.canonical_tabid.clone()),
+                ));
+                for (lo_name, hi_name, range) in [
+                    (vocab::HAS_LOWER_ROW_SIZE, vocab::HAS_HIGHER_ROW_SIZE, scan.row_size),
+                    (vocab::HAS_LOWER_FPAGES, vocab::HAS_HIGHER_FPAGES, scan.fpages),
+                    (
+                        vocab::HAS_LOWER_BASE_CARDINALITY,
+                        vocab::HAS_HIGHER_BASE_CARDINALITY,
+                        scan.base_cardinality,
+                    ),
+                ] {
+                    triples.push((me.clone(), prop(lo_name), Term::num(range.lo)));
+                    triples.push((me.clone(), prop(hi_name), Term::num(range.hi)));
+                }
+            }
+            for (i, &child) in p.inputs.iter().enumerate() {
+                let child_iri = vocab::template_pop_iri(&tpl.id, child);
+                triples.push((
+                    child_iri.clone(),
+                    prop(vocab::HAS_OUTPUT_STREAM),
+                    me.clone(),
+                ));
+                let is_join = matches!(p.pop_type.as_str(), "NLJOIN" | "HSJOIN" | "MSJOIN");
+                if is_join {
+                    let role = if i == 0 {
+                        vocab::HAS_OUTER_INPUT_STREAM
+                    } else {
+                        vocab::HAS_INNER_INPUT_STREAM
+                    };
+                    triples.push((me.clone(), prop(role), child_iri));
+                }
+            }
+        }
+        self.server.insert_triples(triples);
+    }
+
+    /// Number of templates stored.
+    pub fn template_count(&self) -> usize {
+        let q = format!(
+            "PREFIX p: <{}> SELECT DISTINCT ?t WHERE {{ ?t p:{} ?x . }}",
+            vocab::PROP_NS,
+            vocab::HAS_GUIDELINE_XML
+        );
+        self.server.query(&q).map(|rs| rs.len()).unwrap_or(0)
+    }
+
+    /// Fetch a template's guideline document and source workload by
+    /// template IRI.
+    pub fn guideline_of(&self, template_iri: &str) -> Option<(GuidelineDoc, String)> {
+        let q = format!(
+            "PREFIX p: <{}> SELECT ?g ?s WHERE {{ <{template_iri}> p:{} ?g . \
+             <{template_iri}> p:{} ?s . }}",
+            vocab::PROP_NS,
+            vocab::HAS_GUIDELINE_XML,
+            vocab::HAS_SOURCE_WORKLOAD
+        );
+        let rs = self.server.query(&q).ok()?;
+        if rs.is_empty() {
+            return None;
+        }
+        let xml = rs.get(0, "g")?.str_value().to_string();
+        let source = rs.get(0, "s")?.str_value().to_string();
+        GuidelineDoc::parse_xml(&xml).ok().map(|doc| (doc, source))
+    }
+
+    /// All stored problem fingerprints with sources (deduplication during
+    /// learning).
+    pub fn fingerprints(&self) -> Vec<(String, String)> {
+        let q = format!(
+            "PREFIX p: <{}> SELECT ?t ?f WHERE {{ ?t p:{} ?f . }}",
+            vocab::PROP_NS,
+            vocab::HAS_PROBLEM_FINGERPRINT
+        );
+        match self.server.query(&q) {
+            Ok(rs) => (0..rs.len())
+                .filter_map(|i| {
+                    Some((
+                        rs.get(i, "t")?.str_value().to_string(),
+                        rs.get(i, "f")?.str_value().to_string(),
+                    ))
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Export as N-Triples (persistence).
+    pub fn export(&self) -> String {
+        self.server.export()
+    }
+
+    /// Load from N-Triples, replacing the current contents.
+    pub fn import(&self, text: &str) -> Result<usize, galo_rdf::ServerError> {
+        self.server.import(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galo_catalog::{col, ColumnStats, ColumnType, DatabaseBuilder, SystemConfig, Table};
+    use galo_optimizer::Optimizer;
+    use galo_qgm::{guideline_from_plan, GuidelineNode};
+    use galo_sql::parse;
+
+    fn setup() -> (Database, Qgm) {
+        let mut b = DatabaseBuilder::new("kb", SystemConfig::default_1gb());
+        b.add_table(
+            Table::new(
+                "FACT",
+                vec![col("F_K", ColumnType::Integer), col("F_V", ColumnType::Decimal)],
+            ),
+            100_000,
+            vec![
+                ColumnStats::uniform(1_000, 0.0, 1_000.0, 4),
+                ColumnStats::uniform(10_000, 0.0, 1e6, 8),
+            ],
+        );
+        b.add_table(
+            Table::new(
+                "DIM",
+                vec![col("D_K", ColumnType::Integer), col("D_A", ColumnType::Integer)],
+            ),
+            1_000,
+            vec![
+                ColumnStats::uniform(1_000, 0.0, 1_000.0, 4),
+                ColumnStats::uniform(50, 0.0, 50.0, 4),
+            ],
+        );
+        let db = b.build();
+        let q = parse(&db, "q", "SELECT f_v FROM fact, dim WHERE f_k = d_k AND d_a = 7").unwrap();
+        let plan = Optimizer::new(&db).optimize(&q).unwrap();
+        (db, plan)
+    }
+
+    use galo_catalog::Database;
+
+    #[test]
+    fn abstraction_canonicalizes_tabids() {
+        let (db, plan) = setup();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let tpl = abstract_plan(&db, &plan, plan.root(), &g, "tid01".into());
+        // Guideline must reference canonical labels, not Q1/Q2.
+        let tabids = tpl.guideline.roots[0].tabids();
+        assert!(tabids.iter().all(|t| t.starts_with('T')), "{tabids:?}");
+        // Scans carry canonical labels.
+        let labels: Vec<&str> = tpl
+            .pops
+            .iter()
+            .filter_map(|p| p.scan.as_ref().map(|s| s.canonical_tabid.as_str()))
+            .collect();
+        assert_eq!(labels.len(), 2);
+        assert!(labels.contains(&"T1") && labels.contains(&"T2"));
+    }
+
+    #[test]
+    fn ranges_widen_and_cover() {
+        let mut r = Range::point(100.0);
+        r.cover(400.0);
+        assert_eq!(r, Range { lo: 100.0, hi: 400.0 });
+        let w = r.widen(2.0);
+        assert!(w.contains(50.0) && w.contains(800.0));
+        assert!(!w.contains(49.0) && !w.contains(801.0));
+    }
+
+    #[test]
+    fn insert_and_count_templates() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        assert_eq!(kb.template_count(), 0);
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(1));
+        tpl.improvement = 0.4;
+        tpl.source_workload = "tpcds".into();
+        kb.insert(&tpl);
+        assert_eq!(kb.template_count(), 1);
+        let tpl2_id = kb.fresh_id(2);
+        assert_ne!(tpl.id, tpl2_id);
+    }
+
+    #[test]
+    fn guideline_roundtrips_through_rdf() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![GuidelineNode::HsJoin(
+            Box::new(GuidelineNode::TbScan { tabid: "Q2".into() }),
+            Box::new(GuidelineNode::TbScan { tabid: "Q1".into() }),
+        )]);
+        let mut tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(7));
+        tpl.source_workload = "tpcds".into();
+        kb.insert(&tpl);
+        let iri = vocab::template_iri(&tpl.id);
+        let (doc, source) = kb.guideline_of(iri.str_value()).expect("stored guideline");
+        assert_eq!(doc, tpl.guideline);
+        assert_eq!(source, "tpcds");
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(3));
+        kb.insert(&tpl);
+        let text = kb.export();
+        let kb2 = KnowledgeBase::new();
+        kb2.import(&text).unwrap();
+        assert_eq!(kb2.template_count(), 1);
+    }
+
+    #[test]
+    fn fingerprints_listed() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(4));
+        tpl.source_workload = "w".into();
+        kb.insert(&tpl);
+        let fps = kb.fingerprints();
+        assert_eq!(fps.len(), 1);
+        assert_eq!(fps[0].1, tpl.fingerprint);
+    }
+}

@@ -1,0 +1,365 @@
+//! The matching engine (paper §3.3).
+//!
+//! Online, per incoming query: compile the query, climb bottom-up over the
+//! plan's sub-QGM segments (capped by the learning join threshold), emit
+//! one Figure-6-style SPARQL query per segment against the knowledge base,
+//! translate every match's canonical table labels back to the query's
+//! table references, collect the matched rewrites into a single guideline
+//! document, and pass query + guidelines through the optimizer again
+//! ("re-optimization").
+
+use std::time::Instant;
+
+use galo_catalog::Database;
+use galo_executor::Simulator;
+use galo_optimizer::{Optimizer, ReoptResult};
+use galo_qgm::{segments, GuidelineDoc, GuidelineNode, Qgm};
+use galo_rdf::SelectQuery;
+use galo_sql::Query;
+
+use crate::kb::KnowledgeBase;
+use crate::transform::{segment_scan_qualifiers, segment_to_sparql};
+
+/// Matching-engine configuration.
+#[derive(Debug, Clone)]
+pub struct MatchConfig {
+    /// Sub-QGM size cap, in joins — "the same predefined threshold that
+    /// was used in the learning phase" (§3.3).
+    pub join_threshold: usize,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig { join_threshold: 4 }
+    }
+}
+
+/// One matched rewrite.
+#[derive(Debug, Clone)]
+pub struct MatchedRewrite {
+    /// Root operator id of the matched segment in the original plan.
+    pub segment_op_id: u32,
+    /// Template IRI in the knowledge base.
+    pub template_iri: String,
+    /// Workload the template was learned from (cross-workload accounting,
+    /// Exp-2).
+    pub source_workload: String,
+    /// The instantiated guideline (canonical labels already translated to
+    /// the query's qualifiers).
+    pub guideline: GuidelineNode,
+}
+
+/// Outcome of matching one plan against the knowledge base.
+#[derive(Debug, Clone, Default)]
+pub struct MatchReport {
+    pub rewrites: Vec<MatchedRewrite>,
+    /// Wall time spent matching, milliseconds.
+    pub match_ms: f64,
+    /// SPARQL queries issued (one per candidate segment).
+    pub sparql_queries: usize,
+}
+
+impl MatchReport {
+    /// The combined guideline document submitted for re-optimization.
+    pub fn guideline_doc(&self) -> GuidelineDoc {
+        GuidelineDoc::new(self.rewrites.iter().map(|r| r.guideline.clone()).collect())
+    }
+}
+
+/// Match a compiled plan's segments against the knowledge base.
+pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfig) -> MatchReport {
+    let t0 = Instant::now();
+    let mut report = MatchReport::default();
+    let mut claimed: Vec<u32> = Vec::new(); // op_ids already covered by a match
+
+    for segment in segments(qgm, cfg.join_threshold) {
+        let seg_pops: Vec<u32> = qgm
+            .subtree(segment.root)
+            .iter()
+            .map(|&p| qgm.pop(p).op_id)
+            .collect();
+        // Bottom-up climb: skip segments overlapping an earlier match —
+        // their rewrites would fight over the same table references.
+        if seg_pops.iter().any(|id| claimed.contains(id)) {
+            continue;
+        }
+        let sparql = segment_to_sparql(db, qgm, segment.root);
+        let parsed: SelectQuery = match galo_rdf::parse_select(&sparql) {
+            Ok(q) => q,
+            Err(_) => continue,
+        };
+        report.sparql_queries += 1;
+        let solutions = kb.server().query_parsed(&parsed);
+        if solutions.is_empty() {
+            continue;
+        }
+        // First solution wins (the KB stores the best rewrite per pattern).
+        let Some(tmpl) = solutions.get(0, "tmpl") else {
+            continue;
+        };
+        let template_iri = tmpl.str_value().to_string();
+        let Some((guideline, source_workload)) = kb.guideline_of(&template_iri) else {
+            continue;
+        };
+        // Canonical label -> query qualifier, via the matched scan pops.
+        let scan_quals = segment_scan_qualifiers(qgm, segment.root);
+        let mut mapping: Vec<(String, String)> = Vec::with_capacity(scan_quals.len());
+        for (op_id, qualifier) in &scan_quals {
+            if let Some(tab) = solutions.get(0, &format!("tab_{op_id}")) {
+                mapping.push((tab.str_value().to_string(), qualifier.clone()));
+            }
+        }
+        // Every canonical label the guideline references must be bound by
+        // the match; a partial mapping would produce a dangling guideline.
+        let fully_mapped = guideline.roots.iter().all(|r| {
+            r.tabids()
+                .iter()
+                .all(|t| mapping.iter().any(|(c, _)| c == t))
+        });
+        if !fully_mapped {
+            continue;
+        }
+        let map = |canon: &str| -> String {
+            mapping
+                .iter()
+                .find(|(c, _)| c == canon)
+                .map(|(_, q)| q.clone())
+                .unwrap_or_else(|| canon.to_string())
+        };
+        for root in &guideline.roots {
+            report.rewrites.push(MatchedRewrite {
+                segment_op_id: qgm.pop(segment.root).op_id,
+                template_iri: template_iri.clone(),
+                source_workload: source_workload.clone(),
+                guideline: root.map_tabids(&map),
+            });
+        }
+        claimed.extend(seg_pops);
+    }
+    report.match_ms = t0.elapsed().as_secs_f64() * 1e3;
+    report
+}
+
+/// Full re-optimization outcome for one query.
+#[derive(Debug)]
+pub struct ReoptOutcome {
+    /// The optimizer's original plan.
+    pub original: Qgm,
+    /// Matching details.
+    pub matched: MatchReport,
+    /// The re-optimized result, when any rewrite matched.
+    pub reoptimized: Option<ReoptResult>,
+    /// Simulated steady-state runtime of the original plan, ms.
+    pub original_ms: f64,
+    /// Simulated steady-state runtime of the final plan, ms (equals
+    /// `original_ms` when nothing matched).
+    pub final_ms: f64,
+}
+
+impl ReoptOutcome {
+    /// Relative runtime gain in `[0, 1)`; 0 when nothing matched or the
+    /// rewrite did not help.
+    pub fn gain(&self) -> f64 {
+        if self.final_ms < self.original_ms {
+            (self.original_ms - self.final_ms) / self.original_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// True when a rewrite matched and actually improved the runtime.
+    pub fn improved(&self) -> bool {
+        self.reoptimized.is_some() && self.final_ms < self.original_ms
+    }
+}
+
+/// Compile, match, and re-optimize one query ("GALO acts as a third tier
+/// of re-optimization").
+pub fn reoptimize_query(
+    db: &Database,
+    kb: &KnowledgeBase,
+    query: &Query,
+    cfg: &MatchConfig,
+) -> Result<ReoptOutcome, galo_optimizer::OptimizeError> {
+    let optimizer = Optimizer::new(db);
+    let sim = Simulator::new(db);
+    let original = optimizer.optimize(query)?;
+    let original_ms = sim.run(&original, true).elapsed_ms;
+
+    let matched = match_plan(db, kb, &original, cfg);
+    if matched.rewrites.is_empty() {
+        return Ok(ReoptOutcome {
+            original,
+            matched,
+            reoptimized: None,
+            original_ms,
+            final_ms: original_ms,
+        });
+    }
+    let doc = matched.guideline_doc();
+    let reopt = optimizer.optimize_with_guidelines(query, &doc)?;
+    let final_ms = sim.run(&reopt.qgm, true).elapsed_ms;
+    Ok(ReoptOutcome {
+        original,
+        matched,
+        reoptimized: Some(reopt),
+        original_ms,
+        final_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::abstract_plan;
+    use crate::learning::{learn_workload, LearningConfig};
+    use galo_catalog::{
+        col, ColumnId, ColumnStats, ColumnType, DatabaseBuilder, Index, IndexId, SystemConfig,
+        Table, Value,
+    };
+    use galo_qgm::guideline_from_plan;
+    use galo_workloads::Workload;
+
+    fn quirky_workload() -> Workload {
+        let mut b = DatabaseBuilder::new("match_test", SystemConfig::default_1gb());
+        let mut fact = Table::new(
+            "FACT",
+            vec![
+                col("F_ADDR", ColumnType::Integer),
+                col("F_PAYLOAD", ColumnType::Varchar(180)),
+            ],
+        );
+        fact.add_index(Index {
+            name: "F_ADDR_IX".into(),
+            column: ColumnId(0),
+            unique: false,
+            cluster_ratio: 0.93,
+        });
+        let f = b.add_table(
+            fact,
+            1_441_000,
+            vec![
+                ColumnStats::uniform(50_000, 0.0, 50_000.0, 4),
+                ColumnStats::uniform(500_000, 0.0, 1e6, 90),
+            ],
+        );
+        let addr = b.add_table(
+            Table::new(
+                "ADDR",
+                vec![
+                    col("A_SK", ColumnType::Integer),
+                    col("A_STATE", ColumnType::Varchar(4)),
+                ],
+            ),
+            50_000,
+            vec![
+                ColumnStats::uniform(50_000, 0.0, 50_000.0, 4),
+                ColumnStats::uniform(50, 0.0, 1e6, 2).with_frequent(vec![
+                    (Value::Str("CA".into()), 9_000),
+                    (Value::Str("TX".into()), 6_000),
+                    (Value::Str("VT".into()), 200),
+                ]),
+            ],
+        );
+        // Stale belief: the optimizer thinks A_STATE has 5,000 uniform
+        // values, so it grossly under-estimates the filtered dimension and
+        // walks into the flooding nested-loop trap.
+        *b.belief_mut().column_mut(addr, ColumnId(1)) =
+            ColumnStats::uniform(5_000, 0.0, 1e6, 2);
+        b.plant_stale_cluster_ratio(f, IndexId(0), 0.03);
+        let db = b.build();
+        let q = galo_sql::parse(
+            &db,
+            "q1",
+            "SELECT f_payload FROM addr, fact WHERE a_sk = f_addr AND a_state = 'TX'",
+        )
+        .unwrap();
+        Workload {
+            name: "match_test".into(),
+            db,
+            queries: vec![q],
+        }
+    }
+
+    #[test]
+    fn end_to_end_learn_then_reoptimize() {
+        let w = quirky_workload();
+        let kb = KnowledgeBase::new();
+        let learn_cfg = LearningConfig {
+            threads: 2,
+            random_plans: 12,
+            ..LearningConfig::default()
+        };
+        let report = learn_workload(&w, &kb, &learn_cfg);
+        assert!(report.templates_learned >= 1);
+
+        let outcome =
+            reoptimize_query(&w.db, &kb, &w.queries[0], &MatchConfig::default()).unwrap();
+        assert!(
+            !outcome.matched.rewrites.is_empty(),
+            "the learned template must match its own source query"
+        );
+        assert!(
+            outcome.improved(),
+            "re-optimization must beat the original: {} -> {}",
+            outcome.original_ms,
+            outcome.final_ms
+        );
+        assert!(outcome.gain() >= 0.10, "gain {}", outcome.gain());
+    }
+
+    #[test]
+    fn empty_kb_matches_nothing() {
+        let w = quirky_workload();
+        let kb = KnowledgeBase::new();
+        let outcome =
+            reoptimize_query(&w.db, &kb, &w.queries[0], &MatchConfig::default()).unwrap();
+        assert!(outcome.matched.rewrites.is_empty());
+        assert!(outcome.reoptimized.is_none());
+        assert_eq!(outcome.gain(), 0.0);
+        assert!(outcome.matched.sparql_queries >= 1);
+    }
+
+    #[test]
+    fn out_of_range_patterns_do_not_match() {
+        let w = quirky_workload();
+        let kb = KnowledgeBase::new();
+        // Hand-build a template whose cardinality ranges cannot match
+        // (tiny bounds).
+        let optimizer = Optimizer::new(&w.db);
+        let plan = optimizer.optimize(&w.queries[0]).unwrap();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut tpl = abstract_plan(&w.db, &plan, plan.root(), &g, kb.fresh_id(1));
+        for p in &mut tpl.pops {
+            p.cardinality = crate::kb::Range { lo: 0.0, hi: 0.5 };
+        }
+        tpl.source_workload = "x".into();
+        kb.insert(&tpl);
+        let report = match_plan(&w.db, &kb, &plan, &MatchConfig::default());
+        assert!(report.rewrites.is_empty(), "ranges must gate matching");
+    }
+
+    #[test]
+    fn guideline_tabids_are_translated_to_query_qualifiers() {
+        let w = quirky_workload();
+        let kb = KnowledgeBase::new();
+        let learn_cfg = LearningConfig {
+            threads: 1,
+            random_plans: 12,
+            ..LearningConfig::default()
+        };
+        learn_workload(&w, &kb, &learn_cfg);
+        let optimizer = Optimizer::new(&w.db);
+        let plan = optimizer.optimize(&w.queries[0]).unwrap();
+        let report = match_plan(&w.db, &kb, &plan, &MatchConfig::default());
+        assert!(!report.rewrites.is_empty());
+        for r in &report.rewrites {
+            for tabid in r.guideline.tabids() {
+                assert!(
+                    tabid.starts_with('Q'),
+                    "expected query qualifiers, got '{tabid}'"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The ranking module (paper §3.2).
+//!
+//! "Each QGM is run multiple times to obtain an accurate baseline cost, to
+//! remove noise related to the server or network load. The ranking process
+//! uses K-means clustering to remove outliers based on elapsed time. The
+//! clustering algorithm divides QGM's into two clusters: prospective and
+//! anomaly. QGM's in the prospective cluster are then considered, while
+//! those in the anomaly cluster are ignored. In the case of ties, the
+//! system considers other features as a tie breaker … buffer pool data
+//! logical reads and physical reads, total CPU time usage, and shared
+//! sort-heap high-water mark."
+
+use galo_executor::RunMeasurement;
+
+/// One-dimensional K-means with k=2. Returns cluster assignments
+/// (`false` = cluster of the smaller centroid) and the two centroids.
+pub fn kmeans2(values: &[f64]) -> (Vec<bool>, f64, f64) {
+    assert!(!values.is_empty(), "kmeans2 needs at least one value");
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < f64::EPSILON {
+        return (vec![false; values.len()], min, max);
+    }
+    let (mut c0, mut c1) = (min, max);
+    let mut assign = vec![false; values.len()];
+    for _ in 0..32 {
+        let mut changed = false;
+        for (i, &v) in values.iter().enumerate() {
+            let to_c1 = (v - c1).abs() < (v - c0).abs();
+            if assign[i] != to_c1 {
+                assign[i] = to_c1;
+                changed = true;
+            }
+        }
+        let (mut s0, mut n0, mut s1, mut n1) = (0.0, 0usize, 0.0, 0usize);
+        for (i, &v) in values.iter().enumerate() {
+            if assign[i] {
+                s1 += v;
+                n1 += 1;
+            } else {
+                s0 += v;
+                n0 += 1;
+            }
+        }
+        if n0 > 0 {
+            c0 = s0 / n0 as f64;
+        }
+        if n1 > 0 {
+            c1 = s1 / n1 as f64;
+        }
+        if !changed {
+            break;
+        }
+    }
+    if c0 <= c1 {
+        (assign, c0, c1)
+    } else {
+        // Normalize so `false` is always the smaller centroid.
+        (assign.into_iter().map(|a| !a).collect(), c1, c0)
+    }
+}
+
+/// A robust plan score: the prospective-cluster mean elapsed time plus the
+/// tie-breaker metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanScore {
+    pub elapsed_ms: f64,
+    pub bp_logical_reads: f64,
+    pub bp_physical_reads: f64,
+    pub cpu_ms: f64,
+    pub sort_heap_hwm_pages: f64,
+    /// How many runs were kept as prospective.
+    pub prospective_runs: usize,
+    /// How many were discarded as anomalies.
+    pub anomaly_runs: usize,
+}
+
+/// Relative elapsed-time difference below which two scores are considered
+/// tied and the tie-breaker metrics decide.
+pub const TIE_EPSILON: f64 = 0.03;
+
+/// Score a set of measurements: cluster on elapsed time (k=2), keep the
+/// prospective cluster, average.
+pub fn score_runs(runs: &[RunMeasurement]) -> PlanScore {
+    assert!(!runs.is_empty());
+    let elapsed: Vec<f64> = runs.iter().map(|r| r.elapsed_ms).collect();
+    let (assign, c0, c1) = kmeans2(&elapsed);
+
+    // The anomaly cluster is only discarded when it is clearly separated;
+    // otherwise natural noise would lose half its samples.
+    let separated = c1 > c0 * 1.5;
+    let keep: Vec<&RunMeasurement> = runs
+        .iter()
+        .zip(&assign)
+        .filter(|(_, &a)| !(separated && a))
+        .map(|(r, _)| r)
+        .collect();
+    let n = keep.len().max(1) as f64;
+    PlanScore {
+        elapsed_ms: keep.iter().map(|r| r.elapsed_ms).sum::<f64>() / n,
+        bp_logical_reads: keep.iter().map(|r| r.metrics.bp_logical_reads).sum::<f64>() / n,
+        bp_physical_reads: keep.iter().map(|r| r.metrics.bp_physical_reads).sum::<f64>() / n,
+        cpu_ms: keep.iter().map(|r| r.metrics.cpu_ms).sum::<f64>() / n,
+        sort_heap_hwm_pages: keep
+            .iter()
+            .map(|r| r.metrics.sort_heap_hwm_pages)
+            .fold(0.0, f64::max),
+        prospective_runs: keep.len(),
+        anomaly_runs: runs.len() - keep.len(),
+    }
+}
+
+/// True if `a` is better than `b`: primarily by elapsed time; within
+/// [`TIE_EPSILON`], by the tie-breaker resource metrics.
+pub fn better(a: &PlanScore, b: &PlanScore) -> bool {
+    let rel = (a.elapsed_ms - b.elapsed_ms) / b.elapsed_ms.max(1e-9);
+    if rel < -TIE_EPSILON {
+        return true;
+    }
+    if rel > TIE_EPSILON {
+        return false;
+    }
+    // Tie: lexicographic over the paper's tie-breaker features.
+    let ka = (
+        a.bp_physical_reads,
+        a.bp_logical_reads,
+        a.cpu_ms,
+        a.sort_heap_hwm_pages,
+    );
+    let kb = (
+        b.bp_physical_reads,
+        b.bp_logical_reads,
+        b.cpu_ms,
+        b.sort_heap_hwm_pages,
+    );
+    ka < kb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galo_executor::Metrics;
+
+    fn run(elapsed: f64) -> RunMeasurement {
+        RunMeasurement {
+            elapsed_ms: elapsed,
+            metrics: Metrics {
+                bp_logical_reads: 10.0,
+                bp_physical_reads: 5.0,
+                cpu_ms: 1.0,
+                sort_heap_hwm_pages: 0.0,
+            },
+            anomalous: false,
+        }
+    }
+
+    #[test]
+    fn kmeans_separates_two_obvious_clusters() {
+        let values = [10.0, 10.5, 9.8, 50.0, 52.0];
+        let (assign, c0, c1) = kmeans2(&values);
+        assert!(c0 < 11.0 && c1 > 49.0);
+        assert_eq!(assign, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn kmeans_handles_identical_values() {
+        let (assign, c0, c1) = kmeans2(&[7.0, 7.0, 7.0]);
+        assert!(assign.iter().all(|&a| !a));
+        assert_eq!(c0, 7.0);
+        assert_eq!(c1, 7.0);
+    }
+
+    #[test]
+    fn anomaly_runs_are_discarded() {
+        let runs = vec![run(100.0), run(101.0), run(99.0), run(450.0)];
+        let score = score_runs(&runs);
+        assert_eq!(score.anomaly_runs, 1);
+        assert_eq!(score.prospective_runs, 3);
+        assert!((score.elapsed_ms - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mild_noise_keeps_all_runs() {
+        let runs = vec![run(100.0), run(103.0), run(98.0), run(101.0)];
+        let score = score_runs(&runs);
+        assert_eq!(score.anomaly_runs, 0);
+    }
+
+    #[test]
+    fn better_uses_elapsed_first() {
+        let a = score_runs(&[run(50.0)]);
+        let b = score_runs(&[run(100.0)]);
+        assert!(better(&a, &b));
+        assert!(!better(&b, &a));
+    }
+
+    #[test]
+    fn better_breaks_ties_with_metrics() {
+        let mut r1 = run(100.0);
+        r1.metrics.bp_physical_reads = 2.0;
+        let mut r2 = run(101.0); // within 3% tie window
+        r2.metrics.bp_physical_reads = 9.0;
+        let a = score_runs(&[r1]);
+        let b = score_runs(&[r2]);
+        assert!(better(&a, &b), "fewer physical reads wins the tie");
+    }
+}

@@ -1,0 +1,355 @@
+//! The transformation engine (paper §3.1).
+//!
+//! Three translations:
+//!
+//! 1. **QGM → RDF** — a full graph rendering of a plan, one resource per
+//!    LOLEPOP with its properties and input-stream edges (the paper's
+//!    §3.1 examples).
+//! 2. **QGM segment → SPARQL** — the Figure 6 generation: result handlers
+//!    (`?pop_N`), internal handlers (`?ihK`) with range FILTERs, and
+//!    relationship handlers (`hasOutputStream`), used online to match a
+//!    concrete sub-plan against the abstracted templates in the knowledge
+//!    base.
+//! 3. **Template → RDF** — the §3.2 abstraction step lives in
+//!    [`crate::kb`], which shares this module's property emission.
+
+use galo_catalog::Database;
+use galo_qgm::{PopId, PopKind, Qgm};
+use galo_rdf::Term;
+
+use crate::vocab::{self, prop};
+
+/// Translate a full QGM into RDF triples (concrete form: exact values, no
+/// ranges). Resources are named by operator id under [`vocab::POP_NS`].
+pub fn qgm_to_rdf(db: &Database, qgm: &Qgm) -> Vec<(Term, Term, Term)> {
+    let mut triples = Vec::with_capacity(qgm.len() * 6);
+    for (id, pop) in qgm.pops() {
+        let me = vocab::pop_iri(pop.op_id);
+        triples.push((me.clone(), prop(vocab::HAS_POP_TYPE), Term::lit(pop.kind.name())));
+        triples.push((
+            me.clone(),
+            prop(vocab::HAS_OPERATOR_ID),
+            Term::num(pop.op_id as f64),
+        ));
+        triples.push((
+            me.clone(),
+            prop(vocab::HAS_ESTIMATE_CARDINALITY),
+            Term::num(pop.est_card),
+        ));
+        if let Some(t) = pop.kind.scan_table() {
+            let tref = &qgm.query.tables[t];
+            let table = db.table(tref.table);
+            let stats = db.belief.table(tref.table);
+            triples.push((
+                me.clone(),
+                prop(vocab::HAS_TABLE_NAME),
+                Term::lit(table.name.clone()),
+            ));
+            triples.push((
+                me.clone(),
+                prop(vocab::HAS_TABLE_QUALIFIER),
+                Term::lit(tref.qualifier.clone()),
+            ));
+            triples.push((
+                me.clone(),
+                prop(vocab::HAS_ROW_SIZE),
+                Term::num(stats.row_size as f64),
+            ));
+            triples.push((
+                me.clone(),
+                prop(vocab::HAS_FPAGES),
+                Term::num(stats.pages as f64),
+            ));
+            triples.push((
+                me.clone(),
+                prop(vocab::HAS_BASE_CARDINALITY),
+                Term::num(stats.row_count as f64),
+            ));
+            if let PopKind::IxScan { index, .. } = &pop.kind {
+                triples.push((
+                    me.clone(),
+                    prop(vocab::HAS_INDEX_NAME),
+                    Term::lit(table.index(*index).name.clone()),
+                ));
+            }
+        }
+        // Stream edges: child→parent output stream plus role-tagged
+        // parent→child edges for joins.
+        for (i, &child) in pop.inputs.iter().enumerate() {
+            let child_iri = vocab::pop_iri(qgm.pop(child).op_id);
+            triples.push((
+                child_iri.clone(),
+                prop(vocab::HAS_OUTPUT_STREAM),
+                me.clone(),
+            ));
+            if pop.kind.is_join() {
+                let role = if i == 0 {
+                    vocab::HAS_OUTER_INPUT_STREAM
+                } else {
+                    vocab::HAS_INNER_INPUT_STREAM
+                };
+                triples.push((me.clone(), prop(role), child_iri));
+            }
+        }
+        let _ = id;
+    }
+    triples
+}
+
+/// Generate the SPARQL query that matches one concrete plan segment
+/// against the knowledge base's abstracted templates (paper Figure 6).
+///
+/// For every operator of the segment the query:
+/// * binds a result handler `?pop_<opid>` constrained to the operator's
+///   type and to the template's `[hasLower*, hasHigher*]` ranges around
+///   the concrete value, via internal handlers `?ih<k>`;
+/// * for scans, additionally constrains row size / FPAGES / base
+///   cardinality and retrieves the canonical table label `?tab_<opid>`;
+/// * links operators with `hasOutputStream` relationship handlers and
+///   role-tagged join edges;
+/// * forces all bindings into one template via a shared `?tmpl`, and
+///   pairwise-distinct resources via `FILTER(STR(..) != STR(..))`.
+pub fn segment_to_sparql(db: &Database, qgm: &Qgm, root: PopId) -> String {
+    let pops = qgm.subtree(root);
+    let mut select: Vec<String> = vec!["?tmpl".to_string()];
+    let mut body = String::new();
+    let mut ih = 0usize;
+
+    // The segment must match a template of exactly the same join count —
+    // otherwise a small segment can subgraph-match part of a larger
+    // template, leaving canonical labels in its guideline unbound.
+    body.push_str(&format!(
+        " ?tmpl predURI:{} ?jc .\n FILTER ( ?jc = {} ) .\n",
+        vocab::HAS_JOIN_COUNT,
+        qgm.join_count(root)
+    ));
+
+    let mut range_filter = |body: &mut String, var: &str, lower: &str, higher: &str, value: f64| {
+        ih += 1;
+        body.push_str(&format!(
+            " {var} predURI:{lower} ?ih{ih} .\n FILTER ( ?ih{ih} <= {value}) .\n"
+        ));
+        ih += 1;
+        body.push_str(&format!(
+            " {var} predURI:{higher} ?ih{ih} .\n FILTER ( ?ih{ih} >= {value}) .\n"
+        ));
+    };
+
+    for &pid in &pops {
+        let pop = qgm.pop(pid);
+        let var = format!("?pop_{}", pop.op_id);
+        select.push(var.clone());
+        body.push_str(&format!(" {var} predURI:{} ?tmpl .\n", vocab::IN_TEMPLATE));
+        body.push_str(&format!(
+            " {var} predURI:{} \"{}\" .\n",
+            vocab::HAS_POP_TYPE,
+            pop.kind.name()
+        ));
+        range_filter(
+            &mut body,
+            &var,
+            vocab::HAS_LOWER_CARDINALITY,
+            vocab::HAS_HIGHER_CARDINALITY,
+            pop.est_card,
+        );
+        if let Some(t) = pop.kind.scan_table() {
+            let tref = &qgm.query.tables[t];
+            let stats = db.belief.table(tref.table);
+            range_filter(
+                &mut body,
+                &var,
+                vocab::HAS_LOWER_ROW_SIZE,
+                vocab::HAS_HIGHER_ROW_SIZE,
+                stats.row_size as f64,
+            );
+            range_filter(
+                &mut body,
+                &var,
+                vocab::HAS_LOWER_FPAGES,
+                vocab::HAS_HIGHER_FPAGES,
+                stats.pages as f64,
+            );
+            range_filter(
+                &mut body,
+                &var,
+                vocab::HAS_LOWER_BASE_CARDINALITY,
+                vocab::HAS_HIGHER_BASE_CARDINALITY,
+                stats.row_count as f64,
+            );
+            let tab_var = format!("?tab_{}", pop.op_id);
+            select.push(tab_var.clone());
+            body.push_str(&format!(
+                " {var} predURI:{} {tab_var} .\n",
+                vocab::HAS_CANONICAL_TABID
+            ));
+        }
+    }
+
+    // Relationship handlers.
+    for &pid in &pops {
+        let pop = qgm.pop(pid);
+        let var = format!("?pop_{}", pop.op_id);
+        for (i, &child) in pop.inputs.iter().enumerate() {
+            if !pops.contains(&child) {
+                continue;
+            }
+            let child_var = format!("?pop_{}", qgm.pop(child).op_id);
+            body.push_str(&format!(
+                " {child_var} predURI:{} {var} .\n",
+                vocab::HAS_OUTPUT_STREAM
+            ));
+            if pop.kind.is_join() {
+                let role = if i == 0 {
+                    vocab::HAS_OUTER_INPUT_STREAM
+                } else {
+                    vocab::HAS_INNER_INPUT_STREAM
+                };
+                body.push_str(&format!(" {var} predURI:{role} {child_var} .\n"));
+            }
+        }
+    }
+
+    // Uniqueness filters for same-typed operators (the paper's
+    // `FILTER (STR(?pop_6) > STR(?pop_8))` idiom).
+    for i in 0..pops.len() {
+        for j in (i + 1)..pops.len() {
+            let (a, b) = (qgm.pop(pops[i]), qgm.pop(pops[j]));
+            if a.kind.name() == b.kind.name() {
+                body.push_str(&format!(
+                    " FILTER (STR(?pop_{}) != STR(?pop_{})) .\n",
+                    a.op_id, b.op_id
+                ));
+            }
+        }
+    }
+
+    format!(
+        "PREFIX predURI: <{}>\nSELECT {}\nWHERE {{\n{}}}",
+        vocab::PROP_NS,
+        select.join(" "),
+        body
+    )
+}
+
+/// The scan operators of a segment with their query qualifiers, in
+/// pre-order — used to translate canonical TABIDs back to the query's
+/// table references after a match.
+pub fn segment_scan_qualifiers(qgm: &Qgm, root: PopId) -> Vec<(u32, String)> {
+    qgm.subtree(root)
+        .into_iter()
+        .filter_map(|pid| {
+            let pop = qgm.pop(pid);
+            pop.kind
+                .scan_table()
+                .map(|t| (pop.op_id, qgm.query.tables[t].qualifier.clone()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galo_catalog::{
+        col, ColumnStats, ColumnType, DatabaseBuilder, SystemConfig, Table,
+    };
+    use galo_optimizer::Optimizer;
+    use galo_rdf::TripleStore;
+    use galo_sql::parse;
+
+    fn setup() -> (Database, Qgm) {
+        let mut b = DatabaseBuilder::new("tr", SystemConfig::default_1gb());
+        b.add_table(
+            Table::new(
+                "FACT",
+                vec![col("F_K", ColumnType::Integer), col("F_V", ColumnType::Decimal)],
+            ),
+            100_000,
+            vec![
+                ColumnStats::uniform(1_000, 0.0, 1_000.0, 4),
+                ColumnStats::uniform(10_000, 0.0, 1e6, 8),
+            ],
+        );
+        b.add_table(
+            Table::new("DIM", vec![col("D_K", ColumnType::Integer), col("D_A", ColumnType::Integer)]),
+            1_000,
+            vec![
+                ColumnStats::uniform(1_000, 0.0, 1_000.0, 4),
+                ColumnStats::uniform(50, 0.0, 50.0, 4),
+            ],
+        );
+        let db = b.build();
+        let q = parse(&db, "q", "SELECT f_v FROM fact, dim WHERE f_k = d_k AND d_a = 7").unwrap();
+        let plan = Optimizer::new(&db).optimize(&q).unwrap();
+        (db, plan)
+    }
+
+    #[test]
+    fn qgm_to_rdf_emits_paper_properties() {
+        let (db, plan) = setup();
+        let triples = qgm_to_rdf(&db, &plan);
+        let store = {
+            let mut s = TripleStore::new();
+            for (a, b, c) in triples {
+                s.insert(a, b, c);
+            }
+            s
+        };
+        // Every operator has a type; scans carry table metadata.
+        let rs = galo_rdf::parse_select(
+            "PREFIX p: <http://galo/qep/property/> SELECT ?s ?t WHERE { ?s p:hasPopType ?t . }",
+        )
+        .unwrap();
+        let out = galo_rdf::evaluate(&store, &rs);
+        assert_eq!(out.len(), plan.len());
+        let rs2 = galo_rdf::parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?s WHERE { ?s p:hasTableName \"FACT\" . ?s p:hasBaseCardinality ?c . \
+             FILTER(?c = 100000) }",
+        )
+        .unwrap();
+        assert_eq!(galo_rdf::evaluate(&store, &rs2).len(), 1);
+    }
+
+    #[test]
+    fn rdf_streams_connect_every_nonroot_operator() {
+        let (db, plan) = setup();
+        let mut store = TripleStore::new();
+        for (a, b, c) in qgm_to_rdf(&db, &plan) {
+            store.insert(a, b, c);
+        }
+        let q = galo_rdf::parse_select(
+            "PREFIX p: <http://galo/qep/property/> SELECT ?c ?pa WHERE { ?c p:hasOutputStream ?pa . }",
+        )
+        .unwrap();
+        // Every operator except RETURN has an output stream.
+        assert_eq!(galo_rdf::evaluate(&store, &q).len(), plan.len() - 1);
+    }
+
+    #[test]
+    fn generated_sparql_parses_and_has_figure6_shape() {
+        let (db, plan) = setup();
+        let join = plan
+            .pops()
+            .find(|(_, p)| p.kind.is_join())
+            .map(|(id, _)| id)
+            .unwrap();
+        let text = segment_to_sparql(&db, &plan, join);
+        assert!(text.starts_with("PREFIX predURI: <http://galo/qep/property/>"));
+        assert!(text.contains("hasLowerCardinality"));
+        assert!(text.contains("hasHigherCardinality"));
+        assert!(text.contains("hasOutputStream"));
+        assert!(text.contains("?tmpl"));
+        // It must be valid SPARQL for our engine.
+        galo_rdf::parse_select(&text).expect("generated SPARQL must parse");
+    }
+
+    #[test]
+    fn scan_qualifiers_enumerate_segment_tables() {
+        let (_db, plan) = setup();
+        let quals = segment_scan_qualifiers(&plan, plan.root());
+        let names: Vec<&str> = quals.iter().map(|(_, q)| q.as_str()).collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"Q1"));
+        assert!(names.contains(&"Q2"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # galo-executor
+//!
+//! The runtime substrate of the GALO reproduction: a physical execution
+//! simulator that charges plans against the database's **ground truth**
+//! (actual statistics, actual cluster ratios, actual configuration) —
+//! including the runtime effects the optimizer's model misses: buffer-pool
+//! flooding, merge-join early termination, bloom-filter skipping and
+//! spills. A `db2batch`-style harness replays plans with realistic noise
+//! so the learning engine has something to de-noise.
+
+pub mod actuals;
+pub mod db2batch;
+pub mod runtime;
+
+pub use actuals::{compute_actuals, Actuals};
+pub use db2batch::{db2batch, NoiseModel, RunMeasurement};
+pub use runtime::{Metrics, RunStats, Simulator};
+
+/// Rows per index leaf page (mirrors the optimizer's assumption).
+pub const INDEX_ENTRIES_PER_PAGE: f64 = 300.0;
+/// B-tree root-to-leaf pages per probe.
+pub const INDEX_TRAVERSAL_PAGES: f64 = 2.0;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,135 @@
+//! Property-based tests for the runtime simulator: non-negativity,
+//! determinism, warm-vs-cold ordering, and metric sanity over arbitrary
+//! plans produced by the random plan generator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use galo_catalog::{
+    col, ColumnId, ColumnStats, ColumnType, Database, DatabaseBuilder, Index, SystemConfig, Table,
+};
+use galo_optimizer::{Optimizer, PlannerConfig};
+use galo_sql::parse;
+
+use crate::runtime::Simulator;
+
+fn star_db() -> Database {
+    let mut b = DatabaseBuilder::new("prop", SystemConfig::default_1gb());
+    let mut fact = Table::new(
+        "FACT",
+        vec![
+            col("F_D", ColumnType::Integer),
+            col("F_I", ColumnType::Integer),
+            col("F_P", ColumnType::Varchar(120)),
+        ],
+    );
+    fact.add_index(Index {
+        name: "F_D_IX".into(),
+        column: ColumnId(0),
+        unique: false,
+        cluster_ratio: 0.95,
+    });
+    fact.add_index(Index {
+        name: "F_I_IX".into(),
+        column: ColumnId(1),
+        unique: false,
+        cluster_ratio: 0.1,
+    });
+    b.add_table(
+        fact,
+        800_000,
+        vec![
+            ColumnStats::uniform(10_000, 0.0, 10_000.0, 4),
+            ColumnStats::uniform(5_000, 0.0, 5_000.0, 4),
+            ColumnStats::uniform(400_000, 0.0, 1e6, 60),
+        ],
+    );
+    b.add_table(
+        Table::new(
+            "D1",
+            vec![col("D1_K", ColumnType::Integer), col("D1_V", ColumnType::Integer)],
+        ),
+        10_000,
+        vec![
+            ColumnStats::uniform(10_000, 0.0, 10_000.0, 4),
+            ColumnStats::uniform(100, 0.0, 100.0, 4),
+        ],
+    );
+    b.add_table(
+        Table::new(
+            "D2",
+            vec![col("D2_K", ColumnType::Integer), col("D2_V", ColumnType::Integer)],
+        ),
+        5_000,
+        vec![
+            ColumnStats::uniform(5_000, 0.0, 5_000.0, 4),
+            ColumnStats::uniform(50, 0.0, 50.0, 4),
+        ],
+    );
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every random plan simulates to positive, finite, deterministic
+    /// runtimes; warm runs never cost more than cold ones.
+    #[test]
+    fn simulation_invariants(seed in 0u64..500, d1_pred in 0i64..100) {
+        let db = star_db();
+        let q = parse(
+            &db,
+            "q",
+            &format!(
+                "SELECT f_p FROM fact, d1, d2 \
+                 WHERE f_d = d1_k AND f_i = d2_k AND d1_v = {d1_pred}"
+            ),
+        )
+        .expect("parses");
+        let config = PlannerConfig::default();
+        let optimizer = Optimizer::with_config(&db, config);
+        let gen = optimizer.random_plans(&q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(plan) = gen.generate(&mut rng) else { return Ok(()) };
+
+        let sim = Simulator::new(&db);
+        let cold = sim.run(&plan, false);
+        let warm = sim.run(&plan, true);
+        prop_assert!(cold.elapsed_ms.is_finite() && cold.elapsed_ms > 0.0);
+        prop_assert!(warm.elapsed_ms.is_finite() && warm.elapsed_ms > 0.0);
+        prop_assert!(warm.elapsed_ms <= cold.elapsed_ms + 1e-9,
+            "warm {} > cold {}", warm.elapsed_ms, cold.elapsed_ms);
+        // Determinism.
+        let again = sim.run(&plan, false);
+        prop_assert_eq!(cold.elapsed_ms, again.elapsed_ms);
+        // Metric sanity.
+        prop_assert!(cold.metrics.bp_physical_reads <= cold.metrics.bp_logical_reads + 1e-9);
+        prop_assert!(cold.metrics.cpu_ms >= 0.0);
+        prop_assert!(cold.elapsed_ms + 1e-9 >= cold.metrics.cpu_ms);
+    }
+
+    /// Actual cardinalities are positive and identical across repeated
+    /// computation (pure function of plan + truth stats).
+    #[test]
+    fn actuals_are_stable(seed in 0u64..200) {
+        let db = star_db();
+        let q = parse(
+            &db,
+            "q",
+            "SELECT f_p FROM fact, d1 WHERE f_d = d1_k AND d1_v = 7",
+        )
+        .expect("parses");
+        let optimizer = Optimizer::new(&db);
+        let gen = optimizer.random_plans(&q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(plan) = gen.generate(&mut rng) else { return Ok(()) };
+        let a = crate::actuals::compute_actuals(&db, &plan);
+        let b = crate::actuals::compute_actuals(&db, &plan);
+        for (id, _) in plan.pops() {
+            prop_assert!(a.rows(id) > 0.0);
+            prop_assert_eq!(a.rows(id), b.rows(id));
+            prop_assert!(a.q_error(&plan, id) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,712 @@
+//! Plan enumeration: System-R dynamic programming over connected table
+//! sets with interesting orders, a greedy fallback for very large queries
+//! (TPC-DS reaches 31-way joins, where exhaustive DP is infeasible — real
+//! optimizers degrade the same way), access-path selection, and
+//! guideline-constrained planning.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use galo_catalog::{ColumnId, Database, IndexId};
+use galo_qgm::{GuidelineDoc, GuidelineNode, PopKind, Qgm};
+use galo_sql::{CardEstimator, ColRef, Query};
+
+use crate::cost::CostModel;
+
+/// How a base table is accessed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPath {
+    TbScan,
+    IxScan {
+        index: IndexId,
+        fetch: bool,
+        key_sel: f64,
+    },
+}
+
+/// Physical join method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMethod {
+    Nl,
+    Hs { bloom: bool },
+    Ms,
+}
+
+/// A physical plan node. Cost and cardinality are cumulative and fixed at
+/// construction, so subtrees can be shared (`Rc`) across the DP table.
+#[derive(Debug)]
+pub enum PhysPlan {
+    Access {
+        table_idx: usize,
+        path: AccessPath,
+        cost: f64,
+        card: f64,
+    },
+    Sort {
+        child: Rc<PhysPlan>,
+        key: ColRef,
+        cost: f64,
+        card: f64,
+    },
+    Join {
+        method: JoinMethod,
+        /// Join key pair: (outer-side column, inner-side column).
+        key: (ColRef, ColRef),
+        outer: Rc<PhysPlan>,
+        inner: Rc<PhysPlan>,
+        cost: f64,
+        card: f64,
+    },
+}
+
+impl PhysPlan {
+    pub fn cost(&self) -> f64 {
+        match self {
+            PhysPlan::Access { cost, .. }
+            | PhysPlan::Sort { cost, .. }
+            | PhysPlan::Join { cost, .. } => *cost,
+        }
+    }
+
+    pub fn card(&self) -> f64 {
+        match self {
+            PhysPlan::Access { card, .. }
+            | PhysPlan::Sort { card, .. }
+            | PhysPlan::Join { card, .. } => *card,
+        }
+    }
+}
+
+/// A DP candidate: a plan covering `set` with a known output order.
+#[derive(Debug, Clone)]
+pub struct Cand {
+    pub plan: Rc<PhysPlan>,
+    pub set: u64,
+    pub cost: f64,
+    pub card: f64,
+    pub order: Option<ColRef>,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Maximum number of units planned with exhaustive DP; larger queries
+    /// fall back to greedy pair merging.
+    pub dp_unit_limit: usize,
+    /// Whether the bloom-filter hash-join variant is considered by the
+    /// cost-based search. (It is always available to guidelines.)
+    pub enable_bloom: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            dp_unit_limit: 10,
+            enable_bloom: true,
+        }
+    }
+}
+
+/// Outcome of planning with a guideline document.
+#[derive(Debug, Clone, Default)]
+pub struct GuidelineOutcome {
+    /// Per guideline root: whether it was honored in the final plan.
+    pub honored: Vec<bool>,
+    /// Human-readable reasons for dropped guidelines.
+    pub notes: Vec<String>,
+}
+
+pub(crate) struct Planner<'a> {
+    db: &'a Database,
+    query: &'a Query,
+    pub est: CardEstimator,
+    cm: CostModel<'a>,
+    config: &'a PlannerConfig,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(db: &'a Database, query: &'a Query, config: &'a PlannerConfig) -> Self {
+        Planner {
+            db,
+            query,
+            est: CardEstimator::belief(db, query),
+            cm: CostModel::belief(db),
+            config,
+        }
+    }
+
+    // ---- access paths ----
+
+    /// Columns of instance `t` used anywhere in the query.
+    fn used_columns(&self, t: usize) -> Vec<ColumnId> {
+        let mut cols: Vec<ColumnId> = Vec::new();
+        let push = |c: ColumnId, cols: &mut Vec<ColumnId>| {
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        };
+        for j in &self.query.joins {
+            if j.left.table_idx == t {
+                push(j.left.column, &mut cols);
+            }
+            if j.right.table_idx == t {
+                push(j.right.column, &mut cols);
+            }
+        }
+        for l in &self.query.locals {
+            if l.col.table_idx == t {
+                push(l.col.column, &mut cols);
+            }
+        }
+        for p in &self.query.projections {
+            if p.table_idx == t {
+                push(p.column, &mut cols);
+            }
+        }
+        cols
+    }
+
+    /// All access-path candidates for one table instance, pruned to the
+    /// cost/order pareto frontier.
+    pub fn access_candidates(&self, t: usize) -> Vec<Cand> {
+        prune(self.access_candidates_raw(t))
+    }
+
+    /// All access-path candidates, unpruned (guideline resolution must see
+    /// dominated paths too — a guideline may legitimately force one).
+    pub fn access_candidates_raw(&self, t: usize) -> Vec<Cand> {
+        let table_id = self.query.tables[t].table;
+        let table = self.db.table(table_id);
+        let filtered = self.est.filtered_card(t);
+        let n_preds = self.query.locals_of(t).count();
+        let used = self.used_columns(t);
+
+        let mut cands = vec![Cand {
+            plan: Rc::new(PhysPlan::Access {
+                table_idx: t,
+                path: AccessPath::TbScan,
+                cost: self.cm.tbscan(table_id, n_preds),
+                card: filtered,
+            }),
+            set: 1 << t,
+            cost: self.cm.tbscan(table_id, n_preds),
+            card: filtered,
+            order: None,
+        }];
+
+        for (ix_id, ix) in table.indexes.iter().enumerate() {
+            let ix_id = IndexId(ix_id as u32);
+            if !used.contains(&ix.column) {
+                continue;
+            }
+            // Sargable fraction: local predicates on the index key.
+            let key_sel: f64 = self
+                .query
+                .locals_of(t)
+                .filter(|p| p.col.column == ix.column)
+                .map(|p| {
+                    galo_sql::local_selectivity(&self.db.belief, table_id, p, ix.column)
+                })
+                .product();
+            let fetch = used.iter().any(|&c| c != ix.column);
+            let residual = self
+                .query
+                .locals_of(t)
+                .filter(|p| p.col.column != ix.column)
+                .count();
+            let cost = self.cm.ixscan(table_id, ix_id, key_sel, fetch, residual);
+            let path = AccessPath::IxScan {
+                index: ix_id,
+                fetch,
+                key_sel,
+            };
+            cands.push(Cand {
+                plan: Rc::new(PhysPlan::Access {
+                    table_idx: t,
+                    path,
+                    cost,
+                    card: filtered,
+                }),
+                set: 1 << t,
+                cost,
+                card: filtered,
+                order: Some(ColRef {
+                    table_idx: t,
+                    column: ix.column,
+                }),
+            });
+        }
+        cands
+    }
+
+    // ---- join construction ----
+
+    /// Approximate row width of the join output over a table set.
+    fn width_of(&self, set: u64) -> f64 {
+        let mut w = 0.0;
+        for t in 0..self.query.tables.len() {
+            if set & (1 << t) != 0 {
+                w += (self.db.table(self.query.tables[t].table).row_size() as f64).min(64.0);
+            }
+        }
+        w.max(8.0)
+    }
+
+    /// Total belief pages under a table set (buffer-pool reasoning for
+    /// nested-loop rescans).
+    fn pages_of(&self, set: u64) -> f64 {
+        let mut p = 0.0;
+        for t in 0..self.query.tables.len() {
+            if set & (1 << t) != 0 {
+                p += self.db.belief.table(self.query.tables[t].table).pages as f64;
+            }
+        }
+        p
+    }
+
+    /// All join candidates combining `outer_cands` and `inner_cands`
+    /// (both orientations are produced by calling this twice).
+    pub fn join_candidates(&self, outer_cands: &[Cand], inner_cands: &[Cand]) -> Vec<Cand> {
+        let mut out = Vec::new();
+        let (Some(oc0), Some(ic0)) = (outer_cands.first(), inner_cands.first()) else {
+            return out;
+        };
+        let (os, is) = (oc0.set, ic0.set);
+        if !self.est.connected(os, is) {
+            return out;
+        }
+        let keys = self.est.join_keys_between(os, is);
+        let ((okt, okc), (ikt, ikc)) = keys[0];
+        let okey = ColRef { table_idx: okt, column: okc };
+        let ikey = ColRef { table_idx: ikt, column: ikc };
+        let set = os | is;
+        let card = self.est.join_card(set);
+
+        for oc in outer_cands {
+            for ic in inner_cands {
+                let match_frac = (card / oc.card.max(1.0)).min(1.0);
+
+                // Nested loop.
+                let nl_delta = self.nl_delta(oc, ic, card);
+                out.push(self.mk_join(JoinMethod::Nl, (okey, ikey), oc, ic, oc.cost + nl_delta, card, oc.order));
+
+                // Hash join (plain, and bloom when enabled).
+                let hs = oc.cost
+                    + ic.cost
+                    + self.cm.hsjoin(oc.card, ic.card, self.width_of(is), false, match_frac);
+                out.push(self.mk_join(JoinMethod::Hs { bloom: false }, (okey, ikey), oc, ic, hs, card, None));
+                if self.config.enable_bloom {
+                    let hsb = oc.cost
+                        + ic.cost
+                        + self.cm.hsjoin(oc.card, ic.card, self.width_of(is), true, match_frac);
+                    out.push(self.mk_join(JoinMethod::Hs { bloom: true }, (okey, ikey), oc, ic, hsb, card, None));
+                }
+
+                // Merge join: sort sides not already ordered on the key.
+                let (o_plan, o_cost) = self.sorted(oc, okey);
+                let (i_plan, i_cost) = self.sorted(ic, ikey);
+                let ms = o_cost + i_cost + self.cm.msjoin(oc.card, ic.card);
+                let plan = Rc::new(PhysPlan::Join {
+                    method: JoinMethod::Ms,
+                    key: (okey, ikey),
+                    outer: o_plan,
+                    inner: i_plan,
+                    cost: ms,
+                    card,
+                });
+                out.push(Cand {
+                    plan,
+                    set,
+                    cost: ms,
+                    card,
+                    order: Some(okey),
+                });
+            }
+        }
+        out
+    }
+
+    fn mk_join(
+        &self,
+        method: JoinMethod,
+        key: (ColRef, ColRef),
+        oc: &Cand,
+        ic: &Cand,
+        cost: f64,
+        card: f64,
+        order: Option<ColRef>,
+    ) -> Cand {
+        let plan = Rc::new(PhysPlan::Join {
+            method,
+            key,
+            outer: Rc::clone(&oc.plan),
+            inner: Rc::clone(&ic.plan),
+            cost,
+            card,
+        });
+        Cand {
+            plan,
+            set: oc.set | ic.set,
+            cost,
+            card,
+            order,
+        }
+    }
+
+    /// Nested-loop delta cost: index probes when the inner is an index
+    /// access on the join key; re-execution with buffer-pool discount
+    /// otherwise.
+    fn nl_delta(&self, oc: &Cand, ic: &Cand, join_card: f64) -> f64 {
+        let keys = self.est.join_keys_between(oc.set, ic.set);
+        if let PhysPlan::Access {
+            table_idx,
+            path: AccessPath::IxScan { index, fetch, .. },
+            ..
+        } = &*ic.plan
+        {
+            let on_join_key = keys.iter().any(|&(_, (it, icol))| {
+                it == *table_idx
+                    && self.db.table(self.query.tables[*table_idx].table).index(*index).column
+                        == icol
+            });
+            if on_join_key {
+                let per_probe = join_card / oc.card.max(1.0);
+                let table_id = self.query.tables[*table_idx].table;
+                return oc.card * self.cm.index_probe(table_id, *index, per_probe, *fetch);
+            }
+        }
+        self.cm
+            .nljoin_rescan(oc.card, ic.cost, self.pages_of(ic.set))
+    }
+
+    /// Wrap a candidate in a sort when it is not ordered on `key`.
+    fn sorted(&self, c: &Cand, key: ColRef) -> (Rc<PhysPlan>, f64) {
+        if c.order == Some(key) {
+            return (Rc::clone(&c.plan), c.cost);
+        }
+        let sort_cost = self.cm.sort(c.card, self.width_of(c.set));
+        let cost = c.cost + sort_cost;
+        (
+            Rc::new(PhysPlan::Sort {
+                child: Rc::clone(&c.plan),
+                key,
+                cost,
+                card: c.card,
+            }),
+            cost,
+        )
+    }
+
+    // ---- enumeration ----
+
+    /// Plan over an initial set of units (each unit: table set + candidate
+    /// list). Plain planning passes singletons; guideline planning passes
+    /// pre-built guideline units.
+    pub fn plan_units(&self, units: Vec<(u64, Vec<Cand>)>) -> Option<Cand> {
+        let n = units.len();
+        if n == 0 {
+            return None;
+        }
+        if n == 1 {
+            return units[0].1.iter().min_by(|a, b| cmp_cost(a, b)).cloned();
+        }
+        if n <= self.config.dp_unit_limit {
+            self.dp(units)
+        } else {
+            self.greedy(units)
+        }
+    }
+
+    fn dp(&self, units: Vec<(u64, Vec<Cand>)>) -> Option<Cand> {
+        let n = units.len();
+        let full: u64 = (1u64 << n) - 1;
+        let mut table: HashMap<u64, Vec<Cand>> = HashMap::new();
+        for (i, (_, cands)) in units.iter().enumerate() {
+            table.insert(1u64 << i, cands.clone());
+        }
+        // Subsets in increasing popcount order.
+        let mut masks: Vec<u64> = (1..=full).collect();
+        masks.sort_by_key(|m| m.count_ones());
+        for mask in masks {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let mut cands: Vec<Cand> = Vec::new();
+            // Enumerate proper submask splits; `sub` iterates all submasks.
+            let mut sub = (mask - 1) & mask;
+            while sub > 0 {
+                let other = mask & !sub;
+                if sub < other {
+                    if let (Some(a), Some(b)) = (table.get(&sub), table.get(&other)) {
+                        cands.extend(self.join_candidates(a, b));
+                        cands.extend(self.join_candidates(b, a));
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+            if !cands.is_empty() {
+                table.insert(mask, prune(cands));
+            }
+        }
+        table
+            .get(&full)
+            .and_then(|cands| cands.iter().min_by(|a, b| cmp_cost(a, b)).cloned())
+    }
+
+    fn greedy(&self, mut units: Vec<(u64, Vec<Cand>)>) -> Option<Cand> {
+        while units.len() > 1 {
+            let mut best: Option<(usize, usize, Vec<Cand>, f64)> = None;
+            for i in 0..units.len() {
+                for j in 0..units.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let (si, sj) = (units[i].0, units[j].0);
+                    if !self.est.connected(si, sj) {
+                        continue;
+                    }
+                    let mut cands = self.join_candidates(&units[i].1, &units[j].1);
+                    if cands.is_empty() {
+                        continue;
+                    }
+                    cands = prune(cands);
+                    let c = cands.iter().map(|c| c.cost).fold(f64::INFINITY, f64::min);
+                    if best.as_ref().is_none_or(|(_, _, _, bc)| c < *bc) {
+                        best = Some((i, j, cands, c));
+                    }
+                }
+            }
+            match best {
+                Some((i, j, cands, _)) => {
+                    let set = units[i].0 | units[j].0;
+                    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                    units.remove(hi);
+                    units.remove(lo);
+                    units.push((set, cands));
+                }
+                None => {
+                    // Disconnected query: cross-join the two smallest units
+                    // via a hash join on a synthetic TRUE predicate is not
+                    // in this fragment; treat as planning failure.
+                    return None;
+                }
+            }
+        }
+        units.pop()?.1.into_iter().min_by(|a, b| cmp_cost(a, b))
+    }
+
+    /// Plain cost-based plan.
+    pub fn plan(&self) -> Option<Cand> {
+        let units: Vec<(u64, Vec<Cand>)> = (0..self.query.tables.len())
+            .map(|t| (1u64 << t, self.access_candidates(t)))
+            .collect();
+        self.plan_units(units)
+    }
+
+    // ---- guidelines ----
+
+    /// Resolve a guideline tree into a candidate, or explain why it cannot
+    /// be honored.
+    pub fn guideline_cand(&self, node: &GuidelineNode) -> Result<Cand, String> {
+        match node {
+            GuidelineNode::TbScan { tabid } => {
+                let t = self.instance_of(tabid)?;
+                self.access_candidates_raw(t)
+                    .into_iter()
+                    .find(|c| {
+                        matches!(&*c.plan, PhysPlan::Access { path: AccessPath::TbScan, .. })
+                    })
+                    .ok_or_else(|| format!("no TBSCAN candidate for {tabid}"))
+            }
+            GuidelineNode::IxScan { tabid, index } => {
+                let t = self.instance_of(tabid)?;
+                let table = self.db.table(self.query.tables[t].table);
+                let cands = self.access_candidates_raw(t);
+                let found = cands.into_iter().find(|c| match &*c.plan {
+                    PhysPlan::Access {
+                        path: AccessPath::IxScan { index: ix, .. },
+                        ..
+                    } => match index {
+                        Some(name) => table.index(*ix).name.eq_ignore_ascii_case(name),
+                        None => true,
+                    },
+                    _ => false,
+                });
+                found.ok_or_else(|| {
+                    format!(
+                        "no usable index{} on table reference {tabid}",
+                        index
+                            .as_ref()
+                            .map(|n| format!(" '{n}'"))
+                            .unwrap_or_default()
+                    )
+                })
+            }
+            GuidelineNode::HsJoin(o, i) | GuidelineNode::MsJoin(o, i) | GuidelineNode::NlJoin(o, i) => {
+                let oc = self.guideline_cand(o)?;
+                let ic = self.guideline_cand(i)?;
+                if !self.est.connected(oc.set, ic.set) {
+                    return Err("guideline joins disconnected table references".into());
+                }
+                let wanted = match node {
+                    GuidelineNode::HsJoin(..) => JoinMethod::Hs { bloom: false },
+                    GuidelineNode::MsJoin(..) => JoinMethod::Ms,
+                    GuidelineNode::NlJoin(..) => JoinMethod::Nl,
+                    _ => unreachable!(),
+                };
+                let cands = self.join_candidates(
+                    std::slice::from_ref(&oc),
+                    std::slice::from_ref(&ic),
+                );
+                cands
+                    .into_iter()
+                    .filter(|c| match (&*c.plan, wanted) {
+                        (PhysPlan::Join { method: JoinMethod::Hs { .. }, .. }, JoinMethod::Hs { .. }) => true,
+                        (PhysPlan::Join { method, .. }, w) => *method == w,
+                        _ => false,
+                    })
+                    .min_by(|a, b| cmp_cost(a, b))
+                    .ok_or_else(|| "guideline join method not constructible".into())
+            }
+        }
+    }
+
+    fn instance_of(&self, tabid: &str) -> Result<usize, String> {
+        self.query
+            .tables
+            .iter()
+            .position(|t| t.qualifier.eq_ignore_ascii_case(tabid))
+            .or_else(|| {
+                // TABLE attribute alternative: match by base-table name if
+                // the reference is unambiguous.
+                let matches: Vec<usize> = self
+                    .query
+                    .tables
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| self.db.table(t.table).name.eq_ignore_ascii_case(tabid))
+                    .map(|(i, _)| i)
+                    .collect();
+                if matches.len() == 1 {
+                    Some(matches[0])
+                } else {
+                    None
+                }
+            })
+            .ok_or_else(|| format!("unknown table reference '{tabid}'"))
+    }
+
+    /// Plan under a guideline document. Guidelines that cannot be honored
+    /// (unknown references, missing indexes, overlap with an earlier
+    /// guideline) are dropped, exactly like DB2's behaviour described in
+    /// the paper's footnote 2.
+    pub fn plan_with_guidelines(&self, doc: &GuidelineDoc) -> (Option<Cand>, GuidelineOutcome) {
+        let mut outcome = GuidelineOutcome::default();
+        let mut units: Vec<(u64, Vec<Cand>)> = Vec::new();
+        let mut covered: u64 = 0;
+
+        for (gi, root) in doc.roots.iter().enumerate() {
+            match self.guideline_cand(root) {
+                Ok(cand) => {
+                    if cand.set & covered != 0 {
+                        outcome.honored.push(false);
+                        outcome
+                            .notes
+                            .push(format!("guideline #{gi} overlaps an earlier guideline"));
+                        continue;
+                    }
+                    covered |= cand.set;
+                    units.push((cand.set, vec![cand]));
+                    outcome.honored.push(true);
+                }
+                Err(reason) => {
+                    outcome.honored.push(false);
+                    outcome.notes.push(format!("guideline #{gi}: {reason}"));
+                }
+            }
+        }
+
+        for t in 0..self.query.tables.len() {
+            if covered & (1 << t) == 0 {
+                units.push((1 << t, self.access_candidates(t)));
+            }
+        }
+        (self.plan_units(units), outcome)
+    }
+}
+
+fn cmp_cost(a: &Cand, b: &Cand) -> std::cmp::Ordering {
+    a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+/// Pareto pruning: keep the cheapest candidate overall plus the cheapest
+/// per distinct output order (interesting orders).
+pub fn prune(mut cands: Vec<Cand>) -> Vec<Cand> {
+    cands.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    let mut kept: Vec<Cand> = Vec::new();
+    for c in cands {
+        let dominated = kept
+            .iter()
+            .any(|k| k.cost <= c.cost && (k.order == c.order || c.order.is_none()));
+        if !dominated {
+            kept.push(c);
+        }
+    }
+    kept
+}
+
+/// Convert a physical plan into a QGM.
+pub fn to_qgm(query: &Query, plan: &PhysPlan) -> Qgm {
+    let mut b = Qgm::builder(query.clone());
+    let top = emit(&mut b, plan);
+    b.finish(top)
+}
+
+fn emit(b: &mut galo_qgm::QgmBuilder, plan: &PhysPlan) -> galo_qgm::PopId {
+    match plan {
+        PhysPlan::Access {
+            table_idx,
+            path,
+            cost,
+            card,
+        } => {
+            let kind = match path {
+                AccessPath::TbScan => PopKind::TbScan { table: *table_idx },
+                AccessPath::IxScan { index, fetch, .. } => PopKind::IxScan {
+                    table: *table_idx,
+                    index: *index,
+                    fetch: *fetch,
+                },
+            };
+            b.add(kind, vec![], *card, *cost)
+        }
+        PhysPlan::Sort {
+            child,
+            key,
+            cost,
+            card,
+        } => {
+            let c = emit(b, child);
+            let id = b.add(PopKind::Sort { key: Some(*key) }, vec![c], *card, *cost);
+            b.set_order(id, Some(*key));
+            id
+        }
+        PhysPlan::Join {
+            method,
+            outer,
+            inner,
+            cost,
+            card,
+            ..
+        } => {
+            let o = emit(b, outer);
+            let i = emit(b, inner);
+            let kind = match method {
+                JoinMethod::Nl => PopKind::NlJoin,
+                JoinMethod::Hs { bloom } => PopKind::HsJoin { bloom: *bloom },
+                JoinMethod::Ms => PopKind::MsJoin,
+            };
+            b.add(kind, vec![o, i], *card, *cost)
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The query-rewrite stage — the first tier of DB2's two-stage optimizer.
+//!
+//! "Query rewrite applies well-known, well-tested transformations to an
+//! incoming query to 'simplify' it" (paper §1.2). For the conjunctive SPJ
+//! fragment the relevant transformations are:
+//!
+//! * **duplicate-predicate elimination** (identical join or local
+//!   predicates appear routinely in generated SQL);
+//! * **join-predicate transitive closure** (`a = b ∧ b = c ⇒ a = c`),
+//!   which gives the plan enumerator freedom to join any two tables of an
+//!   equivalence class directly;
+//! * **trivial contradiction flagging** (`x = 1 ∧ x = 2`), which real
+//!   rewrite engines use to short-circuit empty results.
+
+use std::collections::BTreeSet;
+
+use galo_sql::{ColRef, JoinPred, PredKind, Query};
+
+/// Result of the rewrite stage.
+#[derive(Debug, Clone)]
+pub struct RewriteReport {
+    /// Number of duplicate predicates removed.
+    pub duplicates_removed: usize,
+    /// Number of implied join predicates added by transitive closure.
+    pub implied_joins_added: usize,
+    /// Table instances with contradictory equality predicates.
+    pub contradictions: Vec<usize>,
+}
+
+/// Apply the rewrite stage, returning the rewritten query and a report.
+pub fn rewrite(query: &Query) -> (Query, RewriteReport) {
+    let mut q = query.clone();
+    let mut report = RewriteReport {
+        duplicates_removed: 0,
+        implied_joins_added: 0,
+        contradictions: Vec::new(),
+    };
+
+    // Duplicate join predicates (orientation-insensitive).
+    let mut seen: BTreeSet<((usize, u32), (usize, u32))> = BTreeSet::new();
+    let before = q.joins.len();
+    q.joins.retain(|j| {
+        let (a, b) = j.normalized();
+        seen.insert(((a.table_idx, a.column.0), (b.table_idx, b.column.0)))
+    });
+    report.duplicates_removed += before - q.joins.len();
+
+    // Duplicate local predicates.
+    let before = q.locals.len();
+    let mut kept: Vec<galo_sql::LocalPred> = Vec::new();
+    for p in q.locals.drain(..) {
+        if !kept.iter().any(|k| k.col == p.col && k.kind == p.kind) {
+            kept.push(p);
+        }
+    }
+    q.locals = kept;
+    report.duplicates_removed += before - q.locals.len();
+
+    // Transitive closure over join columns (union-find on ColRef nodes).
+    let mut nodes: Vec<ColRef> = Vec::new();
+    let mut parent: Vec<usize> = Vec::new();
+    let node_of = |nodes: &mut Vec<ColRef>, parent: &mut Vec<usize>, c: ColRef| -> usize {
+        match nodes.iter().position(|&n| n == c) {
+            Some(i) => i,
+            None => {
+                nodes.push(c);
+                parent.push(parent.len());
+                parent.len() - 1
+            }
+        }
+    };
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for j in &q.joins {
+        let a = node_of(&mut nodes, &mut parent, j.left);
+        let b = node_of(&mut nodes, &mut parent, j.right);
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    // For every pair of class members on *different* tables without a
+    // direct predicate, add the implied join.
+    let n_nodes = nodes.len();
+    for i in 0..n_nodes {
+        for k in (i + 1)..n_nodes {
+            if find(&mut parent, i) != find(&mut parent, k) {
+                continue;
+            }
+            let (a, b) = (nodes[i], nodes[k]);
+            if a.table_idx == b.table_idx {
+                continue;
+            }
+            let exists = q.joins.iter().any(|j| {
+                let (x, y) = j.normalized();
+                let (na, nb) = (JoinPred { left: a, right: b }).normalized();
+                x == na && y == nb
+            });
+            if !exists {
+                q.joins.push(JoinPred { left: a, right: b });
+                report.implied_joins_added += 1;
+            }
+        }
+    }
+
+    // Contradictory equality constants on one column.
+    for t in 0..q.tables.len() {
+        let eqs: Vec<_> = q
+            .locals
+            .iter()
+            .filter(|p| p.col.table_idx == t)
+            .filter_map(|p| match &p.kind {
+                PredKind::Cmp(galo_sql::CmpOp::Eq, v) => Some((p.col.column, v.clone())),
+                _ => None,
+            })
+            .collect();
+        for i in 0..eqs.len() {
+            for k in (i + 1)..eqs.len() {
+                if eqs[i].0 == eqs[k].0 && eqs[i].1 != eqs[k].1 {
+                    report.contradictions.push(t);
+                }
+            }
+        }
+    }
+    report.contradictions.dedup();
+
+    (q, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galo_catalog::{col, ColumnStats, ColumnType, Database, DatabaseBuilder, SystemConfig, Table};
+    use galo_sql::parse;
+
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new("rw", SystemConfig::default_1gb());
+        for name in ["A", "B", "C"] {
+            b.add_table(
+                Table::new(
+                    name,
+                    vec![col(&format!("{name}_K"), ColumnType::Integer), col(&format!("{name}_V"), ColumnType::Integer)],
+                ),
+                1000,
+                vec![
+                    ColumnStats::uniform(1000, 0.0, 1000.0, 4),
+                    ColumnStats::uniform(100, 0.0, 100.0, 4),
+                ],
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn transitive_closure_adds_implied_join() {
+        let db = db();
+        let q = parse(&db, "t", "SELECT a_v FROM a, b, c WHERE a_k = b_k AND b_k = c_k").unwrap();
+        let (rw, report) = rewrite(&q);
+        assert_eq!(report.implied_joins_added, 1);
+        assert_eq!(rw.joins.len(), 3);
+        // The new edge connects A and C.
+        assert!(rw
+            .joins
+            .iter()
+            .any(|j| { let (x, y) = j.normalized(); x.table_idx == 0 && y.table_idx == 2 }));
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let db = db();
+        let q = parse(
+            &db,
+            "t",
+            "SELECT a_v FROM a, b WHERE a_k = b_k AND b_k = a_k AND a_v = 5 AND a_v = 5",
+        )
+        .unwrap();
+        let (rw, report) = rewrite(&q);
+        assert_eq!(rw.joins.len(), 1);
+        assert_eq!(rw.locals.len(), 1);
+        assert_eq!(report.duplicates_removed, 2);
+    }
+
+    #[test]
+    fn contradictions_are_flagged() {
+        let db = db();
+        let q = parse(&db, "t", "SELECT a_v FROM a WHERE a_v = 1 AND a_v = 2").unwrap();
+        let (_, report) = rewrite(&q);
+        assert_eq!(report.contradictions, vec![0]);
+    }
+
+    #[test]
+    fn clean_query_unchanged() {
+        let db = db();
+        let q = parse(&db, "t", "SELECT a_v FROM a, b WHERE a_k = b_k AND a_v = 5").unwrap();
+        let (rw, report) = rewrite(&q);
+        assert_eq!(rw.joins.len(), q.joins.len());
+        assert_eq!(rw.locals.len(), q.locals.len());
+        assert_eq!(report.duplicates_removed, 0);
+        assert_eq!(report.implied_joins_added, 0);
+        assert!(report.contradictions.is_empty());
+    }
+}

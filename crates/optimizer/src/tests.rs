@@ -1,0 +1,407 @@
+//! Crate-level optimizer tests over a small star schema.
+
+use galo_catalog::{
+    col, ColumnId, ColumnStats, ColumnType, Database, DatabaseBuilder, Index, SystemConfig, Table,
+};
+use galo_qgm::{GuidelineDoc, GuidelineNode, PopKind};
+use galo_sql::parse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Optimizer, OptimizeError, PlannerConfig};
+
+/// Star schema: SALES fact (2.88M) with DATE_DIM, ITEM, STORE dimensions.
+fn star_db() -> Database {
+    let mut b = DatabaseBuilder::new("star", SystemConfig::default_1gb());
+    let mut sales = Table::new(
+        "SALES",
+        vec![
+            col("S_DATE_SK", ColumnType::Integer),
+            col("S_ITEM_SK", ColumnType::Integer),
+            col("S_STORE_SK", ColumnType::Integer),
+            col("S_PRICE", ColumnType::Decimal),
+        ],
+    );
+    sales.add_index(Index {
+        name: "S_DATE_IX".into(),
+        column: ColumnId(0),
+        unique: false,
+        cluster_ratio: 0.9,
+    });
+    sales.add_index(Index {
+        name: "S_ITEM_IX".into(),
+        column: ColumnId(1),
+        unique: false,
+        cluster_ratio: 0.1,
+    });
+    b.add_table(
+        sales,
+        2_880_400,
+        vec![
+            ColumnStats::uniform(73_049, 0.0, 73_049.0, 4),
+            ColumnStats::uniform(18_000, 0.0, 18_000.0, 4),
+            ColumnStats::uniform(12, 0.0, 12.0, 4),
+            ColumnStats::uniform(100_000, 0.0, 1_000.0, 8),
+        ],
+    );
+    let mut dates = Table::new(
+        "DATE_DIM",
+        vec![
+            col("D_DATE_SK", ColumnType::Integer),
+            col("D_YEAR", ColumnType::Integer),
+        ],
+    );
+    dates.add_index(Index {
+        name: "D_DATE_SK_IX".into(),
+        column: ColumnId(0),
+        unique: true,
+        cluster_ratio: 0.99,
+    });
+    b.add_table(
+        dates,
+        73_049,
+        vec![
+            ColumnStats::uniform(73_049, 0.0, 73_049.0, 4),
+            ColumnStats::uniform(200, 1900.0, 2100.0, 4),
+        ],
+    );
+    let mut item = Table::new(
+        "ITEM",
+        vec![
+            col("I_ITEM_SK", ColumnType::Integer),
+            col("I_CATEGORY", ColumnType::Varchar(50)),
+        ],
+    );
+    item.add_index(Index {
+        name: "I_ITEM_SK_IX".into(),
+        column: ColumnId(0),
+        unique: true,
+        cluster_ratio: 0.99,
+    });
+    b.add_table(
+        item,
+        18_000,
+        vec![
+            ColumnStats::uniform(18_000, 0.0, 18_000.0, 4),
+            ColumnStats::uniform(10, 0.0, 1e6, 25),
+        ],
+    );
+    b.add_table(
+        Table::new("STORE", vec![col("ST_STORE_SK", ColumnType::Integer)]),
+        12,
+        vec![ColumnStats::uniform(12, 0.0, 12.0, 4)],
+    );
+    b.build()
+}
+
+fn star_query(db: &Database) -> galo_sql::Query {
+    parse(
+        db,
+        "star3",
+        "SELECT s_price FROM sales, date_dim, item \
+         WHERE s_date_sk = d_date_sk AND s_item_sk = i_item_sk \
+         AND d_year = 2000 AND i_category = 'Jewelry'",
+    )
+    .unwrap()
+}
+
+#[test]
+fn plan_covers_every_table_exactly_once() {
+    let db = star_db();
+    let q = star_query(&db);
+    let plan = Optimizer::new(&db).optimize(&q).unwrap();
+    let mut tables = plan.tables_under(plan.root());
+    tables.sort_unstable();
+    assert_eq!(tables, vec![0, 1, 2]);
+    assert_eq!(plan.join_count(plan.root()), 2);
+}
+
+#[test]
+fn estimated_cardinality_propagates_to_return() {
+    let db = star_db();
+    let q = star_query(&db);
+    let plan = Optimizer::new(&db).optimize(&q).unwrap();
+    let root = plan.pop(plan.root());
+    assert!(matches!(root.kind, PopKind::Return));
+    // d_year=2000 keeps 1/200, i_category keeps ~1/10 of sales.
+    let expect = 2_880_400.0 / 200.0 / 10.0;
+    assert!(
+        (root.est_card / expect - 1.0).abs() < 0.5,
+        "est {} vs expected {expect}",
+        root.est_card
+    );
+}
+
+#[test]
+fn empty_query_is_rejected() {
+    let db = star_db();
+    let q = galo_sql::Query {
+        name: "empty".into(),
+        tables: vec![],
+        joins: vec![],
+        locals: vec![],
+        projections: vec![],
+    };
+    assert_eq!(
+        Optimizer::new(&db).optimize(&q).unwrap_err(),
+        OptimizeError::EmptyQuery
+    );
+}
+
+#[test]
+fn disconnected_query_is_rejected() {
+    let db = star_db();
+    let q = parse(&db, "cross", "SELECT s_price FROM sales, store").unwrap();
+    assert_eq!(
+        Optimizer::new(&db).optimize(&q).unwrap_err(),
+        OptimizeError::DisconnectedJoinGraph
+    );
+}
+
+#[test]
+fn single_table_selective_predicate_uses_index() {
+    let db = star_db();
+    let q = parse(
+        &db,
+        "point",
+        "SELECT s_price FROM sales WHERE s_date_sk = 12345",
+    )
+    .unwrap();
+    let plan = Optimizer::new(&db).optimize(&q).unwrap();
+    let fp = plan.plan_fingerprint();
+    assert!(fp.contains("IXSCAN"), "expected index access, got {fp}");
+}
+
+#[test]
+fn single_table_no_predicate_uses_table_scan() {
+    let db = star_db();
+    let q = parse(&db, "all", "SELECT s_price FROM sales").unwrap();
+    let plan = Optimizer::new(&db).optimize(&q).unwrap();
+    assert!(plan.plan_fingerprint().contains("TBSCAN"));
+}
+
+#[test]
+fn guideline_forces_join_method_and_order() {
+    let db = star_db();
+    let q = star_query(&db);
+    let opt = Optimizer::new(&db);
+    let baseline = opt.optimize(&q).unwrap();
+
+    // Force: HSJOIN(HSJOIN(TBSCAN(Q3=item), TBSCAN(Q1=sales)), TBSCAN(Q2=date_dim)).
+    let doc = GuidelineDoc::new(vec![GuidelineNode::HsJoin(
+        Box::new(GuidelineNode::HsJoin(
+            Box::new(GuidelineNode::TbScan { tabid: "Q3".into() }),
+            Box::new(GuidelineNode::TbScan { tabid: "Q1".into() }),
+        )),
+        Box::new(GuidelineNode::TbScan { tabid: "Q2".into() }),
+    )]);
+    let reopt = opt.optimize_with_guidelines(&q, &doc).unwrap();
+    assert_eq!(reopt.outcome.honored, vec![true]);
+    let fp = reopt.qgm.plan_fingerprint();
+    // The guided shape: item(2) outer of sales(0), then date_dim(1) inner.
+    assert!(
+        fp.contains("HSJOIN(HSJOIN(TBSCAN[2],TBSCAN[0]),TBSCAN[1])"),
+        "guideline not honored: {fp}"
+    );
+    assert_ne!(baseline.plan_fingerprint(), fp);
+}
+
+#[test]
+fn msjoin_guideline_inserts_sorts() {
+    let db = star_db();
+    let q = parse(
+        &db,
+        "two",
+        "SELECT s_price FROM sales, item WHERE s_item_sk = i_item_sk",
+    )
+    .unwrap();
+    let doc = GuidelineDoc::new(vec![GuidelineNode::MsJoin(
+        Box::new(GuidelineNode::TbScan { tabid: "Q1".into() }),
+        Box::new(GuidelineNode::TbScan { tabid: "Q2".into() }),
+    )]);
+    let reopt = Optimizer::new(&db).optimize_with_guidelines(&q, &doc).unwrap();
+    assert_eq!(reopt.outcome.honored, vec![true]);
+    let sorts = reopt
+        .qgm
+        .pops()
+        .filter(|(_, p)| matches!(p.kind, PopKind::Sort { .. }))
+        .count();
+    assert_eq!(sorts, 2, "table scans are unsorted; MSJOIN needs two sorts");
+}
+
+#[test]
+fn infeasible_guideline_is_dropped() {
+    let db = star_db();
+    let q = star_query(&db);
+    let doc = GuidelineDoc::new(vec![GuidelineNode::IxScan {
+        tabid: "Q99".into(),
+        index: None,
+    }]);
+    let reopt = Optimizer::new(&db).optimize_with_guidelines(&q, &doc).unwrap();
+    assert_eq!(reopt.outcome.honored, vec![false]);
+    assert!(reopt.outcome.notes[0].contains("Q99"));
+    // Planning proceeds cost-based.
+    assert_eq!(reopt.qgm.join_count(reopt.qgm.root()), 2);
+}
+
+#[test]
+fn overlapping_guidelines_honor_first_only() {
+    let db = star_db();
+    let q = star_query(&db);
+    let g1 = GuidelineNode::HsJoin(
+        Box::new(GuidelineNode::TbScan { tabid: "Q1".into() }),
+        Box::new(GuidelineNode::TbScan { tabid: "Q2".into() }),
+    );
+    let g2 = GuidelineNode::MsJoin(
+        Box::new(GuidelineNode::TbScan { tabid: "Q1".into() }),
+        Box::new(GuidelineNode::TbScan { tabid: "Q3".into() }),
+    );
+    let doc = GuidelineDoc::new(vec![g1, g2]);
+    let reopt = Optimizer::new(&db).optimize_with_guidelines(&q, &doc).unwrap();
+    assert_eq!(reopt.outcome.honored, vec![true, false]);
+    assert!(reopt.outcome.notes[0].contains("overlap"));
+}
+
+#[test]
+fn named_index_guideline_resolves_by_name() {
+    let db = star_db();
+    let q = parse(
+        &db,
+        "two",
+        "SELECT s_price FROM sales, date_dim WHERE s_date_sk = d_date_sk AND d_year = 2000",
+    )
+    .unwrap();
+    let doc = GuidelineDoc::new(vec![GuidelineNode::NlJoin(
+        Box::new(GuidelineNode::TbScan { tabid: "Q2".into() }),
+        Box::new(GuidelineNode::IxScan {
+            tabid: "Q1".into(),
+            index: Some("S_DATE_IX".into()),
+        }),
+    )]);
+    let reopt = Optimizer::new(&db).optimize_with_guidelines(&q, &doc).unwrap();
+    assert_eq!(reopt.outcome.honored, vec![true]);
+    assert!(reopt.qgm.plan_fingerprint().contains("NLJOIN"));
+}
+
+#[test]
+fn random_plans_are_valid_and_distinct() {
+    let db = star_db();
+    let q = star_query(&db);
+    let opt = Optimizer::new(&db);
+    let gen = opt.random_plans(&q);
+    let mut rng = StdRng::seed_from_u64(42);
+    let plans = gen.generate_distinct(8, &mut rng);
+    assert!(plans.len() >= 3, "expected several distinct plans");
+    let mut fps = std::collections::BTreeSet::new();
+    for p in &plans {
+        let mut tables = p.tables_under(p.root());
+        tables.sort_unstable();
+        assert_eq!(tables, vec![0, 1, 2], "plan must cover all tables once");
+        assert_eq!(p.join_count(p.root()), 2);
+        assert!(fps.insert(p.plan_fingerprint()), "duplicate plan emitted");
+    }
+}
+
+#[test]
+fn random_generation_is_seed_deterministic() {
+    let db = star_db();
+    let q = star_query(&db);
+    let opt = Optimizer::new(&db);
+    let gen = opt.random_plans(&q);
+    let a: Vec<String> = gen
+        .generate_distinct(5, &mut StdRng::seed_from_u64(7))
+        .iter()
+        .map(|p| p.plan_fingerprint())
+        .collect();
+    let b: Vec<String> = gen
+        .generate_distinct(5, &mut StdRng::seed_from_u64(7))
+        .iter()
+        .map(|p| p.plan_fingerprint())
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn dp_cost_not_worse_than_random_plans() {
+    let db = star_db();
+    let q = star_query(&db);
+    let opt = Optimizer::new(&db);
+    let best = opt.optimize(&q).unwrap();
+    let gen = opt.random_plans(&q);
+    let mut rng = StdRng::seed_from_u64(3);
+    for p in gen.generate_distinct(10, &mut rng) {
+        assert!(
+            best.est_cost() <= p.est_cost() * 1.0001,
+            "DP cost {} beaten by random plan cost {}",
+            best.est_cost(),
+            p.est_cost()
+        );
+    }
+}
+
+#[test]
+fn greedy_handles_wide_chain_queries() {
+    // A 16-way chain query exceeds the DP unit limit and exercises greedy.
+    let mut b = DatabaseBuilder::new("chain", SystemConfig::default_1gb());
+    for i in 0..16 {
+        b.add_table(
+            Table::new(
+                format!("T{i}"),
+                vec![
+                    col(&format!("T{i}_A"), ColumnType::Integer),
+                    col(&format!("T{i}_B"), ColumnType::Integer),
+                ],
+            ),
+            10_000 + i as u64 * 1000,
+            vec![
+                ColumnStats::uniform(5_000, 0.0, 5_000.0, 4),
+                ColumnStats::uniform(5_000, 0.0, 5_000.0, 4),
+            ],
+        );
+    }
+    let db = b.build();
+    let mut sql = String::from("SELECT t0_a FROM ");
+    sql.push_str(&(0..16).map(|i| format!("t{i}")).collect::<Vec<_>>().join(", "));
+    sql.push_str(" WHERE ");
+    sql.push_str(
+        &(0..15)
+            .map(|i| format!("t{i}_b = t{}_a", i + 1))
+            .collect::<Vec<_>>()
+            .join(" AND "),
+    );
+    let q = parse(&db, "chain16", &sql).unwrap();
+    let plan = Optimizer::new(&db).optimize(&q).unwrap();
+    let mut tables = plan.tables_under(plan.root());
+    tables.sort_unstable();
+    assert_eq!(tables, (0..16).collect::<Vec<_>>());
+    assert_eq!(plan.join_count(plan.root()), 15);
+}
+
+#[test]
+fn dp_and_greedy_agree_on_coverage() {
+    let db = star_db();
+    let q = star_query(&db);
+    let dp_plan = Optimizer::new(&db).optimize(&q).unwrap();
+    let greedy_opt = Optimizer::with_config(
+        &db,
+        PlannerConfig {
+            dp_unit_limit: 1,
+            enable_bloom: true,
+        },
+    );
+    let greedy_plan = greedy_opt.optimize(&q).unwrap();
+    assert_eq!(
+        {
+            let mut t = dp_plan.tables_under(dp_plan.root());
+            t.sort_unstable();
+            t
+        },
+        {
+            let mut t = greedy_plan.tables_under(greedy_plan.root());
+            t.sort_unstable();
+            t
+        }
+    );
+    // Greedy cannot beat DP.
+    assert!(greedy_plan.est_cost() >= dp_plan.est_cost() * 0.9999);
+}

@@ -1,0 +1,191 @@
+//! db2exfmt-style detailed plan explanation.
+//!
+//! "A QGM can be read as a diagnostic file as produced by the IBM DB2
+//! optimizer … Each LOLEPOP is described in detailed textual blocks
+//! identified by ID" (paper §3.1). This module renders that diagnostic
+//! format: the plan tree followed by one detail block per operator, with
+//! estimated properties and — when supplied — actual runtime cardinalities
+//! (the estimated-vs-actual discrepancies are what experts grep for, and
+//! what GALO automates away).
+
+use std::collections::HashMap;
+
+use galo_catalog::Database;
+
+use crate::plan::{PopId, PopKind, Qgm};
+
+/// Optional per-operator actual cardinalities (keyed by display id).
+pub type ActualCards = HashMap<u32, f64>;
+
+/// Render a full diagnostic explanation of a plan.
+pub fn explain(db: &Database, qgm: &Qgm, actuals: Option<&ActualCards>) -> String {
+    let mut out = String::new();
+    out.push_str("Access Plan:\n-----------\n");
+    out.push_str(&qgm.render(db));
+    out.push_str("\nOperator Details:\n-----------------\n");
+
+    let mut pops: Vec<PopId> = qgm.pops().map(|(id, _)| id).collect();
+    pops.sort_by_key(|&id| qgm.pop(id).op_id);
+    for id in pops {
+        out.push_str(&detail_block(db, qgm, id, actuals));
+        out.push('\n');
+    }
+    out
+}
+
+fn detail_block(db: &Database, qgm: &Qgm, id: PopId, actuals: Option<&ActualCards>) -> String {
+    let pop = qgm.pop(id);
+    let mut block = format!("\t{})  {}: (", pop.op_id, pop.kind.name());
+    block.push_str(match &pop.kind {
+        PopKind::Return => "Return of data to application",
+        PopKind::TbScan { .. } => "Relation scan",
+        PopKind::IxScan { fetch: true, .. } => "Index scan with row fetch",
+        PopKind::IxScan { fetch: false, .. } => "Index-only access",
+        PopKind::NlJoin => "Nested-loop join",
+        PopKind::HsJoin { bloom: true } => "Hash join with bloom filter",
+        PopKind::HsJoin { bloom: false } => "Hash join",
+        PopKind::MsJoin => "Merge-scan join",
+        PopKind::Sort { .. } => "Sort",
+        PopKind::Filter => "Residual predicate application",
+    });
+    block.push_str(")\n");
+    block.push_str(&format!("\t\tCumulative Cost:\t\t{:.6}\n", pop.est_cost));
+    block.push_str(&format!(
+        "\t\tEstimated Cardinality:\t\t{:.6e}\n",
+        pop.est_card
+    ));
+    if let Some(actuals) = actuals {
+        if let Some(actual) = actuals.get(&pop.op_id) {
+            let q_err = {
+                let (e, a) = (pop.est_card.max(1e-6), actual.max(1e-6));
+                (e / a).max(a / e)
+            };
+            block.push_str(&format!("\t\tActual Cardinality:\t\t{actual:.6e}\n"));
+            block.push_str(&format!("\t\tEstimation Q-Error:\t\t{q_err:.2}\n"));
+        }
+    }
+    if let Some(t) = pop.kind.scan_table() {
+        let tref = &qgm.query.tables[t];
+        let table = db.table(tref.table);
+        let stats = db.belief.table(tref.table);
+        block.push_str(&format!(
+            "\t\tTable Name:\t\t\t{} ({})\n",
+            table.name, tref.qualifier
+        ));
+        block.push_str(&format!("\t\tTable Cardinality:\t\t{}\n", stats.row_count));
+        block.push_str(&format!("\t\tFPages:\t\t\t\t{}\n", stats.pages));
+        block.push_str(&format!("\t\tRow Size:\t\t\t{}\n", stats.row_size));
+        if let PopKind::IxScan { index, .. } = &pop.kind {
+            let ix = table.index(*index);
+            block.push_str(&format!("\t\tIndex Name:\t\t\t{}\n", ix.name));
+            block.push_str(&format!(
+                "\t\tCluster Ratio:\t\t\t{:.2}\n",
+                ix.cluster_ratio
+            ));
+        }
+    }
+    if !pop.inputs.is_empty() {
+        let ids: Vec<String> = pop
+            .inputs
+            .iter()
+            .map(|&c| qgm.pop(c).op_id.to_string())
+            .collect();
+        block.push_str(&format!("\t\tInput Streams:\t\t\t{}\n", ids.join(", ")));
+    }
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galo_catalog::{
+        col, ColumnStats, ColumnType, DatabaseBuilder, Index, SystemConfig, Table,
+    };
+    use galo_catalog::ColumnId;
+    use galo_sql::{Query, TableRef};
+    use galo_catalog::TableId;
+    use crate::plan::Qgm;
+
+    fn fixture() -> (Database, Qgm) {
+        let mut b = DatabaseBuilder::new("ex", SystemConfig::default_1gb());
+        let mut t = Table::new(
+            "SALES",
+            vec![col("S_K", ColumnType::Integer), col("S_V", ColumnType::Decimal)],
+        );
+        t.add_index(Index {
+            name: "S_K_IX".into(),
+            column: ColumnId(0),
+            unique: false,
+            cluster_ratio: 0.42,
+        });
+        b.add_table(
+            t,
+            10_000,
+            vec![
+                ColumnStats::uniform(100, 0.0, 100.0, 4),
+                ColumnStats::uniform(1_000, 0.0, 1e3, 8),
+            ],
+        );
+        b.add_table(
+            Table::new("D", vec![col("D_K", ColumnType::Integer)]),
+            100,
+            vec![ColumnStats::uniform(100, 0.0, 100.0, 4)],
+        );
+        let db = b.build();
+        let query = Query {
+            name: "ex".into(),
+            tables: vec![
+                TableRef { table: TableId(0), qualifier: "Q1".into() },
+                TableRef { table: TableId(1), qualifier: "Q2".into() },
+            ],
+            joins: vec![],
+            locals: vec![],
+            projections: vec![],
+        };
+        let mut builder = Qgm::builder(query);
+        let s = builder.add(
+            PopKind::IxScan { table: 0, index: galo_catalog::IndexId(0), fetch: true },
+            vec![],
+            150.0,
+            12.5,
+        );
+        let d = builder.add(PopKind::TbScan { table: 1 }, vec![], 100.0, 1.0);
+        let j = builder.add(PopKind::HsJoin { bloom: true }, vec![s, d], 150.0, 20.0);
+        (db, builder.finish(j))
+    }
+
+    #[test]
+    fn explain_contains_every_operator_block() {
+        let (db, plan) = fixture();
+        let text = explain(&db, &plan, None);
+        for (_, pop) in plan.pops() {
+            assert!(
+                text.contains(&format!("\t{})  {}", pop.op_id, pop.kind.name())),
+                "missing block for op {}",
+                pop.op_id
+            );
+        }
+        assert!(text.contains("Hash join with bloom filter"));
+        assert!(text.contains("Index Name:\t\t\tS_K_IX"));
+        assert!(text.contains("Cluster Ratio:\t\t\t0.42"));
+    }
+
+    #[test]
+    fn explain_reports_q_error_with_actuals() {
+        let (db, plan) = fixture();
+        let mut actuals = ActualCards::new();
+        for (_, pop) in plan.pops() {
+            actuals.insert(pop.op_id, pop.est_card * 25.0);
+        }
+        let text = explain(&db, &plan, Some(&actuals));
+        assert!(text.contains("Actual Cardinality"));
+        assert!(text.contains("Estimation Q-Error:\t\t25.00"));
+    }
+
+    #[test]
+    fn explain_without_actuals_omits_them() {
+        let (db, plan) = fixture();
+        let text = explain(&db, &plan, None);
+        assert!(!text.contains("Actual Cardinality"));
+    }
+}

@@ -1,0 +1,474 @@
+//! OPTGUIDELINES documents.
+//!
+//! "IBM took a different approach: a guideline document (written in XML)
+//! can be submitted with a query to the optimizer" (paper §1.1). A
+//! guideline constrains join methods, join order (by element nesting —
+//! first child is the outer input, second the inner) and access methods for
+//! the table references it names; everything left unspecified remains
+//! cost-based, and a guideline that no longer applies within the evolving
+//! plan is dropped (paper footnote 2).
+//!
+//! The XML dialect matches the paper's Figure 5.
+
+use std::fmt;
+
+/// A node in a guideline tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuidelineNode {
+    /// Hash join: `[outer, inner]`.
+    HsJoin(Box<GuidelineNode>, Box<GuidelineNode>),
+    /// Merge join.
+    MsJoin(Box<GuidelineNode>, Box<GuidelineNode>),
+    /// Nested-loop join.
+    NlJoin(Box<GuidelineNode>, Box<GuidelineNode>),
+    /// Sequential access to a table reference (`TABID` = instance
+    /// qualifier from the QGM).
+    TbScan { tabid: String },
+    /// Index access to a table reference; `index` optionally names the
+    /// desired index (`INDEX` attribute in Figure 5).
+    IxScan {
+        tabid: String,
+        index: Option<String>,
+    },
+}
+
+impl GuidelineNode {
+    /// XML element name.
+    pub fn element_name(&self) -> &'static str {
+        match self {
+            GuidelineNode::HsJoin(..) => "HSJOIN",
+            GuidelineNode::MsJoin(..) => "MSJOIN",
+            GuidelineNode::NlJoin(..) => "NLJOIN",
+            GuidelineNode::TbScan { .. } => "TBSCAN",
+            GuidelineNode::IxScan { .. } => "IXSCAN",
+        }
+    }
+
+    /// Table references (TABIDs) mentioned in this subtree, leftmost first.
+    pub fn tabids(&self) -> Vec<&str> {
+        match self {
+            GuidelineNode::HsJoin(o, i)
+            | GuidelineNode::MsJoin(o, i)
+            | GuidelineNode::NlJoin(o, i) => {
+                let mut v = o.tabids();
+                v.extend(i.tabids());
+                v
+            }
+            GuidelineNode::TbScan { tabid } | GuidelineNode::IxScan { tabid, .. } => {
+                vec![tabid.as_str()]
+            }
+        }
+    }
+
+    /// Number of join elements in this subtree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            GuidelineNode::HsJoin(o, i)
+            | GuidelineNode::MsJoin(o, i)
+            | GuidelineNode::NlJoin(o, i) => 1 + o.join_count() + i.join_count(),
+            _ => 0,
+        }
+    }
+
+    /// Rewrite every TABID through `map` (used when instantiating an
+    /// abstract template against a concrete query's qualifiers).
+    pub fn map_tabids(&self, map: &dyn Fn(&str) -> String) -> GuidelineNode {
+        match self {
+            GuidelineNode::HsJoin(o, i) => GuidelineNode::HsJoin(
+                Box::new(o.map_tabids(map)),
+                Box::new(i.map_tabids(map)),
+            ),
+            GuidelineNode::MsJoin(o, i) => GuidelineNode::MsJoin(
+                Box::new(o.map_tabids(map)),
+                Box::new(i.map_tabids(map)),
+            ),
+            GuidelineNode::NlJoin(o, i) => GuidelineNode::NlJoin(
+                Box::new(o.map_tabids(map)),
+                Box::new(i.map_tabids(map)),
+            ),
+            GuidelineNode::TbScan { tabid } => GuidelineNode::TbScan { tabid: map(tabid) },
+            GuidelineNode::IxScan { tabid, index } => GuidelineNode::IxScan {
+                tabid: map(tabid),
+                index: index.clone(),
+            },
+        }
+    }
+
+    fn write_xml(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            GuidelineNode::HsJoin(o, i)
+            | GuidelineNode::MsJoin(o, i)
+            | GuidelineNode::NlJoin(o, i) => {
+                out.push_str(&format!("{pad}<{}>\n", self.element_name()));
+                o.write_xml(depth + 1, out);
+                i.write_xml(depth + 1, out);
+                out.push_str(&format!("{pad}</{}>\n", self.element_name()));
+            }
+            GuidelineNode::TbScan { tabid } => {
+                out.push_str(&format!("{pad}<TBSCAN TABID='{tabid}'/>\n"));
+            }
+            GuidelineNode::IxScan { tabid, index } => match index {
+                Some(ix) => out.push_str(&format!(
+                    "{pad}<IXSCAN TABID='{tabid}' INDEX='\"{ix}\"'/>\n"
+                )),
+                None => out.push_str(&format!("{pad}<IXSCAN TABID='{tabid}'/>\n")),
+            },
+        }
+    }
+}
+
+/// A guideline document: one or more independent guideline trees under
+/// `<OPTGUIDELINES>`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GuidelineDoc {
+    pub roots: Vec<GuidelineNode>,
+}
+
+impl GuidelineDoc {
+    pub fn new(roots: Vec<GuidelineNode>) -> Self {
+        GuidelineDoc { roots }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Serialize as OPTGUIDELINES XML (the format of the paper's Figure 5).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<OPTGUIDELINES>\n");
+        for root in &self.roots {
+            root.write_xml(1, &mut out);
+        }
+        out.push_str("</OPTGUIDELINES>\n");
+        out
+    }
+
+    /// Parse an OPTGUIDELINES XML document.
+    pub fn parse_xml(text: &str) -> Result<Self, GuidelineParseError> {
+        let mut parser = XmlParser::new(text);
+        parser.expect_open("OPTGUIDELINES")?;
+        let mut roots = Vec::new();
+        loop {
+            match parser.peek_tag()? {
+                Tag::Close(name) if name == "OPTGUIDELINES" => {
+                    parser.next_tag()?;
+                    break;
+                }
+                _ => roots.push(parse_node(&mut parser)?),
+            }
+        }
+        Ok(GuidelineDoc { roots })
+    }
+}
+
+impl fmt::Display for GuidelineDoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+/// Error from guideline XML parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuidelineParseError(pub String);
+
+impl fmt::Display for GuidelineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "guideline parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for GuidelineParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tag {
+    Open(String, Vec<(String, String)>),
+    SelfClosing(String, Vec<(String, String)>),
+    Close(String),
+}
+
+/// Minimal XML tag reader sufficient for the OPTGUIDELINES dialect: tags,
+/// attributes with single- or double-quoted values, self-closing elements.
+/// Text content and comments are not part of the dialect.
+struct XmlParser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    peeked: Option<Tag>,
+    _text: &'a str,
+}
+
+impl<'a> XmlParser<'a> {
+    fn new(text: &'a str) -> Self {
+        XmlParser {
+            chars: text.chars().collect(),
+            pos: 0,
+            peeked: None,
+            _text: text,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GuidelineParseError {
+        GuidelineParseError(format!("{} (at char {})", msg.into(), self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_tag(&mut self) -> Result<Tag, GuidelineParseError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.read_tag()?);
+        }
+        Ok(self.peeked.clone().unwrap())
+    }
+
+    fn next_tag(&mut self) -> Result<Tag, GuidelineParseError> {
+        if let Some(t) = self.peeked.take() {
+            return Ok(t);
+        }
+        self.read_tag()
+    }
+
+    fn read_tag(&mut self) -> Result<Tag, GuidelineParseError> {
+        self.skip_ws();
+        if self.chars.get(self.pos) != Some(&'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let closing = self.chars.get(self.pos) == Some(&'/');
+        if closing {
+            self.pos += 1;
+        }
+        let name = self.read_name()?;
+        if closing {
+            self.skip_ws();
+            if self.chars.get(self.pos) != Some(&'>') {
+                return Err(self.err("expected '>' after closing tag"));
+            }
+            self.pos += 1;
+            return Ok(Tag::Close(name));
+        }
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.chars.get(self.pos) {
+                Some('>') => {
+                    self.pos += 1;
+                    return Ok(Tag::Open(name, attrs));
+                }
+                Some('/') => {
+                    self.pos += 1;
+                    if self.chars.get(self.pos) != Some(&'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(Tag::SelfClosing(name, attrs));
+                }
+                Some(_) => {
+                    let key = self.read_name()?;
+                    self.skip_ws();
+                    if self.chars.get(self.pos) != Some(&'=') {
+                        return Err(self.err(format!("expected '=' after attribute '{key}'")));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.chars.get(self.pos) {
+                        Some(&q @ ('\'' | '"')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.chars.len() && self.chars[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.chars.len() {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let value: String = self.chars[start..self.pos].iter().collect();
+                    self.pos += 1;
+                    attrs.push((key, value));
+                }
+                None => return Err(self.err("unexpected end of document")),
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, GuidelineParseError> {
+        let start = self.pos;
+        while self
+            .pos
+            .lt(&self.chars.len())
+            .then(|| self.chars[self.pos])
+            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '-')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected name"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn expect_open(&mut self, name: &str) -> Result<(), GuidelineParseError> {
+        match self.next_tag()? {
+            Tag::Open(n, _) if n == name => Ok(()),
+            other => Err(self.err(format!("expected <{name}>, found {other:?}"))),
+        }
+    }
+}
+
+fn attr(attrs: &[(String, String)], key: &str) -> Option<String> {
+    attrs
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(key))
+        .map(|(_, v)| v.trim_matches('"').to_string())
+}
+
+fn parse_node(parser: &mut XmlParser<'_>) -> Result<GuidelineNode, GuidelineParseError> {
+    match parser.next_tag()? {
+        Tag::SelfClosing(name, attrs) => {
+            let tabid = attr(&attrs, "TABID")
+                .or_else(|| attr(&attrs, "TABLE"))
+                .ok_or_else(|| {
+                    GuidelineParseError(format!("<{name}> requires a TABID or TABLE attribute"))
+                })?;
+            match name.to_ascii_uppercase().as_str() {
+                "TBSCAN" => Ok(GuidelineNode::TbScan { tabid }),
+                "IXSCAN" => Ok(GuidelineNode::IxScan {
+                    tabid,
+                    index: attr(&attrs, "INDEX"),
+                }),
+                other => Err(GuidelineParseError(format!(
+                    "unexpected self-closing element <{other}>"
+                ))),
+            }
+        }
+        Tag::Open(name, _) => {
+            let outer = parse_node(parser)?;
+            let inner = parse_node(parser)?;
+            match parser.next_tag()? {
+                Tag::Close(n) if n == name => {}
+                other => {
+                    return Err(GuidelineParseError(format!(
+                        "expected </{name}>, found {other:?}"
+                    )))
+                }
+            }
+            match name.to_ascii_uppercase().as_str() {
+                "HSJOIN" => Ok(GuidelineNode::HsJoin(Box::new(outer), Box::new(inner))),
+                "MSJOIN" => Ok(GuidelineNode::MsJoin(Box::new(outer), Box::new(inner))),
+                "NLJOIN" => Ok(GuidelineNode::NlJoin(Box::new(outer), Box::new(inner))),
+                other => Err(GuidelineParseError(format!(
+                    "unknown join element <{other}>"
+                ))),
+            }
+        }
+        Tag::Close(name) => Err(GuidelineParseError(format!(
+            "unexpected closing tag </{name}>"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact structure of the paper's Figure 5.
+    fn figure5() -> GuidelineDoc {
+        GuidelineDoc::new(vec![GuidelineNode::HsJoin(
+            Box::new(GuidelineNode::HsJoin(
+                Box::new(GuidelineNode::TbScan { tabid: "Q2".into() }),
+                Box::new(GuidelineNode::HsJoin(
+                    Box::new(GuidelineNode::TbScan { tabid: "Q4".into() }),
+                    Box::new(GuidelineNode::TbScan { tabid: "Q1".into() }),
+                )),
+            )),
+            Box::new(GuidelineNode::IxScan {
+                tabid: "Q3".into(),
+                index: Some("D_DATE_SK".into()),
+            }),
+        )])
+    }
+
+    #[test]
+    fn figure5_xml_shape() {
+        let xml = figure5().to_xml();
+        assert!(xml.starts_with("<OPTGUIDELINES>"));
+        assert!(xml.contains("<TBSCAN TABID='Q2'/>"));
+        assert!(xml.contains("<IXSCAN TABID='Q3' INDEX='\"D_DATE_SK\"'/>"));
+        assert_eq!(xml.matches("<HSJOIN>").count(), 3);
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let doc = figure5();
+        let parsed = GuidelineDoc::parse_xml(&doc.to_xml()).unwrap();
+        assert_eq!(doc, parsed);
+    }
+
+    #[test]
+    fn parse_paper_figure5_verbatim() {
+        let text = r#"
+            <OPTGUIDELINES>
+              <HSJOIN>
+                <HSJOIN>
+                  <TBSCAN TABID='Q2'/>
+                  <HSJOIN>
+                    <TBSCAN TABID='Q4'/>
+                    <TBSCAN TABID='Q1'/>
+                  </HSJOIN>
+                </HSJOIN>
+                <IXSCAN TABID='Q3' INDEX='"D_DATE_SK"'/>
+              </HSJOIN>
+            </OPTGUIDELINES>"#;
+        let doc = GuidelineDoc::parse_xml(text).unwrap();
+        assert_eq!(doc, figure5());
+    }
+
+    #[test]
+    fn tabids_in_leftmost_order() {
+        let doc = figure5();
+        assert_eq!(doc.roots[0].tabids(), vec!["Q2", "Q4", "Q1", "Q3"]);
+        assert_eq!(doc.roots[0].join_count(), 3);
+    }
+
+    #[test]
+    fn table_attribute_accepted_as_alternative() {
+        let text = "<OPTGUIDELINES><TBSCAN TABLE='MYSCHEMA.SALES'/></OPTGUIDELINES>";
+        let doc = GuidelineDoc::parse_xml(text).unwrap();
+        assert_eq!(
+            doc.roots[0],
+            GuidelineNode::TbScan { tabid: "MYSCHEMA.SALES".into() }
+        );
+    }
+
+    #[test]
+    fn map_tabids_rewrites_all_references() {
+        let doc = figure5();
+        let mapped = doc.roots[0].map_tabids(&|t| format!("X{t}"));
+        assert_eq!(mapped.tabids(), vec!["XQ2", "XQ4", "XQ1", "XQ3"]);
+    }
+
+    #[test]
+    fn join_requires_two_children() {
+        let text = "<OPTGUIDELINES><HSJOIN><TBSCAN TABID='Q1'/></HSJOIN></OPTGUIDELINES>";
+        assert!(GuidelineDoc::parse_xml(text).is_err());
+    }
+
+    #[test]
+    fn missing_tabid_rejected() {
+        let text = "<OPTGUIDELINES><TBSCAN/></OPTGUIDELINES>";
+        let e = GuidelineDoc::parse_xml(text).unwrap_err();
+        assert!(e.0.contains("TABID"));
+    }
+
+    #[test]
+    fn empty_doc_roundtrip() {
+        let doc = GuidelineDoc::default();
+        assert!(doc.is_empty());
+        let parsed = GuidelineDoc::parse_xml(&doc.to_xml()).unwrap();
+        assert!(parsed.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # galo-rdf
+//!
+//! The knowledge-base substrate of the GALO reproduction: an in-memory RDF
+//! triple store with SPO/POS/OSP indexes ([`TripleStore`]), N-Triples
+//! persistence, a SPARQL subset (basic graph patterns, FILTER expressions,
+//! property paths, `INSERT DATA`/`DELETE WHERE`) and a Fuseki-like
+//! concurrent endpoint ([`FusekiLite`]).
+//!
+//! This replaces Apache Jena + Fuseki in the paper's architecture; see
+//! DESIGN.md for the substitution argument.
+
+pub mod ntriples;
+pub mod server;
+pub mod sparql;
+pub mod store;
+pub mod term;
+
+pub use ntriples::{from_ntriples, load_ntriples, to_ntriples, NtParseError};
+pub use server::{FusekiLite, ServerError};
+pub use sparql::{
+    apply_update, evaluate, parse_select, parse_update, ResultSet, SelectQuery, SparqlParseError,
+    Update,
+};
+pub use store::{Triple, TripleStore};
+pub use term::{Interner, Literal, Term, TermId};
+
+#[cfg(test)]
+mod proptests;

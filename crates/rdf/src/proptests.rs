@@ -1,0 +1,174 @@
+//! Property-based tests for the RDF substrate: store index consistency,
+//! N-Triples round-trips and SPARQL evaluation invariants.
+
+use proptest::prelude::*;
+
+use crate::ntriples::{from_ntriples, to_ntriples};
+use crate::sparql::{evaluate, parse_select};
+use crate::store::TripleStore;
+use crate::term::Term;
+
+fn arb_iri() -> impl Strategy<Value = Term> {
+    "[a-z]{1,6}(/[a-z0-9]{1,4}){0,2}".prop_map(|p| Term::iri(format!("http://t/{p}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        // Printable text including characters that need escaping.
+        "[ -~]{0,12}".prop_map(Term::lit),
+        any::<i32>().prop_map(|n| Term::lit(n.to_string())),
+        (any::<f32>().prop_filter("finite", |f| f.is_finite()))
+            .prop_map(|f| Term::lit(format!("{f}"))),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = (Term, Term, Term)> {
+    (
+        arb_iri(),
+        arb_iri(),
+        prop_oneof![arb_iri(), arb_literal()],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert/remove keeps all three indexes consistent; scans agree.
+    #[test]
+    fn store_indexes_stay_consistent(
+        triples in prop::collection::vec(arb_triple(), 1..40),
+        remove_mask in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &triples {
+            store.insert(s.clone(), p.clone(), o.clone());
+        }
+        for ((s, p, o), rm) in triples.iter().zip(remove_mask.iter().cycle()) {
+            if *rm {
+                store.remove(s, p, o);
+            }
+        }
+        // Every remaining triple is findable through all access patterns.
+        let all: Vec<_> = store
+            .iter_terms()
+            .map(|(s, p, o)| (s.clone(), p.clone(), o.clone()))
+            .collect();
+        prop_assert_eq!(all.len(), store.len());
+        for (s, p, o) in &all {
+            prop_assert!(store.contains(s, p, o));
+            let (si, pi, oi) = (
+                store.term_id(s).expect("interned"),
+                store.term_id(p).expect("interned"),
+                store.term_id(o).expect("interned"),
+            );
+            prop_assert_eq!(store.scan(Some(si), Some(pi), None).iter()
+                .filter(|t| t.2 == oi).count(), 1);
+            prop_assert_eq!(store.scan(None, Some(pi), Some(oi)).iter()
+                .filter(|t| t.0 == si).count(), 1);
+            prop_assert_eq!(store.scan(Some(si), None, Some(oi)).iter()
+                .filter(|t| t.1 == pi).count(), 1);
+        }
+    }
+
+    /// N-Triples serialization round-trips arbitrary stores.
+    #[test]
+    fn ntriples_roundtrip(triples in prop::collection::vec(arb_triple(), 0..30)) {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &triples {
+            store.insert(s.clone(), p.clone(), o.clone());
+        }
+        let text = to_ntriples(&store);
+        let back = from_ntriples(&text).expect("own output parses");
+        prop_assert_eq!(back.len(), store.len());
+        for (s, p, o) in store.iter_terms() {
+            prop_assert!(back.contains(s, p, o), "lost {s} {p} {o}");
+        }
+    }
+
+    /// A `SELECT ?s ?o WHERE {{ ?s <p> ?o }}` query returns exactly the
+    /// triples stored under that predicate.
+    #[test]
+    fn bgp_single_pattern_is_exact(
+        triples in prop::collection::vec(arb_triple(), 1..30),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &triples {
+            store.insert(s.clone(), p.clone(), o.clone());
+        }
+        let (_, pred, _) = &triples[pick.index(triples.len())];
+        let expected = store
+            .iter_terms()
+            .filter(|(_, p, _)| *p == pred)
+            .count();
+        let q = parse_select(&format!(
+            "SELECT ?s ?o WHERE {{ ?s <{}> ?o . }}",
+            pred.str_value()
+        ))
+        .expect("query parses");
+        let rs = evaluate(&store, &q);
+        prop_assert_eq!(rs.len(), expected);
+    }
+
+    /// DISTINCT never increases the row count and is idempotent.
+    #[test]
+    fn distinct_is_contractive(triples in prop::collection::vec(arb_triple(), 1..30)) {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &triples {
+            store.insert(s.clone(), p.clone(), o.clone());
+        }
+        let plain = evaluate(
+            &store,
+            &parse_select("SELECT ?p WHERE { ?s ?x ?o . }").map_or_else(
+                |_| parse_select("SELECT ?s WHERE { ?s <http://t/q> ?o . }").expect("parses"),
+                |q| q,
+            ),
+        );
+        let _ = plain;
+        // Use a concrete predicate from the data for a meaningful check.
+        let pred = triples[0].1.str_value().to_string();
+        let q1 = parse_select(&format!("SELECT ?s WHERE {{ ?s <{pred}> ?o . }}")).expect("q");
+        let q2 =
+            parse_select(&format!("SELECT DISTINCT ?s WHERE {{ ?s <{pred}> ?o . }}")).expect("q");
+        let all = evaluate(&store, &q1);
+        let distinct = evaluate(&store, &q2);
+        prop_assert!(distinct.len() <= all.len());
+        let rerun = evaluate(&store, &q2);
+        prop_assert_eq!(distinct.len(), rerun.len());
+    }
+
+    /// Property-path `+` results equal the transitive closure computed by
+    /// a reference BFS.
+    #[test]
+    fn plus_path_equals_reference_closure(
+        edges in prop::collection::vec((0u8..12, 0u8..12), 1..25),
+        start in 0u8..12,
+    ) {
+        let mut store = TripleStore::new();
+        let node = |n: u8| Term::iri(format!("http://n/{n}"));
+        for (a, b) in &edges {
+            store.insert(node(*a), Term::iri("http://p/next"), node(*b));
+        }
+        // Reference BFS.
+        let mut reach = std::collections::BTreeSet::new();
+        let mut queue = vec![start];
+        let mut visited = std::collections::BTreeSet::new();
+        while let Some(cur) = queue.pop() {
+            if !visited.insert(cur) {
+                continue;
+            }
+            for (a, b) in &edges {
+                if *a == cur {
+                    reach.insert(*b);
+                    queue.push(*b);
+                }
+            }
+        }
+        let q = parse_select(&format!(
+            "SELECT ?x WHERE {{ <http://n/{start}> <http://p/next>+ ?x . }}"
+        ))
+        .expect("q");
+        let rs = evaluate(&store, &q);
+        prop_assert_eq!(rs.len(), reach.len());
+    }
+}

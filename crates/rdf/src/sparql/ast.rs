@@ -1,0 +1,153 @@
+//! SPARQL abstract syntax — the subset GALO generates and evaluates.
+//!
+//! The matching engine emits queries of the shape in the paper's Figure 6:
+//! a `SELECT` over result handlers, a basic graph pattern of triple
+//! patterns (including `hasOutputStream` relationship handlers and, for
+//! loosely-connected operators, property paths `p+`), and `FILTER`
+//! constraints on internal handlers. Updates cover `INSERT DATA` and
+//! `DELETE WHERE`, which is what knowledge-base maintenance needs.
+
+use crate::term::Term;
+
+/// Subject/object position: a variable or a ground term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermPattern {
+    Var(String),
+    Ground(Term),
+}
+
+impl TermPattern {
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Ground(_) => None,
+        }
+    }
+}
+
+/// Predicate position: a plain IRI or a property path over one IRI.
+/// `Plus` is one-or-more steps, `Star` zero-or-more — the "recursive path
+/// matching" SPARQL 1.1 feature the paper relies on (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathPattern {
+    Direct(Term),
+    Plus(Term),
+    Star(Term),
+}
+
+impl PathPattern {
+    pub fn iri(&self) -> &Term {
+        match self {
+            PathPattern::Direct(t) | PathPattern::Plus(t) | PathPattern::Star(t) => t,
+        }
+    }
+}
+
+/// One triple pattern in a basic graph pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriplePattern {
+    pub subject: TermPattern,
+    pub path: PathPattern,
+    pub object: TermPattern,
+}
+
+/// Comparison operators in FILTER expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// FILTER expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Var(String),
+    Const(Term),
+    /// `STR(expr)` — lexical form.
+    Str(Box<Expr>),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Variables referenced anywhere in the expression.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Var(v) => out.push(v),
+            Expr::Const(_) => {}
+            Expr::Str(e) | Expr::Not(e) => e.collect_vars(out),
+            Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    pub distinct: bool,
+    /// Projected variables; empty means `SELECT *`.
+    pub vars: Vec<String>,
+    pub patterns: Vec<TriplePattern>,
+    pub filters: Vec<Expr>,
+    pub order_by: Option<String>,
+    pub limit: Option<usize>,
+}
+
+/// An update request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// `INSERT DATA { ground triples }`
+    InsertData(Vec<(Term, Term, Term)>),
+    /// `DELETE WHERE { patterns }` — removes every binding of the pattern.
+    DeleteWhere(Vec<TriplePattern>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_variables_are_collected_in_order() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp(
+                CmpOp::Le,
+                Box::new(Expr::Var("ih1".into())),
+                Box::new(Expr::Const(Term::lit("8"))),
+            )),
+            Box::new(Expr::Cmp(
+                CmpOp::Gt,
+                Box::new(Expr::Str(Box::new(Expr::Var("pop_6".into())))),
+                Box::new(Expr::Str(Box::new(Expr::Var("pop_8".into())))),
+            )),
+        );
+        assert_eq!(e.variables(), vec!["ih1", "pop_6", "pop_8"]);
+    }
+
+    #[test]
+    fn path_iri_access() {
+        let t = Term::iri("http://p");
+        assert_eq!(PathPattern::Plus(t.clone()).iri(), &t);
+        assert_eq!(PathPattern::Direct(t.clone()).iri(), &t);
+    }
+
+    #[test]
+    fn term_pattern_var_accessor() {
+        assert_eq!(TermPattern::Var("x".into()).as_var(), Some("x"));
+        assert_eq!(TermPattern::Ground(Term::lit("v")).as_var(), None);
+    }
+}

@@ -1,0 +1,269 @@
+//! The triple store: interned triples with SPO/POS/OSP indexes.
+
+use std::collections::BTreeSet;
+
+use crate::term::{Interner, Term, TermId};
+
+/// A ground triple of interned terms.
+pub type Triple = (TermId, TermId, TermId);
+
+/// In-memory triple store. Three B-tree indexes cover every single- and
+/// two-term access pattern the SPARQL evaluator produces.
+#[derive(Debug, Default, Clone)]
+pub struct TripleStore {
+    interner: Interner,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl TripleStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term (public so callers can pre-intern query constants).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    /// Id of a term if it has ever been interned.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// Resolve an id back to its term.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Insert a triple of terms. Returns true if it was new.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.intern(s);
+        let p = self.intern(p);
+        let o = self.intern(o);
+        self.insert_ids((s, p, o))
+    }
+
+    /// Insert an already-interned triple.
+    pub fn insert_ids(&mut self, (s, p, o): Triple) -> bool {
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Remove a triple. Returns true if it was present.
+    pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(s),
+            self.interner.get(p),
+            self.interner.get(o),
+        ) else {
+            return false;
+        };
+        self.remove_ids((s, p, o))
+    }
+
+    /// Remove an interned triple.
+    pub fn remove_ids(&mut self, (s, p, o): Triple) -> bool {
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// True if the ground triple is present.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (
+            self.interner.get(s),
+            self.interner.get(p),
+            self.interner.get(o),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Iterate matching triples for a pattern where `None` is a wildcard.
+    /// Chooses the index with the longest bound prefix.
+    pub fn scan(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        const MIN: TermId = TermId(0);
+        const MAX: TermId = TermId(u32::MAX);
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![(s, p, o)]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s, p, MIN)..=(s, p, MAX))
+                .copied()
+                .collect(),
+            (Some(s), None, None) => self
+                .spo
+                .range((s, MIN, MIN)..=(s, MAX, MAX))
+                .copied()
+                .collect(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .range((o, s, MIN)..=(o, s, MAX))
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (None, Some(p), Some(o)) => self
+                .pos
+                .range((p, o, MIN)..=(p, o, MAX))
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, Some(p), None) => self
+                .pos
+                .range((p, MIN, MIN)..=(p, MAX, MAX))
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o, MIN, MIN)..=(o, MAX, MAX))
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (None, None, None) => self.spo.iter().copied().collect(),
+        }
+    }
+
+    /// Count matches without materializing (used by the evaluator's
+    /// pattern-ordering heuristic).
+    pub fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        const MIN: TermId = TermId(0);
+        const MAX: TermId = TermId(u32::MAX);
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s, p, o))),
+            (Some(s), Some(p), None) => self.spo.range((s, p, MIN)..=(s, p, MAX)).count(),
+            (Some(s), None, None) => self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)).count(),
+            (Some(s), None, Some(o)) => self.osp.range((o, s, MIN)..=(o, s, MAX)).count(),
+            (None, Some(p), Some(o)) => self.pos.range((p, o, MIN)..=(p, o, MAX)).count(),
+            (None, Some(p), None) => self.pos.range((p, MIN, MIN)..=(p, MAX, MAX)).count(),
+            (None, None, Some(o)) => self.osp.range((o, MIN, MIN)..=(o, MAX, MAX)).count(),
+            (None, None, None) => self.spo.len(),
+        }
+    }
+
+    /// All triples in SPO order, resolved to terms.
+    pub fn iter_terms(&self) -> impl Iterator<Item = (&Term, &Term, &Term)> {
+        self.spo
+            .iter()
+            .map(move |&(s, p, o)| (self.resolve(s), self.resolve(p), self.resolve(o)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(n: u32) -> Term {
+        Term::iri(format!("http://galo/qep/pop/{n}"))
+    }
+
+    fn prop(name: &str) -> Term {
+        Term::iri(format!("http://galo/qep/property/{name}"))
+    }
+
+    fn paper_store() -> TripleStore {
+        // The triples from paper §3.1.
+        let mut st = TripleStore::new();
+        st.insert(pop(2), prop("hasPopType"), Term::lit("NLJOIN"));
+        st.insert(pop(2), prop("hasEstimateCardinality"), Term::lit("2949250"));
+        st.insert(pop(2), prop("hasOuterInputStream"), pop(3));
+        st.insert(pop(3), prop("hasOutputStream"), pop(2));
+        st
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut st = paper_store();
+        assert_eq!(st.len(), 4);
+        assert!(!st.insert(pop(2), prop("hasPopType"), Term::lit("NLJOIN")));
+        assert_eq!(st.len(), 4);
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut st = paper_store();
+        assert!(st.contains(&pop(2), &prop("hasPopType"), &Term::lit("NLJOIN")));
+        assert!(st.remove(&pop(2), &prop("hasPopType"), &Term::lit("NLJOIN")));
+        assert!(!st.contains(&pop(2), &prop("hasPopType"), &Term::lit("NLJOIN")));
+        assert!(!st.remove(&pop(2), &prop("hasPopType"), &Term::lit("NLJOIN")));
+        assert_eq!(st.len(), 3);
+    }
+
+    #[test]
+    fn scan_all_access_patterns() {
+        let st = paper_store();
+        let s = st.term_id(&pop(2));
+        let p = st.term_id(&prop("hasOuterInputStream"));
+        let o = st.term_id(&pop(3));
+        // s p o
+        assert_eq!(st.scan(s, p, o).len(), 1);
+        // s p ?
+        assert_eq!(st.scan(s, p, None).len(), 1);
+        // s ? ?
+        assert_eq!(st.scan(s, None, None).len(), 3);
+        // ? p o
+        assert_eq!(st.scan(None, p, o).len(), 1);
+        // ? p ?
+        assert_eq!(st.scan(None, p, None).len(), 1);
+        // ? ? o
+        assert_eq!(st.scan(None, None, o).len(), 1);
+        // s ? o
+        assert_eq!(st.scan(s, None, o).len(), 1);
+        // ? ? ?
+        assert_eq!(st.scan(None, None, None).len(), 4);
+    }
+
+    #[test]
+    fn scan_with_unknown_term_is_empty() {
+        let st = paper_store();
+        assert!(st.term_id(&pop(99)).is_none());
+        // A pattern whose constant was never interned matches nothing;
+        // callers check term_id first, but a fresh id must also be safe.
+        assert_eq!(st.scan(Some(TermId(9999)), None, None).len(), 0);
+    }
+
+    #[test]
+    fn indexes_stay_consistent_under_churn() {
+        let mut st = TripleStore::new();
+        for i in 0..100u32 {
+            st.insert(pop(i), prop("hasOutputStream"), pop(i + 1));
+        }
+        for i in (0..100u32).step_by(2) {
+            st.remove(&pop(i), &prop("hasOutputStream"), &pop(i + 1));
+        }
+        assert_eq!(st.len(), 50);
+        let p = st.term_id(&prop("hasOutputStream"));
+        assert_eq!(st.scan(None, p, None).len(), 50);
+        // Every remaining triple reachable from all three index shapes.
+        for (s, _, o) in st.scan(None, p, None) {
+            assert_eq!(st.scan(Some(s), p, Some(o)).len(), 1);
+            assert_eq!(st.scan(Some(s), None, Some(o)).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! RDF terms and interning.
+//!
+//! The knowledge base holds millions of triples during routinization runs
+//! (Exp-4: 1,000 problem patterns), so terms are interned once into
+//! [`TermId`]s and triples are stored as integer tuples.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An RDF term: IRI, literal, or blank node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Iri(String),
+    Literal(Literal),
+    Blank(String),
+}
+
+/// A literal with its lexical form. The numeric interpretation is computed
+/// once at construction, since FILTER comparisons in the matching engine
+/// are the hot path.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    pub lexical: String,
+    numeric: Option<f64>,
+}
+
+impl Literal {
+    pub fn new(lexical: impl Into<String>) -> Self {
+        let lexical = lexical.into();
+        let numeric = lexical.trim().parse::<f64>().ok();
+        Literal { lexical, numeric }
+    }
+
+    /// Numeric value when the lexical form parses as a number (SPARQL's
+    /// numeric coercion, restricted to doubles).
+    pub fn as_number(&self) -> Option<f64> {
+        self.numeric
+    }
+}
+
+impl PartialEq for Literal {
+    fn eq(&self, other: &Self) -> bool {
+        self.lexical == other.lexical
+    }
+}
+impl Eq for Literal {}
+impl std::hash::Hash for Literal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.lexical.hash(state);
+    }
+}
+impl PartialOrd for Literal {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Literal {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.lexical.cmp(&other.lexical)
+    }
+}
+
+impl Term {
+    pub fn iri(s: impl Into<String>) -> Term {
+        Term::Iri(s.into())
+    }
+
+    pub fn lit(s: impl Into<String>) -> Term {
+        Term::Literal(Literal::new(s))
+    }
+
+    pub fn num(n: f64) -> Term {
+        // Integral values serialize without the trailing `.0`, matching the
+        // paper's examples ("2949250").
+        if n.fract() == 0.0 && n.abs() < 9.0e15 {
+            Term::Literal(Literal::new(format!("{}", n as i64)))
+        } else {
+            Term::Literal(Literal::new(format!("{n}")))
+        }
+    }
+
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// SPARQL `STR()`: the lexical form for literals, the IRI text for
+    /// IRIs, the label for blank nodes.
+    pub fn str_value(&self) -> &str {
+        match self {
+            Term::Iri(s) => s,
+            Term::Literal(l) => &l.lexical,
+            Term::Blank(b) => b,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    /// N-Triples surface form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Literal(l) => write!(
+                f,
+                "\"{}\"",
+                l.lexical
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+                    .replace('\t', "\\t")
+            ),
+            Term::Blank(b) => write!(f, "_:{b}"),
+        }
+    }
+}
+
+/// Interned term identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// Term interner: bidirectional map between [`Term`]s and [`TermId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    terms: Vec<Term>,
+    map: HashMap<Term, TermId>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its id (stable for the lifetime of the
+    /// interner).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.map.get(&term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.clone());
+        self.map.insert(term, id);
+        id
+    }
+
+    /// Look up a term's id without interning.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.map.get(term).copied()
+    }
+
+    /// Resolve an id back to its term.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern(Term::iri("http://galo/qep/pop/2"));
+        let b = i.intern(Term::iri("http://galo/qep/pop/2"));
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.resolve(a).as_iri(), Some("http://galo/qep/pop/2"));
+    }
+
+    #[test]
+    fn literal_numeric_interpretation() {
+        assert_eq!(Literal::new("2949250").as_number(), Some(2949250.0));
+        assert_eq!(Literal::new("13.1688").as_number(), Some(13.1688));
+        assert_eq!(Literal::new("1.441e+06").as_number(), Some(1_441_000.0));
+        assert_eq!(Literal::new("NLJOIN").as_number(), None);
+    }
+
+    #[test]
+    fn num_formats_integers_without_fraction() {
+        assert_eq!(Term::num(2949250.0).str_value(), "2949250");
+        assert_eq!(Term::num(13.1688).str_value(), "13.1688");
+    }
+
+    #[test]
+    fn literal_equality_is_lexical() {
+        // "1.0" and "1" are numerically equal but lexically distinct terms.
+        assert_ne!(Term::lit("1.0"), Term::lit("1"));
+        assert_eq!(Term::lit("HSJOIN"), Term::lit("HSJOIN"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("http://x/y").to_string(), "<http://x/y>");
+        assert_eq!(Term::lit("a \"b\"").to_string(), "\"a \\\"b\\\"\"");
+        assert_eq!(Term::Blank("b0".into()).to_string(), "_:b0");
+    }
+
+    #[test]
+    fn str_value_matches_sparql_str_semantics() {
+        assert_eq!(Term::iri("http://x").str_value(), "http://x");
+        assert_eq!(Term::lit("42").str_value(), "42");
+    }
+}

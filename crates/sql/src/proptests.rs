@@ -1,0 +1,141 @@
+//! Property-based tests for the SQL layer: parser round-trips over
+//! generated queries and sub-query projection invariants.
+
+use proptest::prelude::*;
+
+use galo_catalog::{col, ColumnStats, ColumnType, Database, DatabaseBuilder, SystemConfig, Table};
+
+use crate::ast::{CmpOp, ColRef, JoinPred, LocalPred, PredKind, Query, TableRef};
+use crate::parser::parse;
+use crate::subquery::{connected_subsets, project, subqueries};
+
+/// A fixture catalog with several small tables of two integer columns.
+fn fixture_db(n_tables: usize) -> Database {
+    let mut b = DatabaseBuilder::new("prop", SystemConfig::default_1gb());
+    for i in 0..n_tables {
+        b.add_table(
+            Table::new(
+                format!("T{i}"),
+                vec![
+                    col(&format!("T{i}_A"), ColumnType::Integer),
+                    col(&format!("T{i}_B"), ColumnType::Integer),
+                ],
+            ),
+            1_000 * (i as u64 + 1),
+            vec![
+                ColumnStats::uniform(500, 0.0, 500.0, 4),
+                ColumnStats::uniform(500, 0.0, 500.0, 4),
+            ],
+        );
+    }
+    b.build()
+}
+
+/// A random connected chain/star query shape over `n` tables.
+fn arb_query(n: usize) -> impl Strategy<Value = Query> {
+    let hosts = prop::collection::vec(0usize..n.max(1), n.saturating_sub(1));
+    let preds = prop::collection::vec((0usize..n, any::<bool>(), -50i64..50), 0..4);
+    (hosts, preds).prop_map(move |(hosts, preds)| {
+        let tables: Vec<TableRef> = (0..n)
+            .map(|i| TableRef {
+                table: galo_catalog::TableId(i as u32),
+                qualifier: format!("Q{}", i + 1),
+            })
+            .collect();
+        // Each table i>0 joins to some earlier host => always connected.
+        let joins: Vec<JoinPred> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| JoinPred {
+                left: ColRef {
+                    table_idx: h.min(i),
+                    column: galo_catalog::ColumnId(1),
+                },
+                right: ColRef {
+                    table_idx: i + 1,
+                    column: galo_catalog::ColumnId(0),
+                },
+            })
+            .collect();
+        let locals: Vec<LocalPred> = preds
+            .into_iter()
+            .map(|(t, eq, v)| LocalPred {
+                col: ColRef {
+                    table_idx: t.min(n - 1),
+                    column: galo_catalog::ColumnId(1),
+                },
+                kind: if eq {
+                    PredKind::Cmp(CmpOp::Eq, galo_catalog::Value::Int(v))
+                } else {
+                    PredKind::Between(galo_catalog::Value::Int(v), galo_catalog::Value::Int(v + 10))
+                },
+            })
+            .collect();
+        Query {
+            name: "prop".into(),
+            tables,
+            joins,
+            locals,
+            projections: vec![ColRef {
+                table_idx: 0,
+                column: galo_catalog::ColumnId(0),
+            }],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `to_sql` output re-parses to a structurally identical query.
+    #[test]
+    fn sql_roundtrip(q in (1usize..6).prop_flat_map(arb_query)) {
+        let db = fixture_db(6);
+        let sql = q.to_sql(&db);
+        let back = parse(&db, "prop", &sql).expect("own SQL parses");
+        prop_assert_eq!(back.tables.len(), q.tables.len());
+        prop_assert_eq!(back.joins.len(), q.joins.len());
+        prop_assert_eq!(back.locals, q.locals);
+    }
+
+    /// Every enumerated connected subset projects to a connected
+    /// sub-query whose predicates are a subset of the original's.
+    #[test]
+    fn subqueries_are_connected_projections(
+        q in (2usize..6).prop_flat_map(arb_query),
+        threshold in 1usize..5,
+    ) {
+        for sub in subqueries(&q, threshold) {
+            prop_assert!(sub.is_connected());
+            prop_assert!(sub.join_count() <= threshold);
+            prop_assert!(sub.tables.len() >= 2);
+            prop_assert!(sub.locals.len() <= q.locals.len());
+            // Every sub table instance maps to one original instance.
+            for t in &sub.tables {
+                prop_assert!(q.tables.iter().any(|ot| ot.table == t.table));
+            }
+        }
+    }
+
+    /// Subsets are unique and projection preserves join endpoints.
+    #[test]
+    fn connected_subsets_unique_and_sound(
+        q in (2usize..6).prop_flat_map(arb_query),
+        threshold in 1usize..5,
+    ) {
+        let subs = connected_subsets(&q, threshold);
+        let set: std::collections::BTreeSet<_> = subs.iter().cloned().collect();
+        prop_assert_eq!(set.len(), subs.len(), "duplicate subsets");
+        for sub in &subs {
+            let projected = project(&q, sub);
+            // Joins in the projection correspond to original joins whose
+            // endpoints both lie in the subset.
+            let expected = q
+                .joins
+                .iter()
+                .filter(|j| sub.contains(&j.left.table_idx) && sub.contains(&j.right.table_idx))
+                .count();
+            prop_assert_eq!(projected.joins.len(), expected);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Sub-query generation — the paper's Figure 3 operation.
+//!
+//! "Large SQL queries are decomposed into smaller parts corresponding to
+//! sub-queries … From a given RDF-based QGM, all SQL sub-queries are
+//! auto-generated up to a predefined size threshold (number of joins). A
+//! sub-query projects the join and local predicates from the original query
+//! that are applicable to the sub-query's selected tables." (§3.2)
+//!
+//! We enumerate *connected* subsets of the join graph up to the threshold
+//! and project the query onto each. Structural signatures allow merging
+//! "sub-queries with the same structure over different queries" (§4.1) so
+//! they are evaluated once.
+
+use std::collections::BTreeSet;
+
+use galo_catalog::Database;
+
+use crate::ast::{ColRef, JoinPred, LocalPred, PredKind, Query, TableRef};
+
+/// Project `query` onto the table instances in `subset` (indexes into
+/// `query.tables`). Join predicates fully inside the subset and local
+/// predicates on subset tables are kept; projections are narrowed, falling
+/// back to the join columns when none survive.
+pub fn project(query: &Query, subset: &[usize]) -> Query {
+    let mut sorted: Vec<usize> = subset.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let remap = |old: usize| sorted.iter().position(|&t| t == old);
+
+    let tables: Vec<TableRef> = sorted.iter().map(|&i| query.tables[i].clone()).collect();
+
+    let joins: Vec<JoinPred> = query
+        .joins
+        .iter()
+        .filter_map(|j| {
+            let l = remap(j.left.table_idx)?;
+            let r = remap(j.right.table_idx)?;
+            Some(JoinPred {
+                left: ColRef {
+                    table_idx: l,
+                    column: j.left.column,
+                },
+                right: ColRef {
+                    table_idx: r,
+                    column: j.right.column,
+                },
+            })
+        })
+        .collect();
+
+    let locals: Vec<LocalPred> = query
+        .locals
+        .iter()
+        .filter_map(|p| {
+            let t = remap(p.col.table_idx)?;
+            Some(LocalPred {
+                col: ColRef {
+                    table_idx: t,
+                    column: p.col.column,
+                },
+                kind: p.kind.clone(),
+            })
+        })
+        .collect();
+
+    let mut projections: Vec<ColRef> = query
+        .projections
+        .iter()
+        .filter_map(|c| {
+            remap(c.table_idx).map(|t| ColRef {
+                table_idx: t,
+                column: c.column,
+            })
+        })
+        .collect();
+    if projections.is_empty() {
+        // Keep the sub-query meaningful: project its join columns.
+        for j in &joins {
+            projections.push(j.left);
+        }
+        projections.dedup();
+    }
+
+    let ids: Vec<String> = sorted.iter().map(|i| i.to_string()).collect();
+    Query {
+        name: format!("{}#sub[{}]", query.name, ids.join(",")),
+        tables,
+        joins,
+        locals,
+        projections,
+    }
+}
+
+/// Enumerate all connected subsets of the query's join graph containing at
+/// least two tables and at most `max_joins + 1` tables (a sub-query with k
+/// tables in a tree-shaped join has k-1 joins; cyclic graphs may have more,
+/// so we additionally cap by join count after projection).
+pub fn connected_subsets(query: &Query, max_joins: usize) -> Vec<Vec<usize>> {
+    let n = query.tables.len();
+    let adj = query.join_adjacency();
+    let max_tables = max_joins + 1;
+    let mut result: Vec<Vec<usize>> = Vec::new();
+    let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+
+    // Standard connected-subgraph enumeration: grow each subset only with
+    // neighbors greater than the anchor to avoid duplicates, then dedup the
+    // rest via the `seen` set.
+    for start in 0..n {
+        let mut frontier: Vec<Vec<usize>> = vec![vec![start]];
+        while let Some(current) = frontier.pop() {
+            if current.len() >= 2 {
+                let mut key = current.clone();
+                key.sort_unstable();
+                if seen.insert(key.clone()) {
+                    result.push(key);
+                }
+            }
+            if current.len() >= max_tables {
+                continue;
+            }
+            let mut candidates: BTreeSet<usize> = BTreeSet::new();
+            for &t in &current {
+                for &nb in &adj[t] {
+                    if !current.contains(&nb) {
+                        candidates.insert(nb);
+                    }
+                }
+            }
+            for nb in candidates {
+                let mut next = current.clone();
+                next.push(nb);
+                next.sort_unstable();
+                if !seen.contains(&next) {
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+
+    // Cap by join count of the projected sub-query (relevant for cyclic
+    // join graphs where k tables can induce more than k-1 joins).
+    result.retain(|s| project(query, s).join_count() <= max_joins);
+    result.sort();
+    result
+}
+
+/// Generate all sub-queries of `query` up to `max_joins` join predicates.
+pub fn subqueries(query: &Query, max_joins: usize) -> Vec<Query> {
+    connected_subsets(query, max_joins)
+        .into_iter()
+        .map(|s| project(query, &s))
+        .collect()
+}
+
+/// A structural signature abstracting *instance naming* but not table
+/// identity: two sub-queries share a signature exactly when they touch the
+/// same base tables with the same join shape (by column) and the same
+/// predicate shapes on the same columns. This is the merge criterion of
+/// §4.1 ("sub-queries with the same structure over different queries can
+/// be merged and evaluated once"): a self-join of a table is distinguished
+/// from two different tables, but the `Q1`/`Q2` instance labels are not
+/// part of the signature.
+pub fn structure_signature(db: &Database, query: &Query) -> String {
+    let _ = db;
+    // Canonical instance order: by (base table id, degree), then stable
+    // index — abstracts instance naming while keeping identity.
+    let adj = query.join_adjacency();
+    let mut order: Vec<usize> = (0..query.tables.len()).collect();
+    order.sort_by_key(|&i| (query.tables[i].table, adj[i].len(), i));
+    let rank = |i: usize| order.iter().position(|&x| x == i).unwrap();
+
+    let mut joins: Vec<String> = query
+        .joins
+        .iter()
+        .map(|j| {
+            let (a, ac) = (rank(j.left.table_idx), j.left.column.0);
+            let (b, bc) = (rank(j.right.table_idx), j.right.column.0);
+            let ((a, ac), (b, bc)) = if (a, ac) <= (b, bc) {
+                ((a, ac), (b, bc))
+            } else {
+                ((b, bc), (a, ac))
+            };
+            format!("J{a}.{ac}-{b}.{bc}")
+        })
+        .collect();
+    joins.sort();
+
+    let mut locals: Vec<String> = query
+        .locals
+        .iter()
+        .map(|p| {
+            let kind = match &p.kind {
+                PredKind::Cmp(op, _) => format!("cmp{op}"),
+                PredKind::Between(_, _) => "between".to_string(),
+                PredKind::IsNull => "isnull".to_string(),
+                PredKind::InList(v) => format!("in{}", v.len()),
+            };
+            format!("L{}.{}:{kind}", rank(p.col.table_idx), p.col.column.0)
+        })
+        .collect();
+    locals.sort();
+
+    let tables: Vec<String> = order
+        .iter()
+        .map(|&i| format!("t{}", query.tables[i].table.0))
+        .collect();
+    format!("{}|{}|{}", tables.join(","), joins.join(","), locals.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use galo_catalog::{col, ColumnStats, ColumnType, DatabaseBuilder, SystemConfig, Table};
+
+    fn db3() -> Database {
+        let mut b = DatabaseBuilder::new("t", SystemConfig::default_1gb());
+        for (name, rows) in [
+            ("WEB_SALES", 719_384u64),
+            ("ITEM", 18_000),
+            ("DATE_DIM", 73_049),
+            ("STORE", 12),
+        ] {
+            b.add_table(
+                Table::new(
+                    name,
+                    vec![
+                        col(&format!("{name}_K1"), ColumnType::Integer),
+                        col(&format!("{name}_K2"), ColumnType::Integer),
+                    ],
+                ),
+                rows,
+                vec![
+                    ColumnStats::uniform(rows.max(2), 0.0, rows as f64, 4),
+                    ColumnStats::uniform(rows.max(2), 0.0, rows as f64, 4),
+                ],
+            );
+        }
+        b.build()
+    }
+
+    fn chain4(db: &Database) -> Query {
+        parse(
+            db,
+            "chain4",
+            "SELECT web_sales_k1 FROM web_sales, item, date_dim, store \
+             WHERE web_sales_k1 = item_k1 AND item_k2 = date_dim_k1 \
+             AND date_dim_k2 = store_k1",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3_projection_keeps_applicable_predicates() {
+        let db = db3();
+        let q = parse(
+            &db,
+            "fig3",
+            "SELECT item_k1 FROM web_sales, item, date_dim \
+             WHERE web_sales_k1 = item_k1 AND item_k2 = 42 \
+             AND web_sales_k2 = date_dim_k1 AND date_dim_k2 = 99",
+        )
+        .unwrap();
+        // Project onto {web_sales, item} — paper Figure 3b.
+        let sub = project(&q, &[0, 1]);
+        assert_eq!(sub.tables.len(), 2);
+        assert_eq!(sub.joins.len(), 1);
+        assert_eq!(sub.locals.len(), 1);
+        assert!(sub.is_connected());
+    }
+
+    #[test]
+    fn connected_subsets_of_chain() {
+        let db = db3();
+        let q = chain4(&db);
+        // Chain 0-1-2-3, threshold 1 join => adjacent pairs only.
+        let subs = connected_subsets(&q, 1);
+        assert_eq!(subs, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        // Threshold 2 joins adds the two triples.
+        let subs2 = connected_subsets(&q, 2);
+        assert_eq!(subs2.len(), 5);
+        assert!(subs2.contains(&vec![0, 1, 2]));
+        assert!(subs2.contains(&vec![1, 2, 3]));
+        // Never a disconnected pair.
+        assert!(!subs2.contains(&vec![0, 2]));
+    }
+
+    #[test]
+    fn subsets_have_no_duplicates() {
+        let db = db3();
+        let q = chain4(&db);
+        let subs = connected_subsets(&q, 3);
+        let set: BTreeSet<Vec<usize>> = subs.iter().cloned().collect();
+        assert_eq!(set.len(), subs.len());
+    }
+
+    #[test]
+    fn all_subqueries_are_connected() {
+        let db = db3();
+        let q = chain4(&db);
+        for sub in subqueries(&q, 3) {
+            assert!(sub.is_connected(), "{} not connected", sub.name);
+        }
+    }
+
+    #[test]
+    fn projection_renames_subquery() {
+        let db = db3();
+        let q = chain4(&db);
+        let sub = project(&q, &[1, 2]);
+        assert!(sub.name.contains("sub[1,2]"));
+    }
+
+    #[test]
+    fn signature_matches_across_predicate_values_and_instance_names() {
+        let db = db3();
+        // Same tables, same join columns, same predicate shape: only the
+        // literal differs — signatures must merge.
+        let q1 = parse(
+            &db,
+            "a",
+            "SELECT item_k1 FROM web_sales x, item y WHERE x.web_sales_k1 = y.item_k1 AND y.item_k2 = 5",
+        )
+        .unwrap();
+        let q2 = parse(
+            &db,
+            "b",
+            "SELECT item_k1 FROM web_sales, item WHERE web_sales_k1 = item_k1 AND item_k2 = 9",
+        )
+        .unwrap();
+        assert_eq!(structure_signature(&db, &q1), structure_signature(&db, &q2));
+        // Different join columns do NOT merge.
+        let q3 = parse(
+            &db,
+            "c",
+            "SELECT item_k2 FROM web_sales, item WHERE web_sales_k2 = item_k2 AND item_k1 = 9",
+        )
+        .unwrap();
+        assert_ne!(structure_signature(&db, &q1), structure_signature(&db, &q3));
+    }
+
+    #[test]
+    fn signature_differs_for_different_shapes() {
+        let db = db3();
+        let q1 = parse(
+            &db,
+            "a",
+            "SELECT item_k1 FROM web_sales, item WHERE web_sales_k1 = item_k1",
+        )
+        .unwrap();
+        let q2 = parse(
+            &db,
+            "b",
+            "SELECT item_k1 FROM web_sales, item WHERE web_sales_k1 = item_k1 AND item_k2 = 5",
+        )
+        .unwrap();
+        assert_ne!(structure_signature(&db, &q1), structure_signature(&db, &q2));
+    }
+}

@@ -1,0 +1,44 @@
+//! # galo-workloads
+//!
+//! Synthetic evaluation workloads for the GALO reproduction:
+//!
+//! * [`tpcds::workload`] — a TPC-DS-like star schema at 1 GB-scale row
+//!   counts (taken from the paper's own figures) with 99 deterministic
+//!   queries spanning 1–31 joins;
+//! * [`client::workload`] — an insurance-style stand-in for the paper's
+//!   proprietary IBM client workload (116 queries), with hero tables at
+//!   the magnitudes of the paper's Figure 1 and a band of mid-size tables
+//!   structurally mirroring TPC-DS facts (enabling cross-workload template
+//!   reuse, Exp-2).
+//!
+//! Both databases carry planted *quirks* — belief/truth divergences that
+//! reproduce the paper's four problem-pattern families.
+
+pub mod builder;
+pub mod client;
+pub mod tpcds;
+
+use galo_catalog::Database;
+use galo_sql::Query;
+
+pub use builder::QueryBuilder;
+
+/// A workload: a populated database plus its periodic query set
+/// (the paper's definition, §2).
+pub struct Workload {
+    pub name: String,
+    pub db: Database,
+    pub queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Queries bucketed by join count (used by the scalability
+    /// experiments).
+    pub fn by_join_count(&self) -> std::collections::BTreeMap<usize, Vec<&Query>> {
+        let mut map: std::collections::BTreeMap<usize, Vec<&Query>> = Default::default();
+        for q in &self.queries {
+            map.entry(q.join_count()).or_default().push(q);
+        }
+        map
+    }
+}

@@ -1,0 +1,66 @@
+//! A tour of the knowledge base internals: how a plan becomes RDF, what a
+//! problem-pattern template looks like as triples, and how the matching
+//! engine's generated SPARQL (paper Figure 6) finds it.
+//!
+//! Run with: `cargo run --release --example knowledge_base_tour`
+
+use galo_core::{match_plan, qgm_to_rdf, segment_to_sparql, Galo, LearningConfig, MatchConfig};
+use galo_optimizer::Optimizer;
+use galo_rdf::TripleStore;
+
+fn main() {
+    // The Figure 4 scenario (flooding) keeps the output readable.
+    let (name, workload) = galo_bench::problem_queries().remove(1);
+    println!("scenario: {name}\n");
+
+    let optimizer = Optimizer::new(&workload.db);
+    let plan = optimizer.optimize(&workload.queries[0]).expect("plans");
+    println!("the optimizer's QGM:\n{}", plan.render(&workload.db));
+
+    // 1. QGM -> RDF (the transformation engine, paper §3.1).
+    let triples = qgm_to_rdf(&workload.db, &plan);
+    println!("as RDF ({} triples); a sample:", triples.len());
+    let mut store = TripleStore::new();
+    for (s, p, o) in triples {
+        store.insert(s, p, o);
+    }
+    for (i, (s, p, o)) in store.iter_terms().enumerate() {
+        if i >= 8 {
+            println!("  ...");
+            break;
+        }
+        println!("  {s} {p} {o} .");
+    }
+
+    // 2. Learn a template, then show the generated SPARQL that finds it.
+    let galo = Galo::new();
+    let report = galo.learn(&workload, &LearningConfig::default());
+    println!(
+        "\nlearned {} template(s); knowledge base now holds {} triples",
+        report.templates_learned,
+        galo.kb.server().len()
+    );
+
+    let segment = galo_qgm::segments(&plan, 4)
+        .first()
+        .map(|s| s.root)
+        .unwrap_or_else(|| plan.root());
+    let sparql = segment_to_sparql(&workload.db, &plan, segment);
+    println!("\ngenerated SPARQL for the first segment (paper Figure 6):\n{sparql}");
+
+    let matched = match_plan(&workload.db, &galo.kb, &plan, &MatchConfig::default());
+    println!(
+        "\nmatching: {} SPARQL queries issued, {} rewrite(s) found in {:.2} ms",
+        matched.sparql_queries,
+        matched.rewrites.len(),
+        matched.match_ms
+    );
+    for r in &matched.rewrites {
+        println!(
+            "\ntemplate {} (learned on '{}') instantiated as:\n{}",
+            r.template_iri,
+            r.source_workload,
+            galo_qgm::GuidelineDoc::new(vec![r.guideline.clone()]).to_xml()
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's four problem-pattern case studies (Figures 1, 4, 7, 8):
+//! for each pattern family, learn on the problem query and print the
+//! optimizer's plan, GALO's re-optimized plan, and the runtime ratio.
+//!
+//! Run with: `cargo run --release --example problem_patterns`
+//! (add `--fast` as an argument for a quicker, coarser pass)
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    for cs in galo_bench::case_studies(fast) {
+        println!("\n{}", "=".repeat(70));
+        println!("{}", cs.name);
+        println!("{}", "=".repeat(70));
+        println!(
+            "simulated runtime: {:.1} ms -> {:.1} ms  ({:.1}x, {} rewrite(s))",
+            cs.before_ms,
+            cs.after_ms,
+            cs.before_ms / cs.after_ms.max(1e-9),
+            cs.matched_rewrites
+        );
+        println!("\noptimizer's plan:\n{}", cs.before_plan);
+        println!("GALO's plan:\n{}", cs.after_plan);
+    }
+}

@@ -1,0 +1,108 @@
+//! Quickstart: build a miniature workload with one planted estimation
+//! quirk, learn a problem-pattern template offline, then re-optimize the
+//! query online — the full GALO loop in ~60 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use galo_catalog::{
+    col, ColumnId, ColumnStats, ColumnType, DatabaseBuilder, Index, IndexId, SystemConfig, Table,
+    Value,
+};
+use galo_core::{Galo, LearningConfig};
+use galo_workloads::Workload;
+
+fn main() {
+    // 1. A two-table database. The FACT table's index is badly clustered
+    //    in reality (0.03) while the catalog says 0.93, and the optimizer
+    //    grossly under-estimates the dimension predicate — the recipe for
+    //    the paper's Figure 4 "flooding" pattern.
+    let mut b = DatabaseBuilder::new("quickstart", SystemConfig::default_1gb());
+    let mut fact = Table::new(
+        "FACT",
+        vec![
+            col("F_ADDR", ColumnType::Integer),
+            col("F_PAYLOAD", ColumnType::Varchar(180)),
+        ],
+    );
+    fact.add_index(Index {
+        name: "F_ADDR_IX".into(),
+        column: ColumnId(0),
+        unique: false,
+        cluster_ratio: 0.93,
+    });
+    let f = b.add_table(
+        fact,
+        1_441_000,
+        vec![
+            ColumnStats::uniform(50_000, 0.0, 50_000.0, 4),
+            ColumnStats::uniform(500_000, 0.0, 1e6, 90),
+        ],
+    );
+    let addr = b.add_table(
+        Table::new(
+            "ADDR",
+            vec![
+                col("A_SK", ColumnType::Integer),
+                col("A_STATE", ColumnType::Varchar(4)),
+            ],
+        ),
+        50_000,
+        vec![
+            ColumnStats::uniform(50_000, 0.0, 50_000.0, 4),
+            ColumnStats::uniform(50, 0.0, 1e6, 2).with_frequent(vec![
+                (Value::Str("CA".into()), 9_000),
+                (Value::Str("TX".into()), 6_000),
+            ]),
+        ],
+    );
+    // Stale belief statistics + stale cluster ratio = the trap.
+    *b.belief_mut().column_mut(addr, ColumnId(1)) = ColumnStats::uniform(5_000, 0.0, 1e6, 2);
+    b.plant_stale_cluster_ratio(f, IndexId(0), 0.03);
+    let db = b.build();
+
+    // 2. One workload query.
+    let query = galo_sql::parse(
+        &db,
+        "q1",
+        "SELECT f_payload FROM addr, fact WHERE a_sk = f_addr AND a_state = 'TX'",
+    )
+    .expect("valid SQL");
+    let workload = Workload {
+        name: "quickstart".into(),
+        db,
+        queries: vec![query],
+    };
+
+    // 3. Offline: learn problem patterns into the knowledge base.
+    let galo = Galo::new();
+    let report = galo.learn(&workload, &LearningConfig::default());
+    println!(
+        "offline learning: {} sub-queries analyzed, {} template(s) learned",
+        report.subqueries_unique, report.templates_learned
+    );
+
+    // 4. Online: re-optimize the query through the knowledge base.
+    let outcome = galo.reoptimize(&workload, 0).expect("query plans");
+    println!(
+        "\noptimizer's plan ({:.1} ms simulated):\n{}",
+        outcome.original_ms,
+        outcome.original.render(&workload.db)
+    );
+    if let Some(reopt) = &outcome.reoptimized {
+        println!(
+            "GALO's re-optimized plan ({:.1} ms simulated):\n{}",
+            outcome.final_ms,
+            reopt.qgm.render(&workload.db)
+        );
+        println!(
+            "matched {} rewrite(s); runtime gain {:.0}%  ({:.0}x faster)",
+            outcome.matched.rewrites.len(),
+            outcome.gain() * 100.0,
+            outcome.original_ms / outcome.final_ms
+        );
+        println!("\nguideline document submitted for re-optimization:");
+        println!("{}", outcome.matched.guideline_doc().to_xml());
+    } else {
+        println!("no rewrite matched");
+    }
+}

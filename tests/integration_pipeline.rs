@@ -1,0 +1,109 @@
+//! End-to-end integration: workload generation → offline learning →
+//! knowledge-base persistence → online matching → re-optimization,
+//! across every crate of the workspace.
+
+use galo_core::{Galo, KnowledgeBase, LearningConfig, MatchConfig};
+use galo_optimizer::Optimizer;
+use galo_workloads::{tpcds, Workload};
+
+/// A small slice of the TPC-DS workload containing problem-kernel queries
+/// (indexes 2, 7, 12 are kernel slots) plus clean queries.
+fn mini_tpcds() -> Workload {
+    let full = tpcds::workload();
+    let picks = [0usize, 2, 7, 12, 3];
+    Workload {
+        name: full.name.clone(),
+        db: full.db.clone(),
+        queries: picks.iter().map(|&i| full.queries[i].clone()).collect(),
+    }
+}
+
+fn fast_cfg() -> LearningConfig {
+    LearningConfig {
+        threads: 2,
+        probes_per_pred: 2,
+        random_plans: 8,
+        runs_per_plan: 3,
+        max_subqueries_per_query: 40,
+        ..LearningConfig::default()
+    }
+}
+
+#[test]
+fn learn_match_reoptimize_pipeline() {
+    let w = mini_tpcds();
+    let galo = Galo::new();
+    let report = galo.learn(&w, &fast_cfg());
+    assert!(
+        report.templates_learned >= 1,
+        "kernels must produce templates: {report:?}"
+    );
+    assert!(report.avg_improvement >= 0.15);
+
+    let rep = galo.reoptimize_workload(&w);
+    assert_eq!(rep.per_query.len(), w.queries.len());
+    let improved = rep.improved();
+    assert!(
+        !improved.is_empty(),
+        "at least one kernel query must be re-optimized"
+    );
+    for q in &improved {
+        assert!(q.final_ms < q.original_ms);
+        assert!(q.rewrites_matched >= 1);
+    }
+    // Average gain over improved queries is substantial (paper: 49%).
+    assert!(
+        rep.avg_gain_improved() > 0.2,
+        "avg gain {:.2}",
+        rep.avg_gain_improved()
+    );
+}
+
+#[test]
+fn knowledge_base_survives_persistence() {
+    let w = mini_tpcds();
+    let galo = Galo::new();
+    let report = galo.learn(&w, &fast_cfg());
+    assert!(report.templates_learned >= 1);
+
+    // Export, reload into a fresh KB, and verify matching still works.
+    let dump = galo.kb.export();
+    let kb2 = KnowledgeBase::new();
+    kb2.import(&dump).expect("import n-triples");
+    assert_eq!(kb2.template_count(), report.templates_learned);
+
+    let optimizer = Optimizer::new(&w.db);
+    let mut matched_after_reload = 0;
+    for q in &w.queries {
+        let plan = optimizer.optimize(q).expect("plans");
+        let m = galo_core::match_plan(&w.db, &kb2, &plan, &MatchConfig::default());
+        matched_after_reload += usize::from(!m.rewrites.is_empty());
+    }
+    assert!(matched_after_reload >= 1, "reloaded KB must still match");
+}
+
+#[test]
+fn matching_against_empty_kb_is_clean_noop() {
+    let w = mini_tpcds();
+    let galo = Galo::new();
+    let rep = galo.reoptimize_workload(&w);
+    assert_eq!(rep.per_query.len(), w.queries.len());
+    assert!(rep.improved().is_empty());
+    for q in &rep.per_query {
+        assert_eq!(q.rewrites_matched, 0);
+        assert_eq!(q.original_ms, q.final_ms);
+    }
+}
+
+#[test]
+fn learned_gains_are_stable_across_runs() {
+    let w = mini_tpcds();
+    let galo1 = Galo::new();
+    let galo2 = Galo::new();
+    let r1 = galo1.learn(&w, &fast_cfg());
+    let r2 = galo2.learn(&w, &fast_cfg());
+    assert_eq!(r1.templates_learned, r2.templates_learned);
+    let g1: Vec<String> = r1.learned.iter().map(|l| l.subquery_name.clone()).collect();
+    let g2: Vec<String> = r2.learned.iter().map(|l| l.subquery_name.clone()).collect();
+    assert_eq!(g1, g2, "learning must be deterministic");
+}
