@@ -38,11 +38,25 @@ fn bench_dp_vs_greedy(c: &mut Criterion) {
 
     // Quality side of the ablation (printed once, not timed): greedy never
     // beats DP on believed cost.
-    let dp = Optimizer::with_config(&w.db, PlannerConfig { dp_unit_limit: 10, enable_bloom: true });
-    let greedy = Optimizer::with_config(&w.db, PlannerConfig { dp_unit_limit: 1, enable_bloom: true });
+    let dp = Optimizer::with_config(
+        &w.db,
+        PlannerConfig {
+            dp_unit_limit: 10,
+            enable_bloom: true,
+        },
+    );
+    let greedy = Optimizer::with_config(
+        &w.db,
+        PlannerConfig {
+            dp_unit_limit: 1,
+            enable_bloom: true,
+        },
+    );
     let (mut wins, mut ties, mut total) = (0usize, 0usize, 0usize);
     for q in w.queries.iter().filter(|q| q.tables.len() <= 9) {
-        let (Ok(a), Ok(b)) = (dp.optimize(q), greedy.optimize(q)) else { continue };
+        let (Ok(a), Ok(b)) = (dp.optimize(q), greedy.optimize(q)) else {
+            continue;
+        };
         total += 1;
         if a.est_cost() < b.est_cost() * 0.999 {
             wins += 1;
@@ -90,7 +104,9 @@ fn bench_ranking_ablation(c: &mut Criterion) {
     let runs = db2batch(&w.db, &plan, 12, &noise, &mut StdRng::seed_from_u64(5));
 
     let mut group = c.benchmark_group("run_ranking");
-    group.bench_function("kmeans_cleaned", |b| b.iter(|| score_runs(&runs).elapsed_ms));
+    group.bench_function("kmeans_cleaned", |b| {
+        b.iter(|| score_runs(&runs).elapsed_ms)
+    });
     group.bench_function("naive_mean", |b| {
         b.iter(|| runs.iter().map(|r| r.elapsed_ms).sum::<f64>() / runs.len() as f64)
     });

@@ -1,10 +1,11 @@
 //! Criterion bench for the online matching engine (Exp-3 / Figure 11):
 //! matching time versus query width, against a realistically-sized KB.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use galo_bench::{inflate_kb, learning_config};
 use galo_core::{match_plan, KnowledgeBase, MatchConfig};
 use galo_optimizer::Optimizer;
+use galo_rdf::{IndexedStore, ScanStore, Term, TripleStore};
 use galo_workloads::tpcds;
 
 fn bench_match_by_width(c: &mut Criterion) {
@@ -35,8 +36,77 @@ fn bench_match_by_width(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}tables", query.tables.len())),
             &plan,
-            |b, plan| b.iter(|| match_plan(&w.db, &kb, plan, &MatchConfig::default()).sparql_queries),
+            |b, plan| {
+                b.iter(|| match_plan(&w.db, &kb, plan, &MatchConfig::default()).sparql_queries)
+            },
         );
+    }
+    group.finish();
+}
+
+/// Fill a store with `templates` KB-shaped problem patterns (4 operators
+/// per template, 4-5 triples per operator — ~19 triples per template,
+/// roughly the shape `KnowledgeBase::insert` emits).
+fn fill_kb_shaped(store: &mut dyn TripleStore, templates: u32) {
+    for t in 0..templates {
+        let tnode = Term::iri(format!("http://galo/kb/template/{t:016x}"));
+        for op in 0..4u32 {
+            let me = Term::iri(format!("http://galo/kb/template/{t:016x}/pop/{op}"));
+            let ty = ["NLJOIN", "HSJOIN", "IXSCAN", "TBSCAN"][op as usize];
+            store.insert(me.clone(), prop("inTemplate"), tnode.clone());
+            store.insert(me.clone(), prop("hasPopType"), Term::lit(ty));
+            store.insert(
+                me.clone(),
+                prop("hasLowerCardinality"),
+                Term::num((t * op) as f64),
+            );
+            store.insert(
+                me.clone(),
+                prop("hasHigherCardinality"),
+                Term::num((t * op + 1000) as f64),
+            );
+            if op > 0 {
+                let parent = Term::iri(format!("http://galo/kb/template/{t:016x}/pop/{}", op - 1));
+                store.insert(me.clone(), prop("hasOutputStream"), parent);
+            }
+        }
+    }
+}
+
+fn prop(name: &str) -> Term {
+    Term::iri(format!("http://galo/qep/property/{name}"))
+}
+
+/// Linear-scan vs hash-indexed triple-pattern lookup, over KB sizes from
+/// 100 to 1,000 templates (Exp-4's routinization scale). The measured
+/// pattern — all operators of one type, `(?, hasPopType, "NLJOIN")` — is
+/// the entry pattern of every generated segment-match query.
+fn bench_pattern_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_lookup");
+    for templates in [100u32, 1000] {
+        let mut indexed = IndexedStore::new();
+        fill_kb_shaped(&mut indexed, templates);
+        let mut scan = ScanStore::new();
+        fill_kb_shaped(&mut scan, templates);
+
+        let backends: [(&str, &dyn TripleStore); 2] = [("indexed", &indexed), ("scan", &scan)];
+        for (name, store) in backends {
+            let p = store.term_id(&prop("hasPopType")).expect("interned");
+            let o = store.term_id(&Term::lit("NLJOIN")).expect("interned");
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{templates}tpl")),
+                &(p, o),
+                |b, &(p, o)| {
+                    b.iter(|| {
+                        // The segment matcher's two hottest shapes: the
+                        // typed-operator entry pattern and its count (the
+                        // evaluator's join-ordering heuristic).
+                        let hits = store.scan(None, Some(p), Some(o)).len();
+                        black_box(hits + store.count(None, Some(p), None))
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -44,6 +114,6 @@ fn bench_match_by_width(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_match_by_width
+    targets = bench_match_by_width, bench_pattern_lookup
 }
 criterion_main!(benches);

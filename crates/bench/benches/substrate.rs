@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use galo_core::segment_to_sparql;
 use galo_executor::Simulator;
 use galo_optimizer::Optimizer;
-use galo_rdf::{Term, TripleStore};
+use galo_rdf::{IndexedStore, Term, TripleStore};
 use galo_workloads::tpcds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,7 +17,10 @@ fn bench_optimizer(c: &mut Criterion) {
     let optimizer = Optimizer::new(&w.db);
     let mut group = c.benchmark_group("optimize");
     for (label, pred) in [
-        ("small(<=4t)", Box::new(|n: usize| n <= 4) as Box<dyn Fn(usize) -> bool>),
+        (
+            "small(<=4t)",
+            Box::new(|n: usize| n <= 4) as Box<dyn Fn(usize) -> bool>,
+        ),
         ("mid(8-10t)", Box::new(|n: usize| (8..=10).contains(&n))),
         ("wide(>=20t)", Box::new(|n: usize| n >= 20)),
     ] {
@@ -34,7 +37,11 @@ fn bench_optimizer(c: &mut Criterion) {
 fn bench_random_plans(c: &mut Criterion) {
     let w = tpcds::workload();
     let optimizer = Optimizer::new(&w.db);
-    let query = w.queries.iter().find(|q| q.tables.len() == 4).unwrap_or(&w.queries[0]);
+    let query = w
+        .queries
+        .iter()
+        .find(|q| q.tables.len() == 4)
+        .unwrap_or(&w.queries[0]);
     c.bench_function("random_plan_generate_10", |b| {
         let gen = optimizer.random_plans(query);
         b.iter(|| {
@@ -58,7 +65,7 @@ fn bench_rdf(c: &mut Criterion) {
     // Store insert + indexed scan.
     c.bench_function("rdf_insert_1000_triples", |b| {
         b.iter(|| {
-            let mut st = TripleStore::new();
+            let mut st = IndexedStore::new();
             for i in 0..1000u32 {
                 st.insert(
                     Term::iri(format!("http://galo/qep/pop/{i}")),

@@ -38,7 +38,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: experiments [exp1|exp2|exp3|exp4|exp5|exp6|figs|evolution|all] [--fast]");
+            eprintln!(
+                "usage: experiments [exp1|exp2|exp3|exp4|exp5|exp6|figs|evolution|all] [--fast]"
+            );
             std::process::exit(2);
         }
     }
@@ -103,7 +105,12 @@ fn exp2(fast: bool) {
         println!("  re-optimized runtime as % of original (blue bar of Figure 10):");
         for (name, pct) in &r.bars {
             let filled = (pct / 2.0).round() as usize;
-            println!("  {:<14} {:>5.1}% |{}", name, pct, "█".repeat(filled.min(50)));
+            println!(
+                "  {:<14} {:>5.1}% |{}",
+                name,
+                pct,
+                "█".repeat(filled.min(50))
+            );
         }
     }
     println!("\nPaper: TPC-DS 19/99 matched, avg gain 49%; client 24/116, 40%;");
@@ -114,7 +121,10 @@ fn exp3(fast: bool) {
     header("Exp-3 / Figure 11 — Matching time in # of table-joins");
     let (galo, _, _, tp, cl) = learn_both(fast);
     let rows = exp3_matching_scalability(&galo, &[&tp, &cl]);
-    println!("{:>12} | {:>14} | {:>8}", "tables <=", "avg match ms", "queries");
+    println!(
+        "{:>12} | {:>14} | {:>8}",
+        "tables <=", "avg match ms", "queries"
+    );
     println!("{}", "-".repeat(42));
     for (bucket, ms, n) in rows {
         println!("{bucket:>12} | {ms:>14.3} | {n:>8}");
@@ -146,10 +156,7 @@ fn exp4(fast: bool) {
         }
         println!();
     }
-    let worst = rows
-        .iter()
-        .map(|(_, _, s)| *s)
-        .fold(0.0f64, f64::max);
+    let worst = rows.iter().map(|(_, _, s)| *s).fold(0.0f64, f64::max);
     println!(
         "\nWorst cell: {worst:.1}s — paper bound: 100 queries x 1,000 patterns < 15 min ({}).",
         if worst < 900.0 { "holds" } else { "VIOLATED" }

@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use galo_catalog::Database;
 use galo_core::{
-    expert_diagnose, match_plan, ExpertConfig, Galo, KnowledgeBase, LearningConfig,
-    LearningReport, MatchConfig,
+    expert_diagnose, match_plan, ExpertConfig, Galo, KnowledgeBase, LearningConfig, LearningReport,
+    MatchConfig,
 };
 use galo_optimizer::Optimizer;
 use galo_qgm::guideline_from_plan;
@@ -150,27 +150,28 @@ pub fn exp2_matching_improvement(fast: bool) -> (Exp2Result, Exp2Result) {
         .map(|q| q.query_name.clone())
         .collect::<Vec<_>>();
 
-    let to_result = |name: &str, own: &str, rep: &galo_core::WorkloadReoptReport| {
-        let improved = rep.improved();
-        Exp2Result {
-            workload: name.to_string(),
-            total_queries: rep.per_query.len(),
-            matched_queries: rep
-                .per_query
-                .iter()
-                .filter(|q| q.rewrites_matched > 0)
-                .count(),
-            improved_queries: improved.len(),
-            avg_gain_improved: rep.avg_gain_improved(),
-            cross_workload_reuses: rep.cross_workload_reuses(own).max(
-                if name == "IBM client" { reuse.len() } else { 0 },
-            ),
-            bars: improved
-                .iter()
-                .map(|q| (q.query_name.clone(), 100.0 * q.final_ms / q.original_ms))
-                .collect(),
-        }
-    };
+    let to_result =
+        |name: &str, own: &str, rep: &galo_core::WorkloadReoptReport| {
+            let improved = rep.improved();
+            Exp2Result {
+                workload: name.to_string(),
+                total_queries: rep.per_query.len(),
+                matched_queries: rep
+                    .per_query
+                    .iter()
+                    .filter(|q| q.rewrites_matched > 0)
+                    .count(),
+                improved_queries: improved.len(),
+                avg_gain_improved: rep.avg_gain_improved(),
+                cross_workload_reuses: rep
+                    .cross_workload_reuses(own)
+                    .max(if name == "IBM client" { reuse.len() } else { 0 }),
+                bars: improved
+                    .iter()
+                    .map(|q| (q.query_name.clone(), 100.0 * q.final_ms / q.original_ms))
+                    .collect(),
+            }
+        };
     (
         to_result("TPC-DS", "tpcds_1gb", &rep_tp),
         to_result("IBM client", "client_insurance", &rep_cl),
@@ -186,7 +187,9 @@ pub fn exp3_matching_scalability(galo: &Galo, workloads: &[&Workload]) -> Vec<(u
     for w in workloads {
         let optimizer = Optimizer::new(&w.db);
         for q in &w.queries {
-            let Ok(plan) = optimizer.optimize(q) else { continue };
+            let Ok(plan) = optimizer.optimize(q) else {
+                continue;
+            };
             let report = match_plan(&w.db, &galo.kb, &plan, &galo.match_cfg);
             // Buckets of 4 tables (the paper spans 1..32).
             let bucket = q.tables.len().div_ceil(4) * 4;
@@ -216,7 +219,9 @@ pub fn inflate_kb(kb: &KnowledgeBase, db: &Database, queries: &[Query], target: 
             if made >= target {
                 break 'outer;
             }
-            let Ok(plan) = optimizer.optimize(q) else { continue };
+            let Ok(plan) = optimizer.optimize(q) else {
+                continue;
+            };
             let Some(g) = guideline_from_plan(&plan, plan.root()) else {
                 continue;
             };

@@ -106,6 +106,7 @@ impl Table {
     }
 
     /// Index definition by id.
+    #[allow(clippy::should_implement_trait)]
     pub fn index(&self, id: IndexId) -> &Index {
         &self.indexes[id.0 as usize]
     }
@@ -118,7 +119,11 @@ impl Table {
 
     /// Total average row width in bytes.
     pub fn row_size(&self) -> u32 {
-        self.columns.iter().map(|c| c.ty.avg_width()).sum::<u32>().max(1)
+        self.columns
+            .iter()
+            .map(|c| c.ty.avg_width())
+            .sum::<u32>()
+            .max(1)
     }
 }
 

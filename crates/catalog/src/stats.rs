@@ -71,8 +71,8 @@ impl ColumnStats {
         }
         let frequent_rows: u64 = self.frequent.iter().map(|(_, c)| c).sum();
         let frequent_distinct = self.frequent.len() as u64;
-        let remaining_rows = row_count.saturating_sub(frequent_rows) as f64
-            * (1.0 - self.null_fraction);
+        let remaining_rows =
+            row_count.saturating_sub(frequent_rows) as f64 * (1.0 - self.null_fraction);
         let remaining_distinct = self.n_distinct.saturating_sub(frequent_distinct).max(1);
         (remaining_rows / remaining_distinct as f64 / row_count as f64).clamp(0.0, 1.0)
     }
@@ -199,7 +199,10 @@ mod tests {
             frequent: vec![],
             avg_width: 4,
         };
-        assert_eq!(s.range_selectivity(Some(1.0), Some(2.0)), DEFAULT_RANGE_SELECTIVITY);
+        assert_eq!(
+            s.range_selectivity(Some(1.0), Some(2.0)),
+            DEFAULT_RANGE_SELECTIVITY
+        );
     }
 
     #[test]

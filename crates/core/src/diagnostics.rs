@@ -106,7 +106,11 @@ pub fn diagnose(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfig)
         })
         .filter(|s| s.q_error > 2.0)
         .collect();
-    suspects.sort_by(|a, b| b.q_error.partial_cmp(&a.q_error).unwrap_or(std::cmp::Ordering::Equal));
+    suspects.sort_by(|a, b| {
+        b.q_error
+            .partial_cmp(&a.q_error)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     Diagnosis {
         known_issues: matched.rewrites,
@@ -184,7 +188,9 @@ pub fn evolution_report(kb: &KnowledgeBase) -> Vec<RewriteClass> {
     };
     let mut classes: BTreeMap<(String, String), (usize, f64, Vec<String>)> = BTreeMap::new();
     for row in 0..rs.len() {
-        let Some(xml) = rs.get(row, "g") else { continue };
+        let Some(xml) = rs.get(row, "g") else {
+            continue;
+        };
         let Some(fp) = rs.get(row, "f") else { continue };
         let improvement = rs
             .get(row, "i")
@@ -310,8 +316,7 @@ mod tests {
                 ]),
             ],
         );
-        *b.belief_mut().column_mut(addr, ColumnId(1)) =
-            ColumnStats::uniform(5_000, 0.0, 1e6, 2);
+        *b.belief_mut().column_mut(addr, ColumnId(1)) = ColumnStats::uniform(5_000, 0.0, 1e6, 2);
         b.plant_stale_cluster_ratio(f, IndexId(0), 0.03);
         let db = b.build();
         let q = galo_sql::parse(
@@ -331,7 +336,14 @@ mod tests {
     fn diagnosis_reports_known_issue_and_suspects() {
         let w = quirky_workload();
         let kb = KnowledgeBase::new();
-        learn_workload(&w, &kb, &LearningConfig { threads: 1, ..Default::default() });
+        learn_workload(
+            &w,
+            &kb,
+            &LearningConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
         let plan = Optimizer::new(&w.db).optimize(&w.queries[0]).unwrap();
         let d = diagnose(&w.db, &kb, &plan, &MatchConfig::default());
         assert!(!d.known_issues.is_empty(), "learned issue must be reported");
@@ -350,7 +362,14 @@ mod tests {
     fn near_misses_surface_out_of_range_templates() {
         let w = quirky_workload();
         let kb = KnowledgeBase::new();
-        learn_workload(&w, &kb, &LearningConfig { threads: 1, ..Default::default() });
+        learn_workload(
+            &w,
+            &kb,
+            &LearningConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
         // Displace every template's ranges so nothing matches exactly.
         let dump = kb.export();
         let displaced = dump
@@ -360,7 +379,10 @@ mod tests {
         kb2.import(&displaced).unwrap();
         let plan = Optimizer::new(&w.db).optimize(&w.queries[0]).unwrap();
         let d = diagnose(&w.db, &kb2, &plan, &MatchConfig::default());
-        assert!(d.known_issues.is_empty(), "ranges displaced: no exact match");
+        assert!(
+            d.known_issues.is_empty(),
+            "ranges displaced: no exact match"
+        );
         assert!(
             !d.near_misses.is_empty(),
             "structure still matches: must appear as near-miss"
@@ -371,7 +393,14 @@ mod tests {
     fn evolution_report_aggregates_rewrite_classes() {
         let w = quirky_workload();
         let kb = KnowledgeBase::new();
-        let report = learn_workload(&w, &kb, &LearningConfig { threads: 1, ..Default::default() });
+        let report = learn_workload(
+            &w,
+            &kb,
+            &LearningConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
         assert!(report.templates_learned >= 1);
         let classes = evolution_report(&kb);
         assert!(!classes.is_empty());

@@ -185,9 +185,9 @@ fn mutations(g: &GuidelineNode, knows_bloom: bool) -> Vec<GuidelineNode> {
                     tabid: tabid.clone(),
                     index: None,
                 }),
-                GuidelineNode::IxScan { tabid, .. } => {
-                    Some(GuidelineNode::TbScan { tabid: tabid.clone() })
-                }
+                GuidelineNode::IxScan { tabid, .. } => Some(GuidelineNode::TbScan {
+                    tabid: tabid.clone(),
+                }),
                 _ => None,
             };
             if let Some(t) = toggled {
@@ -257,8 +257,7 @@ mod tests {
                 ]),
             ],
         );
-        *b.belief_mut().column_mut(addr, ColumnId(1)) =
-            ColumnStats::uniform(5_000, 0.0, 1e6, 2);
+        *b.belief_mut().column_mut(addr, ColumnId(1)) = ColumnStats::uniform(5_000, 0.0, 1e6, 2);
         b.plant_stale_cluster_ratio(f, IndexId(0), 0.03);
         b.build()
     }

@@ -152,10 +152,10 @@ mod tests {
     fn report() -> WorkloadReoptReport {
         WorkloadReoptReport {
             per_query: vec![
-                result("q1", 100.0, 50.0, vec!["tpcds"]),   // improved, own
-                result("q2", 100.0, 100.0, vec![]),         // untouched
-                result("q3", 200.0, 40.0, vec!["other"]),   // improved, reused
-                result("q4", 100.0, 120.0, vec!["tpcds"]),  // matched, regressed
+                result("q1", 100.0, 50.0, vec!["tpcds"]),  // improved, own
+                result("q2", 100.0, 100.0, vec![]),        // untouched
+                result("q3", 200.0, 40.0, vec!["other"]),  // improved, reused
+                result("q4", 100.0, 120.0, vec!["tpcds"]), // matched, regressed
             ],
         }
     }

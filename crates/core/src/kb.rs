@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use galo_catalog::Database;
 use galo_qgm::{GuidelineDoc, PopId, Qgm};
-use galo_rdf::{FusekiLite, Term};
+use galo_rdf::{FusekiLite, Term, TripleStore};
 
 use crate::vocab::{self, prop};
 
@@ -178,9 +178,19 @@ impl Default for KnowledgeBase {
 }
 
 impl KnowledgeBase {
+    /// A knowledge base over the server's default in-memory store.
     pub fn new() -> Self {
         KnowledgeBase {
             server: FusekiLite::new(),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// A knowledge base over a caller-supplied [`TripleStore`] backend —
+    /// the seam a persistent or sharded store plugs into.
+    pub fn with_backend(backend: Box<dyn TripleStore>) -> Self {
+        KnowledgeBase {
+            server: FusekiLite::with_backend(backend),
             counter: AtomicU64::new(0),
         }
     }
@@ -261,8 +271,16 @@ impl KnowledgeBase {
                     Term::lit(scan.canonical_tabid.clone()),
                 ));
                 for (lo_name, hi_name, range) in [
-                    (vocab::HAS_LOWER_ROW_SIZE, vocab::HAS_HIGHER_ROW_SIZE, scan.row_size),
-                    (vocab::HAS_LOWER_FPAGES, vocab::HAS_HIGHER_FPAGES, scan.fpages),
+                    (
+                        vocab::HAS_LOWER_ROW_SIZE,
+                        vocab::HAS_HIGHER_ROW_SIZE,
+                        scan.row_size,
+                    ),
+                    (
+                        vocab::HAS_LOWER_FPAGES,
+                        vocab::HAS_HIGHER_FPAGES,
+                        scan.fpages,
+                    ),
                     (
                         vocab::HAS_LOWER_BASE_CARDINALITY,
                         vocab::HAS_HIGHER_BASE_CARDINALITY,
@@ -292,6 +310,19 @@ impl KnowledgeBase {
             }
         }
         self.server.insert_triples(triples);
+        // Tag the template into its workload's named graph so per-workload
+        // template sets stay enumerable without a default-graph scan
+        // (cross-workload accounting, Exp-2).
+        if !tpl.source_workload.is_empty() {
+            self.server.insert_triples_in(
+                vocab::workload_graph_iri(&tpl.source_workload),
+                [(
+                    tnode,
+                    prop(vocab::HAS_PROBLEM_FINGERPRINT),
+                    Term::lit(tpl.fingerprint.clone()),
+                )],
+            );
+        }
     }
 
     /// Number of templates stored.
@@ -344,6 +375,19 @@ impl KnowledgeBase {
         }
     }
 
+    /// Workloads that contributed templates, from the named-graph index.
+    pub fn workloads(&self) -> Vec<String> {
+        self.server
+            .graph_names()
+            .into_iter()
+            .filter_map(|g| {
+                g.as_iri()
+                    .and_then(|iri| iri.strip_prefix(vocab::WORKLOAD_GRAPH_NS))
+                    .map(str::to_string)
+            })
+            .collect()
+    }
+
     /// Export as N-Triples (persistence).
     pub fn export(&self) -> String {
         self.server.export()
@@ -368,7 +412,10 @@ mod tests {
         b.add_table(
             Table::new(
                 "FACT",
-                vec![col("F_K", ColumnType::Integer), col("F_V", ColumnType::Decimal)],
+                vec![
+                    col("F_K", ColumnType::Integer),
+                    col("F_V", ColumnType::Decimal),
+                ],
             ),
             100_000,
             vec![
@@ -379,7 +426,10 @@ mod tests {
         b.add_table(
             Table::new(
                 "DIM",
-                vec![col("D_K", ColumnType::Integer), col("D_A", ColumnType::Integer)],
+                vec![
+                    col("D_K", ColumnType::Integer),
+                    col("D_A", ColumnType::Integer),
+                ],
             ),
             1_000,
             vec![
@@ -388,7 +438,12 @@ mod tests {
             ],
         );
         let db = b.build();
-        let q = parse(&db, "q", "SELECT f_v FROM fact, dim WHERE f_k = d_k AND d_a = 7").unwrap();
+        let q = parse(
+            &db,
+            "q",
+            "SELECT f_v FROM fact, dim WHERE f_k = d_k AND d_a = 7",
+        )
+        .unwrap();
         let plan = Optimizer::new(&db).optimize(&q).unwrap();
         (db, plan)
     }
@@ -417,7 +472,13 @@ mod tests {
     fn ranges_widen_and_cover() {
         let mut r = Range::point(100.0);
         r.cover(400.0);
-        assert_eq!(r, Range { lo: 100.0, hi: 400.0 });
+        assert_eq!(
+            r,
+            Range {
+                lo: 100.0,
+                hi: 400.0
+            }
+        );
         let w = r.widen(2.0);
         assert!(w.contains(50.0) && w.contains(800.0));
         assert!(!w.contains(49.0) && !w.contains(801.0));
@@ -466,6 +527,56 @@ mod tests {
         let kb2 = KnowledgeBase::new();
         kb2.import(&text).unwrap();
         assert_eq!(kb2.template_count(), 1);
+    }
+
+    #[test]
+    fn alternate_backend_is_a_drop_in() {
+        // The scan backend must behave identically through the KB facade.
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::with_backend(Box::<galo_rdf::ScanStore>::default());
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(5));
+        tpl.source_workload = "tpcds".into();
+        kb.insert(&tpl);
+        assert_eq!(kb.template_count(), 1);
+        let iri = vocab::template_iri(&tpl.id);
+        let (doc, source) = kb.guideline_of(iri.str_value()).expect("stored guideline");
+        assert_eq!(doc, tpl.guideline);
+        assert_eq!(source, "tpcds");
+    }
+
+    #[test]
+    fn workload_graphs_enumerate_sources() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        assert!(kb.workloads().is_empty());
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        for (i, wl) in ["tpcds", "client", "tpcds"].iter().enumerate() {
+            let mut tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(i as u64));
+            tpl.source_workload = wl.to_string();
+            kb.insert(&tpl);
+        }
+        let mut workloads = kb.workloads();
+        workloads.sort();
+        assert_eq!(workloads, vec!["client".to_string(), "tpcds".to_string()]);
+        // Named-graph tagging must not leak into the default graph's
+        // template count.
+        assert_eq!(kb.template_count(), 3);
+    }
+
+    #[test]
+    fn workload_graphs_survive_export_import() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(8));
+        tpl.source_workload = "tpcds".into();
+        kb.insert(&tpl);
+        let dump = kb.export();
+        let kb2 = KnowledgeBase::new();
+        kb2.import(&dump).unwrap();
+        assert_eq!(kb2.template_count(), 1);
+        assert_eq!(kb2.workloads(), vec!["tpcds".to_string()]);
     }
 
     #[test]

@@ -157,8 +157,8 @@ pub fn learn_workload(
 
     // Phase 2: analyze unique sub-queries in parallel.
     // (unique index, owning query, wall ms, simulated ms, candidate)
-    let results: Mutex<Vec<(usize, usize, f64, f64, Option<CandidateTemplate>)>> =
-        Mutex::new(Vec::with_capacity(unique.len()));
+    type AnalysisRow = (usize, usize, f64, f64, Option<CandidateTemplate>);
+    let results: Mutex<Vec<AnalysisRow>> = Mutex::new(Vec::with_capacity(unique.len()));
     let n_threads = cfg.threads.max(1);
     crossbeam::thread::scope(|scope| {
         for worker in 0..n_threads {
@@ -170,9 +170,8 @@ pub fn learn_workload(
                         continue;
                     }
                     let t0 = Instant::now();
-                    let mut rng = StdRng::seed_from_u64(
-                        cfg.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9),
-                    );
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
                     let (cand, sim_ms) = analyze_subquery(db, sub, cfg, &mut rng);
                     let ms = t0.elapsed().as_secs_f64() * 1e3;
                     results
@@ -201,7 +200,10 @@ pub fn learn_workload(
         report.per_subquery_ms.push(ms);
         report.simulated_machine_ms += sim_ms;
         let Some(cand) = cand else { continue };
-        let key = (cand.template.fingerprint.clone(), cand.template.guideline.to_xml());
+        let key = (
+            cand.template.fingerprint.clone(),
+            cand.template.guideline.to_xml(),
+        );
         if inserted.insert(key, ()).is_some() {
             continue;
         }
@@ -359,8 +361,7 @@ fn analyze_subquery_inner(
             .filter(|(_, &g)| g >= cfg.min_improvement)
             .map(|(i, _)| i)
             .collect();
-        let avg_gain =
-            winning.iter().map(|&i| improvements[i]).sum::<f64>() / winning.len() as f64;
+        let avg_gain = winning.iter().map(|&i| improvements[i]).sum::<f64>() / winning.len() as f64;
         let score = first_score.expect("non-empty improvements imply a score");
         let is_better = match &best {
             None => true,
@@ -494,8 +495,7 @@ mod tests {
         // Stale belief: the optimizer thinks A_STATE has 5,000 uniform
         // values, so it grossly under-estimates the filtered dimension and
         // walks into the flooding nested-loop trap.
-        *b.belief_mut().column_mut(addr, ColumnId(1)) =
-            ColumnStats::uniform(5_000, 0.0, 1e6, 2);
+        *b.belief_mut().column_mut(addr, ColumnId(1)) = ColumnStats::uniform(5_000, 0.0, 1e6, 2);
         b.plant_stale_cluster_ratio(f, IndexId(0), 0.03);
         let db = b.build();
         let q = galo_sql::parse(
@@ -510,8 +510,6 @@ mod tests {
             queries: vec![q],
         }
     }
-
-
 
     #[test]
     fn learns_a_rewrite_for_planted_flooding() {

@@ -60,11 +60,15 @@ pub mod ranking;
 pub mod transform;
 pub mod vocab;
 
-pub use diagnostics::{diagnose, evolution_report, render_evolution_report, Diagnosis, NearMiss, RewriteClass, Suspect};
+pub use diagnostics::{
+    diagnose, evolution_report, render_evolution_report, Diagnosis, NearMiss, RewriteClass, Suspect,
+};
 pub use expert::{expert_diagnose, ExpertConfig, ExpertOutcome};
 pub use galo::{Galo, QueryReoptResult, WorkloadReoptReport};
 pub use kb::{abstract_plan, KnowledgeBase, Range, Template, TemplatePop, TemplateScan};
 pub use learning::{learn_workload, LearnedTemplate, LearningConfig, LearningReport};
-pub use matching::{match_plan, reoptimize_query, MatchConfig, MatchReport, MatchedRewrite, ReoptOutcome};
+pub use matching::{
+    match_plan, reoptimize_query, MatchConfig, MatchReport, MatchedRewrite, ReoptOutcome,
+};
 pub use ranking::{better, kmeans2, score_runs, PlanScore, TIE_EPSILON};
 pub use transform::{qgm_to_rdf, segment_scan_qualifiers, segment_to_sparql};

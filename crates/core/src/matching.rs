@@ -264,8 +264,7 @@ mod tests {
         // Stale belief: the optimizer thinks A_STATE has 5,000 uniform
         // values, so it grossly under-estimates the filtered dimension and
         // walks into the flooding nested-loop trap.
-        *b.belief_mut().column_mut(addr, ColumnId(1)) =
-            ColumnStats::uniform(5_000, 0.0, 1e6, 2);
+        *b.belief_mut().column_mut(addr, ColumnId(1)) = ColumnStats::uniform(5_000, 0.0, 1e6, 2);
         b.plant_stale_cluster_ratio(f, IndexId(0), 0.03);
         let db = b.build();
         let q = galo_sql::parse(
@@ -293,8 +292,7 @@ mod tests {
         let report = learn_workload(&w, &kb, &learn_cfg);
         assert!(report.templates_learned >= 1);
 
-        let outcome =
-            reoptimize_query(&w.db, &kb, &w.queries[0], &MatchConfig::default()).unwrap();
+        let outcome = reoptimize_query(&w.db, &kb, &w.queries[0], &MatchConfig::default()).unwrap();
         assert!(
             !outcome.matched.rewrites.is_empty(),
             "the learned template must match its own source query"
@@ -312,8 +310,7 @@ mod tests {
     fn empty_kb_matches_nothing() {
         let w = quirky_workload();
         let kb = KnowledgeBase::new();
-        let outcome =
-            reoptimize_query(&w.db, &kb, &w.queries[0], &MatchConfig::default()).unwrap();
+        let outcome = reoptimize_query(&w.db, &kb, &w.queries[0], &MatchConfig::default()).unwrap();
         assert!(outcome.matched.rewrites.is_empty());
         assert!(outcome.reoptimized.is_none());
         assert_eq!(outcome.gain(), 0.0);

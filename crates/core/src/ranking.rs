@@ -99,7 +99,11 @@ pub fn score_runs(runs: &[RunMeasurement]) -> PlanScore {
     PlanScore {
         elapsed_ms: keep.iter().map(|r| r.elapsed_ms).sum::<f64>() / n,
         bp_logical_reads: keep.iter().map(|r| r.metrics.bp_logical_reads).sum::<f64>() / n,
-        bp_physical_reads: keep.iter().map(|r| r.metrics.bp_physical_reads).sum::<f64>() / n,
+        bp_physical_reads: keep
+            .iter()
+            .map(|r| r.metrics.bp_physical_reads)
+            .sum::<f64>()
+            / n,
         cpu_ms: keep.iter().map(|r| r.metrics.cpu_ms).sum::<f64>() / n,
         sort_heap_hwm_pages: keep
             .iter()

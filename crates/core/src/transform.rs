@@ -25,7 +25,11 @@ pub fn qgm_to_rdf(db: &Database, qgm: &Qgm) -> Vec<(Term, Term, Term)> {
     let mut triples = Vec::with_capacity(qgm.len() * 6);
     for (id, pop) in qgm.pops() {
         let me = vocab::pop_iri(pop.op_id);
-        triples.push((me.clone(), prop(vocab::HAS_POP_TYPE), Term::lit(pop.kind.name())));
+        triples.push((
+            me.clone(),
+            prop(vocab::HAS_POP_TYPE),
+            Term::lit(pop.kind.name()),
+        ));
         triples.push((
             me.clone(),
             prop(vocab::HAS_OPERATOR_ID),
@@ -249,11 +253,9 @@ pub fn segment_scan_qualifiers(qgm: &Qgm, root: PopId) -> Vec<(u32, String)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use galo_catalog::{
-        col, ColumnStats, ColumnType, DatabaseBuilder, SystemConfig, Table,
-    };
+    use galo_catalog::{col, ColumnStats, ColumnType, DatabaseBuilder, SystemConfig, Table};
     use galo_optimizer::Optimizer;
-    use galo_rdf::TripleStore;
+    use galo_rdf::{IndexedStore, TripleStore};
     use galo_sql::parse;
 
     fn setup() -> (Database, Qgm) {
@@ -261,7 +263,10 @@ mod tests {
         b.add_table(
             Table::new(
                 "FACT",
-                vec![col("F_K", ColumnType::Integer), col("F_V", ColumnType::Decimal)],
+                vec![
+                    col("F_K", ColumnType::Integer),
+                    col("F_V", ColumnType::Decimal),
+                ],
             ),
             100_000,
             vec![
@@ -270,7 +275,13 @@ mod tests {
             ],
         );
         b.add_table(
-            Table::new("DIM", vec![col("D_K", ColumnType::Integer), col("D_A", ColumnType::Integer)]),
+            Table::new(
+                "DIM",
+                vec![
+                    col("D_K", ColumnType::Integer),
+                    col("D_A", ColumnType::Integer),
+                ],
+            ),
             1_000,
             vec![
                 ColumnStats::uniform(1_000, 0.0, 1_000.0, 4),
@@ -278,7 +289,12 @@ mod tests {
             ],
         );
         let db = b.build();
-        let q = parse(&db, "q", "SELECT f_v FROM fact, dim WHERE f_k = d_k AND d_a = 7").unwrap();
+        let q = parse(
+            &db,
+            "q",
+            "SELECT f_v FROM fact, dim WHERE f_k = d_k AND d_a = 7",
+        )
+        .unwrap();
         let plan = Optimizer::new(&db).optimize(&q).unwrap();
         (db, plan)
     }
@@ -288,7 +304,7 @@ mod tests {
         let (db, plan) = setup();
         let triples = qgm_to_rdf(&db, &plan);
         let store = {
-            let mut s = TripleStore::new();
+            let mut s = IndexedStore::new();
             for (a, b, c) in triples {
                 s.insert(a, b, c);
             }
@@ -313,7 +329,7 @@ mod tests {
     #[test]
     fn rdf_streams_connect_every_nonroot_operator() {
         let (db, plan) = setup();
-        let mut store = TripleStore::new();
+        let mut store = IndexedStore::new();
         for (a, b, c) in qgm_to_rdf(&db, &plan) {
             store.insert(a, b, c);
         }

@@ -14,6 +14,8 @@ pub const POP_NS: &str = "http://galo/qep/pop/";
 pub const PROP_NS: &str = "http://galo/qep/property/";
 /// Namespace for knowledge-base templates.
 pub const TEMPLATE_NS: &str = "http://galo/kb/template/";
+/// Namespace for per-workload named graphs in the knowledge base.
+pub const WORKLOAD_GRAPH_NS: &str = "http://galo/kb/graph/workload/";
 
 /// Property IRI constructor.
 pub fn prop(name: &str) -> Term {
@@ -28,6 +30,11 @@ pub fn pop_iri(op_id: u32) -> Term {
 /// Template node IRI.
 pub fn template_iri(id: &str) -> Term {
     Term::iri(format!("{TEMPLATE_NS}{id}"))
+}
+
+/// Named-graph IRI for the templates learned from one workload.
+pub fn workload_graph_iri(workload: &str) -> Term {
+    Term::iri(format!("{WORKLOAD_GRAPH_NS}{workload}"))
 }
 
 /// Template-scoped plan-operator IRI.

@@ -44,9 +44,7 @@ pub fn compute_actuals(db: &Database, qgm: &Qgm) -> Actuals {
             .into_iter()
             .fold(0u64, |acc, t| acc | (1 << t));
         let actual = match &pop.kind {
-            PopKind::TbScan { table } | PopKind::IxScan { table, .. } => {
-                est.filtered_card(*table)
-            }
+            PopKind::TbScan { table } | PopKind::IxScan { table, .. } => est.filtered_card(*table),
             _ => est.join_card(set),
         };
         rows.insert(id, actual);

@@ -98,7 +98,10 @@ mod tests {
         b.add_table(
             Table::new(
                 "T",
-                vec![col("A", ColumnType::Integer), col("B", ColumnType::Varchar(100))],
+                vec![
+                    col("A", ColumnType::Integer),
+                    col("B", ColumnType::Varchar(100)),
+                ],
             ),
             500_000,
             vec![
@@ -130,7 +133,10 @@ mod tests {
             "mean {mean} should track base {clean}"
         );
         // Noise exists.
-        let min = runs.iter().map(|r| r.elapsed_ms).fold(f64::INFINITY, f64::min);
+        let min = runs
+            .iter()
+            .map(|r| r.elapsed_ms)
+            .fold(f64::INFINITY, f64::min);
         let max = runs.iter().map(|r| r.elapsed_ms).fold(0.0, f64::max);
         assert!(max > min);
     }

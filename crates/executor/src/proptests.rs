@@ -48,7 +48,10 @@ fn star_db() -> Database {
     b.add_table(
         Table::new(
             "D1",
-            vec![col("D1_K", ColumnType::Integer), col("D1_V", ColumnType::Integer)],
+            vec![
+                col("D1_K", ColumnType::Integer),
+                col("D1_V", ColumnType::Integer),
+            ],
         ),
         10_000,
         vec![
@@ -59,7 +62,10 @@ fn star_db() -> Database {
     b.add_table(
         Table::new(
             "D2",
-            vec![col("D2_K", ColumnType::Integer), col("D2_V", ColumnType::Integer)],
+            vec![
+                col("D2_K", ColumnType::Integer),
+                col("D2_V", ColumnType::Integer),
+            ],
         ),
         5_000,
         vec![

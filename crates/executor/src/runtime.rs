@@ -172,8 +172,8 @@ impl<'a> Simulator<'a> {
                 let physical = if cached { 0.0 } else { pages };
                 let io = physical * self.params.seq_page_ms_for(table_id)
                     + (pages - physical) * BP_ACCESS_MS;
-                let cpu = rows_scanned
-                    * (self.params.cpu_row_ms + n_preds * self.params.cpu_pred_ms);
+                let cpu =
+                    rows_scanned * (self.params.cpu_row_ms + n_preds * self.params.cpu_pred_ms);
                 NodeRun {
                     rows: out_rows,
                     elapsed: io + cpu,
@@ -186,7 +186,11 @@ impl<'a> Simulator<'a> {
                     pages: stats.pages as f64,
                 }
             }
-            PopKind::IxScan { table, index, fetch } => {
+            PopKind::IxScan {
+                table,
+                index,
+                fetch,
+            } => {
                 let table_id = query.tables[*table].table;
                 let stats = self.db.truth.table(table_id);
                 let key_col = self.db.table(table_id).index(*index).column;
@@ -202,7 +206,10 @@ impl<'a> Simulator<'a> {
                 let mut cpu = selected * self.params.cpu_row_ms;
 
                 if *fetch {
-                    let cr = self.db.actual_cluster_ratio(table_id, *index).clamp(0.0, 1.0);
+                    let cr = self
+                        .db
+                        .actual_cluster_ratio(table_id, *index)
+                        .clamp(0.0, 1.0);
                     let pages = stats.pages as f64;
                     let sel = (selected / stats.row_count.max(1) as f64).min(1.0);
                     // Dense-fetch model (see the optimizer's `fetch_cost`):
@@ -253,15 +260,13 @@ impl<'a> Simulator<'a> {
                 let build_cpu = inner.rows * self.params.cpu_hash_ms;
                 let width = 24.0;
                 let inner_bytes = inner.rows * width;
-                let heap_bytes =
-                    self.params.sort_heap_pages as f64 * self.params.page_size as f64;
+                let heap_bytes = self.params.sort_heap_pages as f64 * self.params.page_size as f64;
                 let mut spill_io = 0.0;
                 let mut phys = 0.0;
                 let mut hwm = (inner_bytes / self.params.page_size as f64)
                     .min(self.params.sort_heap_pages as f64);
                 if inner_bytes > heap_bytes {
-                    let excess_pages =
-                        (inner_bytes - heap_bytes) / self.params.page_size as f64;
+                    let excess_pages = (inner_bytes - heap_bytes) / self.params.page_size as f64;
                     let outer_eff = if *bloom {
                         outer.rows * match_frac
                     } else {
@@ -306,7 +311,9 @@ impl<'a> Simulator<'a> {
                 let inner = self.eval(qgm, est, pop.inputs[1], warm, 1.0);
 
                 let join_rows = est.join_card(outer_set | inner_set) * fraction;
-                let merged = outer.rows.min(outer.rows * scan_frac / outer_fraction.max(1e-9))
+                let merged = outer
+                    .rows
+                    .min(outer.rows * scan_frac / outer_fraction.max(1e-9))
                     + inner.rows;
                 let cpu = merged * self.params.cpu_row_ms;
                 let mut metrics = outer.metrics;
@@ -339,7 +346,12 @@ impl<'a> Simulator<'a> {
         let per_probe = join_rows / probes;
 
         let inner_pop = qgm.pop(pop.inputs[1]);
-        if let PopKind::IxScan { table, index, fetch } = &inner_pop.kind {
+        if let PopKind::IxScan {
+            table,
+            index,
+            fetch,
+        } = &inner_pop.kind
+        {
             let table_id = query.tables[*table].table;
             let stats = self.db.truth.table(table_id);
             let pages = stats.pages as f64;
@@ -373,9 +385,7 @@ impl<'a> Simulator<'a> {
                 io += phys.min(seq_pages) * self.params.seq_page_ms_for(table_id)
                     + (phys - seq_pages).max(0.0) * self.params.random_page_ms
                     + (touches - phys).max(0.0) * BP_ACCESS_MS;
-                cpu += join_rows
-                    * query.locals_of(*table).count() as f64
-                    * self.params.cpu_pred_ms;
+                cpu += join_rows * query.locals_of(*table).count() as f64 * self.params.cpu_pred_ms;
             }
             let mut metrics = outer.metrics;
             metrics.add(&Metrics {
@@ -399,8 +409,7 @@ impl<'a> Simulator<'a> {
         let hit = (bp / inner.pages.max(1.0)).min(1.0);
         let repeat = inner.elapsed * (1.0 - 0.95 * hit);
         let cpu = probes * self.params.cpu_row_ms + join_rows * self.params.cpu_row_ms;
-        let elapsed =
-            outer.elapsed + inner.elapsed + (probes - 1.0).max(0.0) * repeat + cpu;
+        let elapsed = outer.elapsed + inner.elapsed + (probes - 1.0).max(0.0) * repeat + cpu;
         let mut metrics = outer.metrics;
         metrics.add(&inner.metrics);
         metrics.cpu_ms += cpu;
@@ -422,15 +431,12 @@ impl<'a> Simulator<'a> {
                 continue;
             }
             for (fact_side, dim_side) in [(left, right), (right, left)] {
-                let fact_here = (0..query.tables.len()).any(|t| {
-                    fact_side & (1 << t) != 0 && query.tables[t].table == quirk.fact.0
-                });
+                let fact_here = (0..query.tables.len())
+                    .any(|t| fact_side & (1 << t) != 0 && query.tables[t].table == quirk.fact.0);
                 let dim_filtered = (0..query.tables.len()).any(|t| {
                     dim_side & (1 << t) != 0
                         && query.tables[t].table == quirk.dim.0
-                        && query
-                            .locals_of(t)
-                            .any(|p| p.col.column == quirk.dim.1)
+                        && query.locals_of(t).any(|p| p.col.column == quirk.dim.1)
                 });
                 if fact_here && dim_filtered {
                     frac = frac.min(quirk.merge_scan_fraction);
@@ -448,9 +454,9 @@ mod tests {
         col, ColumnId, ColumnStats, ColumnType, DatabaseBuilder, Index, IndexId, SystemConfig,
         Table,
     };
+    use galo_optimizer::Optimizer;
     use galo_qgm::GuidelineDoc;
     use galo_qgm::GuidelineNode;
-    use galo_optimizer::Optimizer;
     use galo_sql::parse;
 
     fn fig4_db(stale_cluster: bool) -> Database {
@@ -541,9 +547,7 @@ mod tests {
             t_clean.elapsed_ms,
             t_quirky.elapsed_ms
         );
-        assert!(
-            t_quirky.metrics.bp_physical_reads > t_clean.metrics.bp_physical_reads * 2.0
-        );
+        assert!(t_quirky.metrics.bp_physical_reads > t_clean.metrics.bp_physical_reads * 2.0);
     }
 
     #[test]

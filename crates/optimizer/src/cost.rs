@@ -91,7 +91,12 @@ impl<'a> CostModel<'a> {
     /// TRANSFERRATE is a tablespace property.
     pub fn fetch_cost(&self, table: TableId, index: IndexId, rows: f64) -> f64 {
         let stats = self.db.belief.table(table);
-        let cr = self.db.table(table).index(index).cluster_ratio.clamp(0.0, 1.0);
+        let cr = self
+            .db
+            .table(table)
+            .index(index)
+            .cluster_ratio
+            .clamp(0.0, 1.0);
         let pages = stats.pages as f64;
         let bp = self.params.buffer_pool_pages as f64;
         let sel = (rows / stats.row_count.max(1) as f64).min(1.0);
@@ -106,13 +111,7 @@ impl<'a> CostModel<'a> {
 
     /// Per-probe cost of an index access under a nested-loop join,
     /// returning `match_rows` rows per probe.
-    pub fn index_probe(
-        &self,
-        table: TableId,
-        index: IndexId,
-        match_rows: f64,
-        fetch: bool,
-    ) -> f64 {
+    pub fn index_probe(&self, table: TableId, index: IndexId, match_rows: f64, fetch: bool) -> f64 {
         let stats = self.db.belief.table(table);
         let miss = 1.0 - self.hit_ratio(stats.pages as f64);
         let mut cost = INDEX_TRAVERSAL_PAGES * self.params.random_page_ms * miss.max(0.02)
@@ -207,10 +206,8 @@ impl<'a> CostModel<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use galo_catalog::{
-        col, ColumnStats, ColumnType, DatabaseBuilder, Index, SystemConfig, Table,
-    };
     use galo_catalog::ColumnId;
+    use galo_catalog::{col, ColumnStats, ColumnType, DatabaseBuilder, Index, SystemConfig, Table};
 
     fn db() -> Database {
         let mut b = DatabaseBuilder::new("cost", SystemConfig::default_1gb());
@@ -263,7 +260,10 @@ mod tests {
         let t = TableId(0);
         let scan = m.tbscan(t, 1);
         let ix = m.ixscan(t, IndexId(0), 0.9, true, 0);
-        assert!(ix > scan, "unselective ixscan {ix} should lose to tbscan {scan}");
+        assert!(
+            ix > scan,
+            "unselective ixscan {ix} should lose to tbscan {scan}"
+        );
     }
 
     #[test]
@@ -271,7 +271,6 @@ mod tests {
         let mut database = db();
         let m = CostModel::belief(&database);
         let clustered = m.fetch_cost(TableId(0), IndexId(0), 50_000.0);
-        drop(m);
         // Degrade the catalog's cluster ratio and re-cost.
         {
             let table = TableId(0);
@@ -283,7 +282,10 @@ mod tests {
         let mut b = DatabaseBuilder::new("cost2", SystemConfig::default_1gb());
         let mut sales = Table::new(
             "SALES",
-            vec![col("S_PK", ColumnType::Integer), col("S_V", ColumnType::Varchar(80))],
+            vec![
+                col("S_PK", ColumnType::Integer),
+                col("S_V", ColumnType::Varchar(80)),
+            ],
         );
         sales.add_index(Index {
             name: "S_PK_IX".into(),
@@ -362,6 +364,9 @@ mod tests {
         let cached = m.nljoin_rescan(1_000.0, 0.5, 1.0);
         // Huge inner (1M pages) pays nearly full price each probe.
         let uncached = m.nljoin_rescan(1_000.0, 0.5, 1_000_000.0);
-        assert!(cached < uncached / 5.0, "cached {cached} uncached {uncached}");
+        assert!(
+            cached < uncached / 5.0,
+            "cached {cached} uncached {uncached}"
+        );
     }
 }

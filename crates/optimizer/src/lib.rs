@@ -21,7 +21,9 @@ use galo_qgm::{GuidelineDoc, Qgm};
 use galo_sql::Query;
 
 pub use cost::CostModel;
-pub use planner::{prune, to_qgm, AccessPath, Cand, GuidelineOutcome, JoinMethod, PhysPlan, PlannerConfig};
+pub use planner::{
+    prune, to_qgm, AccessPath, Cand, GuidelineOutcome, JoinMethod, PhysPlan, PlannerConfig,
+};
 pub use random::RandomPlanGenerator;
 pub use rewrite::{rewrite, RewriteReport};
 
@@ -41,7 +43,10 @@ impl std::fmt::Display for OptimizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OptimizeError::DisconnectedJoinGraph => {
-                write!(f, "cannot plan a disconnected join graph without cross products")
+                write!(
+                    f,
+                    "cannot plan a disconnected join graph without cross products"
+                )
             }
             OptimizeError::EmptyQuery => write!(f, "query has no tables"),
         }

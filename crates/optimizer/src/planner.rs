@@ -204,9 +204,7 @@ impl<'a> Planner<'a> {
                 .query
                 .locals_of(t)
                 .filter(|p| p.col.column == ix.column)
-                .map(|p| {
-                    galo_sql::local_selectivity(&self.db.belief, table_id, p, ix.column)
-                })
+                .map(|p| galo_sql::local_selectivity(&self.db.belief, table_id, p, ix.column))
                 .product();
             let fetch = used.iter().any(|&c| c != ix.column);
             let residual = self
@@ -277,8 +275,14 @@ impl<'a> Planner<'a> {
         }
         let keys = self.est.join_keys_between(os, is);
         let ((okt, okc), (ikt, ikc)) = keys[0];
-        let okey = ColRef { table_idx: okt, column: okc };
-        let ikey = ColRef { table_idx: ikt, column: ikc };
+        let okey = ColRef {
+            table_idx: okt,
+            column: okc,
+        };
+        let ikey = ColRef {
+            table_idx: ikt,
+            column: ikc,
+        };
         let set = os | is;
         let card = self.est.join_card(set);
 
@@ -288,18 +292,46 @@ impl<'a> Planner<'a> {
 
                 // Nested loop.
                 let nl_delta = self.nl_delta(oc, ic, card);
-                out.push(self.mk_join(JoinMethod::Nl, (okey, ikey), oc, ic, oc.cost + nl_delta, card, oc.order));
+                out.push(self.mk_join(
+                    JoinMethod::Nl,
+                    (okey, ikey),
+                    oc,
+                    ic,
+                    oc.cost + nl_delta,
+                    card,
+                    oc.order,
+                ));
 
                 // Hash join (plain, and bloom when enabled).
                 let hs = oc.cost
                     + ic.cost
-                    + self.cm.hsjoin(oc.card, ic.card, self.width_of(is), false, match_frac);
-                out.push(self.mk_join(JoinMethod::Hs { bloom: false }, (okey, ikey), oc, ic, hs, card, None));
+                    + self
+                        .cm
+                        .hsjoin(oc.card, ic.card, self.width_of(is), false, match_frac);
+                out.push(self.mk_join(
+                    JoinMethod::Hs { bloom: false },
+                    (okey, ikey),
+                    oc,
+                    ic,
+                    hs,
+                    card,
+                    None,
+                ));
                 if self.config.enable_bloom {
                     let hsb = oc.cost
                         + ic.cost
-                        + self.cm.hsjoin(oc.card, ic.card, self.width_of(is), true, match_frac);
-                    out.push(self.mk_join(JoinMethod::Hs { bloom: true }, (okey, ikey), oc, ic, hsb, card, None));
+                        + self
+                            .cm
+                            .hsjoin(oc.card, ic.card, self.width_of(is), true, match_frac);
+                    out.push(self.mk_join(
+                        JoinMethod::Hs { bloom: true },
+                        (okey, ikey),
+                        oc,
+                        ic,
+                        hsb,
+                        card,
+                        None,
+                    ));
                 }
 
                 // Merge join: sort sides not already ordered on the key.
@@ -326,6 +358,7 @@ impl<'a> Planner<'a> {
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn mk_join(
         &self,
         method: JoinMethod,
@@ -366,7 +399,11 @@ impl<'a> Planner<'a> {
         {
             let on_join_key = keys.iter().any(|&(_, (it, icol))| {
                 it == *table_idx
-                    && self.db.table(self.query.tables[*table_idx].table).index(*index).column
+                    && self
+                        .db
+                        .table(self.query.tables[*table_idx].table)
+                        .index(*index)
+                        .column
                         == icol
             });
             if on_join_key {
@@ -492,7 +529,7 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        units.pop()?.1.into_iter().min_by(|a, b| cmp_cost(a, b))
+        units.pop()?.1.into_iter().min_by(cmp_cost)
     }
 
     /// Plain cost-based plan.
@@ -514,7 +551,13 @@ impl<'a> Planner<'a> {
                 self.access_candidates_raw(t)
                     .into_iter()
                     .find(|c| {
-                        matches!(&*c.plan, PhysPlan::Access { path: AccessPath::TbScan, .. })
+                        matches!(
+                            &*c.plan,
+                            PhysPlan::Access {
+                                path: AccessPath::TbScan,
+                                ..
+                            }
+                        )
                     })
                     .ok_or_else(|| format!("no TBSCAN candidate for {tabid}"))
             }
@@ -542,7 +585,9 @@ impl<'a> Planner<'a> {
                     )
                 })
             }
-            GuidelineNode::HsJoin(o, i) | GuidelineNode::MsJoin(o, i) | GuidelineNode::NlJoin(o, i) => {
+            GuidelineNode::HsJoin(o, i)
+            | GuidelineNode::MsJoin(o, i)
+            | GuidelineNode::NlJoin(o, i) => {
                 let oc = self.guideline_cand(o)?;
                 let ic = self.guideline_cand(i)?;
                 if !self.est.connected(oc.set, ic.set) {
@@ -554,18 +599,22 @@ impl<'a> Planner<'a> {
                     GuidelineNode::NlJoin(..) => JoinMethod::Nl,
                     _ => unreachable!(),
                 };
-                let cands = self.join_candidates(
-                    std::slice::from_ref(&oc),
-                    std::slice::from_ref(&ic),
-                );
+                let cands =
+                    self.join_candidates(std::slice::from_ref(&oc), std::slice::from_ref(&ic));
                 cands
                     .into_iter()
                     .filter(|c| match (&*c.plan, wanted) {
-                        (PhysPlan::Join { method: JoinMethod::Hs { .. }, .. }, JoinMethod::Hs { .. }) => true,
+                        (
+                            PhysPlan::Join {
+                                method: JoinMethod::Hs { .. },
+                                ..
+                            },
+                            JoinMethod::Hs { .. },
+                        ) => true,
                         (PhysPlan::Join { method, .. }, w) => *method == w,
                         _ => false,
                     })
-                    .min_by(|a, b| cmp_cost(a, b))
+                    .min_by(cmp_cost)
                     .ok_or_else(|| "guideline join method not constructible".into())
             }
         }
@@ -636,13 +685,19 @@ impl<'a> Planner<'a> {
 }
 
 fn cmp_cost(a: &Cand, b: &Cand) -> std::cmp::Ordering {
-    a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal)
+    a.cost
+        .partial_cmp(&b.cost)
+        .unwrap_or(std::cmp::Ordering::Equal)
 }
 
 /// Pareto pruning: keep the cheapest candidate overall plus the cheapest
 /// per distinct output order (interesting orders).
 pub fn prune(mut cands: Vec<Cand>) -> Vec<Cand> {
-    cands.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    cands.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut kept: Vec<Cand> = Vec::new();
     for c in cands {
         let dominated = kept

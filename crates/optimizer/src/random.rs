@@ -15,7 +15,7 @@ use galo_catalog::Database;
 use galo_qgm::Qgm;
 use galo_sql::Query;
 
-use crate::planner::{prune, to_qgm, Cand, JoinMethod, Planner, PlannerConfig, PhysPlan};
+use crate::planner::{prune, to_qgm, Cand, JoinMethod, PhysPlan, Planner, PlannerConfig};
 
 /// Generates random alternative plans for a query.
 pub struct RandomPlanGenerator<'a> {
@@ -62,9 +62,7 @@ impl<'a> RandomPlanGenerator<'a> {
                 }
             }
             let &(i, j) = pairs.choose(rng)?;
-            let all = self
-                .planner
-                .join_candidates(&components[i], &components[j]);
+            let all = self.planner.join_candidates(&components[i], &components[j]);
             if all.is_empty() {
                 return None;
             }

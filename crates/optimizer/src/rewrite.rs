@@ -135,7 +135,9 @@ pub fn rewrite(query: &Query) -> (Query, RewriteReport) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use galo_catalog::{col, ColumnStats, ColumnType, Database, DatabaseBuilder, SystemConfig, Table};
+    use galo_catalog::{
+        col, ColumnStats, ColumnType, Database, DatabaseBuilder, SystemConfig, Table,
+    };
     use galo_sql::parse;
 
     fn db() -> Database {
@@ -144,7 +146,10 @@ mod tests {
             b.add_table(
                 Table::new(
                     name,
-                    vec![col(&format!("{name}_K"), ColumnType::Integer), col(&format!("{name}_V"), ColumnType::Integer)],
+                    vec![
+                        col(&format!("{name}_K"), ColumnType::Integer),
+                        col(&format!("{name}_V"), ColumnType::Integer),
+                    ],
                 ),
                 1000,
                 vec![
@@ -159,15 +164,20 @@ mod tests {
     #[test]
     fn transitive_closure_adds_implied_join() {
         let db = db();
-        let q = parse(&db, "t", "SELECT a_v FROM a, b, c WHERE a_k = b_k AND b_k = c_k").unwrap();
+        let q = parse(
+            &db,
+            "t",
+            "SELECT a_v FROM a, b, c WHERE a_k = b_k AND b_k = c_k",
+        )
+        .unwrap();
         let (rw, report) = rewrite(&q);
         assert_eq!(report.implied_joins_added, 1);
         assert_eq!(rw.joins.len(), 3);
         // The new edge connects A and C.
-        assert!(rw
-            .joins
-            .iter()
-            .any(|j| { let (x, y) = j.normalized(); x.table_idx == 0 && y.table_idx == 2 }));
+        assert!(rw.joins.iter().any(|j| {
+            let (x, y) = j.normalized();
+            x.table_idx == 0 && y.table_idx == 2
+        }));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use galo_sql::parse;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{Optimizer, OptimizeError, PlannerConfig};
+use crate::{OptimizeError, Optimizer, PlannerConfig};
 
 /// Star schema: SALES fact (2.88M) with DATE_DIM, ITEM, STORE dimensions.
 fn star_db() -> Database {
@@ -219,7 +219,9 @@ fn msjoin_guideline_inserts_sorts() {
         Box::new(GuidelineNode::TbScan { tabid: "Q1".into() }),
         Box::new(GuidelineNode::TbScan { tabid: "Q2".into() }),
     )]);
-    let reopt = Optimizer::new(&db).optimize_with_guidelines(&q, &doc).unwrap();
+    let reopt = Optimizer::new(&db)
+        .optimize_with_guidelines(&q, &doc)
+        .unwrap();
     assert_eq!(reopt.outcome.honored, vec![true]);
     let sorts = reopt
         .qgm
@@ -237,7 +239,9 @@ fn infeasible_guideline_is_dropped() {
         tabid: "Q99".into(),
         index: None,
     }]);
-    let reopt = Optimizer::new(&db).optimize_with_guidelines(&q, &doc).unwrap();
+    let reopt = Optimizer::new(&db)
+        .optimize_with_guidelines(&q, &doc)
+        .unwrap();
     assert_eq!(reopt.outcome.honored, vec![false]);
     assert!(reopt.outcome.notes[0].contains("Q99"));
     // Planning proceeds cost-based.
@@ -257,7 +261,9 @@ fn overlapping_guidelines_honor_first_only() {
         Box::new(GuidelineNode::TbScan { tabid: "Q3".into() }),
     );
     let doc = GuidelineDoc::new(vec![g1, g2]);
-    let reopt = Optimizer::new(&db).optimize_with_guidelines(&q, &doc).unwrap();
+    let reopt = Optimizer::new(&db)
+        .optimize_with_guidelines(&q, &doc)
+        .unwrap();
     assert_eq!(reopt.outcome.honored, vec![true, false]);
     assert!(reopt.outcome.notes[0].contains("overlap"));
 }
@@ -278,7 +284,9 @@ fn named_index_guideline_resolves_by_name() {
             index: Some("S_DATE_IX".into()),
         }),
     )]);
-    let reopt = Optimizer::new(&db).optimize_with_guidelines(&q, &doc).unwrap();
+    let reopt = Optimizer::new(&db)
+        .optimize_with_guidelines(&q, &doc)
+        .unwrap();
     assert_eq!(reopt.outcome.honored, vec![true]);
     assert!(reopt.qgm.plan_fingerprint().contains("NLJOIN"));
 }
@@ -361,7 +369,12 @@ fn greedy_handles_wide_chain_queries() {
     }
     let db = b.build();
     let mut sql = String::from("SELECT t0_a FROM ");
-    sql.push_str(&(0..16).map(|i| format!("t{i}")).collect::<Vec<_>>().join(", "));
+    sql.push_str(
+        &(0..16)
+            .map(|i| format!("t{i}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
     sql.push_str(" WHERE ");
     sql.push_str(
         &(0..15)

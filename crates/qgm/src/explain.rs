@@ -98,19 +98,20 @@ fn detail_block(db: &Database, qgm: &Qgm, id: PopId, actuals: Option<&ActualCard
 #[cfg(test)]
 mod tests {
     use super::*;
-    use galo_catalog::{
-        col, ColumnStats, ColumnType, DatabaseBuilder, Index, SystemConfig, Table,
-    };
-    use galo_catalog::ColumnId;
-    use galo_sql::{Query, TableRef};
-    use galo_catalog::TableId;
     use crate::plan::Qgm;
+    use galo_catalog::ColumnId;
+    use galo_catalog::TableId;
+    use galo_catalog::{col, ColumnStats, ColumnType, DatabaseBuilder, Index, SystemConfig, Table};
+    use galo_sql::{Query, TableRef};
 
     fn fixture() -> (Database, Qgm) {
         let mut b = DatabaseBuilder::new("ex", SystemConfig::default_1gb());
         let mut t = Table::new(
             "SALES",
-            vec![col("S_K", ColumnType::Integer), col("S_V", ColumnType::Decimal)],
+            vec![
+                col("S_K", ColumnType::Integer),
+                col("S_V", ColumnType::Decimal),
+            ],
         );
         t.add_index(Index {
             name: "S_K_IX".into(),
@@ -135,8 +136,14 @@ mod tests {
         let query = Query {
             name: "ex".into(),
             tables: vec![
-                TableRef { table: TableId(0), qualifier: "Q1".into() },
-                TableRef { table: TableId(1), qualifier: "Q2".into() },
+                TableRef {
+                    table: TableId(0),
+                    qualifier: "Q1".into(),
+                },
+                TableRef {
+                    table: TableId(1),
+                    qualifier: "Q2".into(),
+                },
             ],
             joins: vec![],
             locals: vec![],
@@ -144,7 +151,11 @@ mod tests {
         };
         let mut builder = Qgm::builder(query);
         let s = builder.add(
-            PopKind::IxScan { table: 0, index: galo_catalog::IndexId(0), fetch: true },
+            PopKind::IxScan {
+                table: 0,
+                index: galo_catalog::IndexId(0),
+                fetch: true,
+            },
             vec![],
             150.0,
             12.5,

@@ -74,18 +74,15 @@ impl GuidelineNode {
     /// abstract template against a concrete query's qualifiers).
     pub fn map_tabids(&self, map: &dyn Fn(&str) -> String) -> GuidelineNode {
         match self {
-            GuidelineNode::HsJoin(o, i) => GuidelineNode::HsJoin(
-                Box::new(o.map_tabids(map)),
-                Box::new(i.map_tabids(map)),
-            ),
-            GuidelineNode::MsJoin(o, i) => GuidelineNode::MsJoin(
-                Box::new(o.map_tabids(map)),
-                Box::new(i.map_tabids(map)),
-            ),
-            GuidelineNode::NlJoin(o, i) => GuidelineNode::NlJoin(
-                Box::new(o.map_tabids(map)),
-                Box::new(i.map_tabids(map)),
-            ),
+            GuidelineNode::HsJoin(o, i) => {
+                GuidelineNode::HsJoin(Box::new(o.map_tabids(map)), Box::new(i.map_tabids(map)))
+            }
+            GuidelineNode::MsJoin(o, i) => {
+                GuidelineNode::MsJoin(Box::new(o.map_tabids(map)), Box::new(i.map_tabids(map)))
+            }
+            GuidelineNode::NlJoin(o, i) => {
+                GuidelineNode::NlJoin(Box::new(o.map_tabids(map)), Box::new(i.map_tabids(map)))
+            }
             GuidelineNode::TbScan { tabid } => GuidelineNode::TbScan { tabid: map(tabid) },
             GuidelineNode::IxScan { tabid, index } => GuidelineNode::IxScan {
                 tabid: map(tabid),
@@ -440,7 +437,9 @@ mod tests {
         let doc = GuidelineDoc::parse_xml(text).unwrap();
         assert_eq!(
             doc.roots[0],
-            GuidelineNode::TbScan { tabid: "MYSCHEMA.SALES".into() }
+            GuidelineNode::TbScan {
+                tabid: "MYSCHEMA.SALES".into()
+            }
         );
     }
 

@@ -64,7 +64,10 @@ impl PopKind {
 
     /// True for the three join operators.
     pub fn is_join(&self) -> bool {
-        matches!(self, PopKind::NlJoin | PopKind::HsJoin { .. } | PopKind::MsJoin)
+        matches!(
+            self,
+            PopKind::NlJoin | PopKind::HsJoin { .. } | PopKind::MsJoin
+        )
     }
 
     /// True for base-table access operators.
@@ -196,8 +199,16 @@ impl Qgm {
         let children: Vec<String> = pop.inputs.iter().map(|&c| self.fingerprint(c)).collect();
         let label = match &pop.kind {
             PopKind::TbScan { table } => format!("TBSCAN[{table}]"),
-            PopKind::IxScan { table, index, fetch } => {
-                format!("IXSCAN[{table},{},{}]", index.0, if *fetch { "F" } else { "-" })
+            PopKind::IxScan {
+                table,
+                index,
+                fetch,
+            } => {
+                format!(
+                    "IXSCAN[{table},{},{}]",
+                    index.0,
+                    if *fetch { "F" } else { "-" }
+                )
             }
             other => other.name().to_string(),
         };
@@ -242,11 +253,7 @@ impl Qgm {
         };
         let table_note = pop.kind.scan_table().map(|t| {
             let tref = &self.query.tables[t];
-            format!(
-                "  [{} {}]",
-                db.table(tref.table).name,
-                tref.qualifier
-            )
+            format!("  [{} {}]", db.table(tref.table).name, tref.qualifier)
         });
         out.push_str(&format!(
             "{prefix}{connector}{:>12.6e}  {} ({}){}\n",
@@ -264,7 +271,11 @@ impl Qgm {
         };
         let n = pop.inputs.len();
         for (i, &child) in pop.inputs.iter().enumerate() {
-            let cp = if prefix.is_empty() { "  ".to_string() } else { child_prefix.clone() };
+            let cp = if prefix.is_empty() {
+                "  ".to_string()
+            } else {
+                child_prefix.clone()
+            };
             self.render_node(db, child, &cp, i + 1 == n, out);
         }
     }
@@ -359,15 +370,21 @@ impl QgmBuilder {
 mod tests {
     use super::*;
     use galo_catalog::ColumnId;
-    use galo_sql::TableRef;
     use galo_catalog::TableId;
+    use galo_sql::TableRef;
 
     fn two_table_query() -> Query {
         Query {
             name: "t".into(),
             tables: vec![
-                TableRef { table: TableId(0), qualifier: "Q1".into() },
-                TableRef { table: TableId(1), qualifier: "Q2".into() },
+                TableRef {
+                    table: TableId(0),
+                    qualifier: "Q1".into(),
+                },
+                TableRef {
+                    table: TableId(1),
+                    qualifier: "Q2".into(),
+                },
             ],
             joins: vec![],
             locals: vec![],
@@ -379,12 +396,21 @@ mod tests {
         let mut b = Qgm::builder(two_table_query());
         let outer = b.add(PopKind::TbScan { table: 0 }, vec![], 1000.0, 10.0);
         let inner = b.add(
-            PopKind::IxScan { table: 1, index: IndexId(0), fetch: true },
+            PopKind::IxScan {
+                table: 1,
+                index: IndexId(0),
+                fetch: true,
+            },
             vec![],
             50.0,
             5.0,
         );
-        let join = b.add(PopKind::HsJoin { bloom: false }, vec![outer, inner], 500.0, 40.0);
+        let join = b.add(
+            PopKind::HsJoin { bloom: false },
+            vec![outer, inner],
+            500.0,
+            40.0,
+        );
         b.finish(join)
     }
 
@@ -436,19 +462,32 @@ mod tests {
         let mut b = Qgm::builder(two_table_query());
         let outer = b.add(PopKind::TbScan { table: 0 }, vec![], 9.0, 9.0);
         let inner = b.add(
-            PopKind::IxScan { table: 1, index: IndexId(0), fetch: true },
+            PopKind::IxScan {
+                table: 1,
+                index: IndexId(0),
+                fetch: true,
+            },
             vec![],
             9.0,
             9.0,
         );
-        let join = b.add(PopKind::HsJoin { bloom: false }, vec![outer, inner], 9.0, 9.0);
+        let join = b.add(
+            PopKind::HsJoin { bloom: false },
+            vec![outer, inner],
+            9.0,
+            9.0,
+        );
         let plan_b = b.finish(join);
         assert_eq!(plan_a.plan_fingerprint(), plan_b.plan_fingerprint());
 
         let mut c = Qgm::builder(two_table_query());
         let outer = c.add(PopKind::TbScan { table: 0 }, vec![], 9.0, 9.0);
         let inner = c.add(
-            PopKind::IxScan { table: 1, index: IndexId(0), fetch: true },
+            PopKind::IxScan {
+                table: 1,
+                index: IndexId(0),
+                fetch: true,
+            },
             vec![],
             9.0,
             9.0,
@@ -461,11 +500,21 @@ mod tests {
     #[test]
     fn fetch_flag_changes_operator_name() {
         assert_eq!(
-            PopKind::IxScan { table: 0, index: IndexId(0), fetch: true }.name(),
+            PopKind::IxScan {
+                table: 0,
+                index: IndexId(0),
+                fetch: true
+            }
+            .name(),
             "F-IXSCAN"
         );
         assert_eq!(
-            PopKind::IxScan { table: 0, index: IndexId(0), fetch: false }.name(),
+            PopKind::IxScan {
+                table: 0,
+                index: IndexId(0),
+                fetch: false
+            }
+            .name(),
             "IXSCAN"
         );
     }
@@ -474,7 +523,10 @@ mod tests {
     fn sort_order_tracked() {
         let mut b = Qgm::builder(two_table_query());
         let scan = b.add(PopKind::TbScan { table: 0 }, vec![], 10.0, 1.0);
-        let key = ColRef { table_idx: 0, column: ColumnId(0) };
+        let key = ColRef {
+            table_idx: 0,
+            column: ColumnId(0),
+        };
         let sort = b.add(PopKind::Sort { key: Some(key) }, vec![scan], 10.0, 2.0);
         b.set_order(sort, Some(key));
         assert_eq!(b.order_of(sort), Some(key));

@@ -93,7 +93,11 @@ mod tests {
         let mut b = Qgm::builder(query_n(4));
         let s0 = b.add(PopKind::TbScan { table: 0 }, vec![], 100.0, 1.0);
         let s1 = b.add(
-            PopKind::IxScan { table: 1, index: IndexId(0), fetch: false },
+            PopKind::IxScan {
+                table: 1,
+                index: IndexId(0),
+                fetch: false,
+            },
             vec![],
             10.0,
             1.0,
@@ -102,7 +106,12 @@ mod tests {
         let s2 = b.add(PopKind::TbScan { table: 2 }, vec![], 200.0, 1.0);
         let s3 = b.add(PopKind::TbScan { table: 3 }, vec![], 20.0, 1.0);
         let sort = b.add(
-            PopKind::Sort { key: Some(ColRef { table_idx: 3, column: ColumnId(0) }) },
+            PopKind::Sort {
+                key: Some(ColRef {
+                    table_idx: 3,
+                    column: ColumnId(0),
+                }),
+            },
             vec![s3],
             20.0,
             2.0,
@@ -143,7 +152,10 @@ mod tests {
             GuidelineNode::NlJoin(
                 Box::new(GuidelineNode::HsJoin(
                     Box::new(GuidelineNode::TbScan { tabid: "Q1".into() }),
-                    Box::new(GuidelineNode::IxScan { tabid: "Q2".into(), index: None }),
+                    Box::new(GuidelineNode::IxScan {
+                        tabid: "Q2".into(),
+                        index: None
+                    }),
                 )),
                 Box::new(GuidelineNode::MsJoin(
                     Box::new(GuidelineNode::TbScan { tabid: "Q3".into() }),

@@ -1,13 +1,38 @@
 //! # galo-rdf
 //!
-//! The knowledge-base substrate of the GALO reproduction: an in-memory RDF
-//! triple store with SPO/POS/OSP indexes ([`TripleStore`]), N-Triples
-//! persistence, a SPARQL subset (basic graph patterns, FILTER expressions,
-//! property paths, `INSERT DATA`/`DELETE WHERE`) and a Fuseki-like
-//! concurrent endpoint ([`FusekiLite`]).
+//! The knowledge-base substrate of the GALO reproduction: RDF triple
+//! storage behind the [`TripleStore`] trait, N-Triples persistence, a
+//! SPARQL subset (basic graph patterns, FILTER expressions, property
+//! paths, `INSERT DATA`/`DELETE WHERE`) and a Fuseki-like concurrent
+//! endpoint ([`FusekiLite`]).
 //!
 //! This replaces Apache Jena + Fuseki in the paper's architecture; see
 //! DESIGN.md for the substitution argument.
+//!
+//! ## The `TripleStore` contract
+//!
+//! [`TripleStore`] is the swappable storage abstraction every higher
+//! layer compiles against — the SPARQL evaluator is generic over it and
+//! [`FusekiLite`] holds a `Box<dyn TripleStore>`. A backend provides:
+//!
+//! * **term interning** (`intern` / `term_id` / `resolve`) with ids that
+//!   stay stable for the store's lifetime;
+//! * **set-semantics mutation** (`insert_ids` / `remove_ids` / `clear`)
+//!   over the default graph;
+//! * **triple-pattern access** (`scan` / `count`) where `None` is a
+//!   wildcard, with deterministic result order and a `count` that does
+//!   not materialize (the evaluator's join-ordering heuristic calls it
+//!   per pattern);
+//! * **named graphs** (`graph_names` / `insert_ids_in` / `scan_in`) for
+//!   tagging triple sets — e.g. one graph per learned workload — without
+//!   polluting the default graph that pattern matching runs against.
+//!
+//! Two backends ship in-memory: [`IndexedStore`] (the default; an SPO
+//! master B-tree plus POS and OSP hash-index families make every
+//! bound-prefix lookup keyed) and
+//! [`ScanStore`] (the naive linear-scan reference the proptests
+//! differential-test against). A persistent or sharded backend only has
+//! to implement the same contract to drop in.
 
 pub mod ntriples;
 pub mod server;
@@ -15,13 +40,13 @@ pub mod sparql;
 pub mod store;
 pub mod term;
 
-pub use ntriples::{from_ntriples, load_ntriples, to_ntriples, NtParseError};
+pub use ntriples::{from_ntriples, load_ntriples, parse_ntriples, to_ntriples, NtParseError, Quad};
 pub use server::{FusekiLite, ServerError};
 pub use sparql::{
     apply_update, evaluate, parse_select, parse_update, ResultSet, SelectQuery, SparqlParseError,
     Update,
 };
-pub use store::{Triple, TripleStore};
+pub use store::{IndexedStore, ScanStore, Triple, TripleStore};
 pub use term::{Interner, Literal, Term, TermId};
 
 #[cfg(test)]

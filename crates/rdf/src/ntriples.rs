@@ -1,4 +1,8 @@
-//! N-Triples serialization — the knowledge base's persistence format.
+//! N-Triples / N-Quads serialization — the knowledge base's persistence
+//! format. Default-graph triples serialize as N-Triples lines
+//! (`<s> <p> <o> .`); named-graph content serializes as N-Quads lines
+//! with the graph label in the fourth position (`<s> <p> <o> <g> .`),
+//! so a dataset with per-workload graphs round-trips losslessly.
 //!
 //! The paper stores the knowledge base in Jena TDB; this reproduction
 //! persists it as N-Triples, the simplest W3C interchange format, which
@@ -6,7 +10,7 @@
 
 use std::fmt;
 
-use crate::store::TripleStore;
+use crate::store::{IndexedStore, TripleStore};
 use crate::term::Term;
 
 /// Error from N-Triples parsing.
@@ -18,30 +22,52 @@ pub struct NtParseError {
 
 impl fmt::Display for NtParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "N-Triples parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "N-Triples parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for NtParseError {}
 
 /// Serialize a store as N-Triples text (one `<s> <p> <o> .` per line).
-pub fn to_ntriples(store: &TripleStore) -> String {
+pub fn to_ntriples<S: TripleStore + ?Sized>(store: &S) -> String {
     let mut out = String::new();
     for (s, p, o) in store.iter_terms() {
         out.push_str(&format!("{s} {p} {o} .\n"));
     }
+    // Named graphs follow as N-Quads lines.
+    for graph in store.graph_names() {
+        let g = store.term_id(&graph).expect("graph name is interned");
+        for (s, p, o) in store.scan_in(g, None, None, None) {
+            out.push_str(&format!(
+                "{} {} {} {graph} .\n",
+                store.resolve(s),
+                store.resolve(p),
+                store.resolve(o)
+            ));
+        }
+    }
     out
 }
 
-/// Parse N-Triples text into a fresh store.
-pub fn from_ntriples(text: &str) -> Result<TripleStore, NtParseError> {
-    let mut store = TripleStore::new();
+/// Parse N-Triples text into a fresh indexed store.
+pub fn from_ntriples(text: &str) -> Result<IndexedStore, NtParseError> {
+    let mut store = IndexedStore::new();
     load_ntriples(&mut store, text)?;
     Ok(store)
 }
 
-/// Parse N-Triples text into an existing store.
-pub fn load_ntriples(store: &mut TripleStore, text: &str) -> Result<(), NtParseError> {
+/// One parsed statement: a triple plus an optional named-graph label.
+pub type Quad = (Term, Term, Term, Option<Term>);
+
+/// Parse N-Triples / N-Quads text into a list of term triples with an
+/// optional named-graph label — the backend-neutral form, validated
+/// before any store is touched.
+pub fn parse_ntriples(text: &str) -> Result<Vec<Quad>, NtParseError> {
+    let mut triples = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -55,13 +81,35 @@ pub fn load_ntriples(store: &mut TripleStore, text: &str) -> Result<(), NtParseE
         skip_ws(&chars, &mut pos);
         let o = parse_term(&chars, &mut pos, lineno + 1)?;
         skip_ws(&chars, &mut pos);
+        // N-Quads: an optional graph label before the terminating dot.
+        let graph = if pos < chars.len() && chars.get(pos) != Some(&'.') {
+            let g = parse_term(&chars, &mut pos, lineno + 1)?;
+            skip_ws(&chars, &mut pos);
+            Some(g)
+        } else {
+            None
+        };
         if chars.get(pos) != Some(&'.') {
             return Err(NtParseError {
                 line: lineno + 1,
                 message: "expected terminating '.'".into(),
             });
         }
-        store.insert(s, p, o);
+        triples.push((s, p, o, graph));
+    }
+    Ok(triples)
+}
+
+/// Parse N-Triples / N-Quads text into an existing store.
+pub fn load_ntriples<S: TripleStore + ?Sized>(
+    store: &mut S,
+    text: &str,
+) -> Result<(), NtParseError> {
+    for (s, p, o, graph) in parse_ntriples(text)? {
+        match graph {
+            Some(g) => store.insert_in(g, s, p, o),
+            None => store.insert(s, p, o),
+        };
     }
     Ok(())
 }
@@ -157,7 +205,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_triples() {
-        let mut st = TripleStore::new();
+        let mut st = IndexedStore::new();
         st.insert(
             Term::iri("http://galo/qep/pop/5"),
             Term::iri("http://galo/qep/property/hasLowerCardinality"),
@@ -190,7 +238,7 @@ mod tests {
 
     #[test]
     fn escaped_quotes_roundtrip() {
-        let mut st = TripleStore::new();
+        let mut st = IndexedStore::new();
         st.insert(
             Term::iri("http://a"),
             Term::iri("http://b"),
@@ -207,8 +255,12 @@ mod tests {
 
     #[test]
     fn blank_nodes_roundtrip() {
-        let mut st = TripleStore::new();
-        st.insert(Term::Blank("b0".into()), Term::iri("http://p"), Term::lit("v"));
+        let mut st = IndexedStore::new();
+        st.insert(
+            Term::Blank("b0".into()),
+            Term::iri("http://p"),
+            Term::lit("v"),
+        );
         let st2 = from_ntriples(&to_ntriples(&st)).unwrap();
         assert_eq!(st2.len(), 1);
     }
@@ -225,6 +277,10 @@ mod tests {
         let st =
             from_ntriples("<http://a> <http://b> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .")
                 .unwrap();
-        assert!(st.contains(&Term::iri("http://a"), &Term::iri("http://b"), &Term::lit("42")));
+        assert!(st.contains(
+            &Term::iri("http://a"),
+            &Term::iri("http://b"),
+            &Term::lit("42")
+        ));
     }
 }

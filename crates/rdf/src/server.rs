@@ -10,9 +10,11 @@
 
 use parking_lot::RwLock;
 
-use crate::ntriples::{from_ntriples, to_ntriples, NtParseError};
-use crate::sparql::{apply_update, evaluate, parse_select, parse_update, ResultSet, SelectQuery, SparqlParseError};
-use crate::store::TripleStore;
+use crate::ntriples::{parse_ntriples, to_ntriples, NtParseError};
+use crate::sparql::{
+    apply_update, evaluate, parse_select, parse_update, ResultSet, SelectQuery, SparqlParseError,
+};
+use crate::store::{IndexedStore, TripleStore};
 use crate::term::Term;
 
 /// Errors surfaced by the endpoint.
@@ -46,21 +48,37 @@ impl From<NtParseError> for ServerError {
 }
 
 /// In-process SPARQL endpoint with reader/writer concurrency.
-#[derive(Debug, Default)]
+///
+/// The endpoint is backend-agnostic: it holds a boxed [`TripleStore`], so
+/// a persistent or sharded store drops in through [`FusekiLite::with_backend`]
+/// without touching any caller.
+#[derive(Debug)]
 pub struct FusekiLite {
-    store: RwLock<TripleStore>,
+    store: RwLock<Box<dyn TripleStore>>,
+}
+
+impl Default for FusekiLite {
+    fn default() -> Self {
+        Self::with_backend(Box::<IndexedStore>::default())
+    }
 }
 
 impl FusekiLite {
+    /// An endpoint over the default hash-indexed in-memory backend.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Wrap an existing store.
-    pub fn from_store(store: TripleStore) -> Self {
+    /// An endpoint over a caller-supplied backend.
+    pub fn with_backend(backend: Box<dyn TripleStore>) -> Self {
         FusekiLite {
-            store: RwLock::new(store),
+            store: RwLock::new(backend),
         }
+    }
+
+    /// Wrap an existing store.
+    pub fn from_store(store: impl TripleStore + 'static) -> Self {
+        Self::with_backend(Box::new(store))
     }
 
     /// Execute a SPARQL `SELECT` from text.
@@ -72,13 +90,13 @@ impl FusekiLite {
     /// Execute a pre-parsed `SELECT` (the matching engine caches parsed
     /// queries across the workload).
     pub fn query_parsed(&self, query: &SelectQuery) -> ResultSet {
-        evaluate(&self.store.read(), query)
+        evaluate(self.store.read().as_ref(), query)
     }
 
     /// Execute a SPARQL update from text; returns affected triple count.
     pub fn update(&self, text: &str) -> Result<usize, ServerError> {
         let u = parse_update(text)?;
-        Ok(apply_update(&mut self.store.write(), &u))
+        Ok(apply_update(self.store.write().as_mut(), &u))
     }
 
     /// Insert a batch of triples in one write transaction.
@@ -90,14 +108,40 @@ impl FusekiLite {
             .count()
     }
 
+    /// Insert a batch of triples into a named graph in one transaction.
+    pub fn insert_triples_in(
+        &self,
+        graph: Term,
+        triples: impl IntoIterator<Item = (Term, Term, Term)>,
+    ) -> usize {
+        let mut store = self.store.write();
+        let g = store.intern(graph);
+        triples
+            .into_iter()
+            .filter(|(s, p, o)| {
+                let t = (
+                    store.intern(s.clone()),
+                    store.intern(p.clone()),
+                    store.intern(o.clone()),
+                );
+                store.insert_ids_in(g, t)
+            })
+            .count()
+    }
+
+    /// Names of the dataset's non-empty named graphs.
+    pub fn graph_names(&self) -> Vec<Term> {
+        self.store.read().graph_names()
+    }
+
     /// Run a closure with read access to the store (bulk extraction).
-    pub fn with_store<T>(&self, f: impl FnOnce(&TripleStore) -> T) -> T {
-        f(&self.store.read())
+    pub fn with_store<T>(&self, f: impl FnOnce(&dyn TripleStore) -> T) -> T {
+        f(self.store.read().as_ref())
     }
 
     /// Run a closure with exclusive write access (a write transaction).
-    pub fn with_store_mut<T>(&self, f: impl FnOnce(&mut TripleStore) -> T) -> T {
-        f(&mut self.store.write())
+    pub fn with_store_mut<T>(&self, f: impl FnOnce(&mut dyn TripleStore) -> T) -> T {
+        f(self.store.write().as_mut())
     }
 
     /// Number of triples currently stored.
@@ -111,14 +155,31 @@ impl FusekiLite {
 
     /// Export the dataset as N-Triples.
     pub fn export(&self) -> String {
-        to_ntriples(&self.store.read())
+        to_ntriples(self.store.read().as_ref())
     }
 
-    /// Replace the dataset from N-Triples text.
+    /// Replace the dataset from N-Triples / N-Quads text (quad lines
+    /// restore named graphs). The text is fully parsed before the current
+    /// contents are dropped, so a malformed import leaves the dataset
+    /// untouched — and the backend is preserved. Returns the number of
+    /// default-graph triples imported.
     pub fn import(&self, text: &str) -> Result<usize, ServerError> {
-        let store = from_ntriples(text)?;
-        let n = store.len();
-        *self.store.write() = store;
+        let triples = parse_ntriples(text)?;
+        let mut store = self.store.write();
+        store.clear();
+        let mut n = 0;
+        for (s, p, o, graph) in triples {
+            match graph {
+                Some(g) => {
+                    store.insert_in(g, s, p, o);
+                }
+                None => {
+                    if store.insert(s, p, o) {
+                        n += 1;
+                    }
+                }
+            }
+        }
         Ok(n)
     }
 }
@@ -172,6 +233,37 @@ mod tests {
         let g = FusekiLite::new();
         assert_eq!(g.import(&text).unwrap(), 50);
         assert_eq!(g.len(), 50);
+    }
+
+    #[test]
+    fn export_import_preserves_named_graphs() {
+        let f = seeded();
+        let g1 = Term::iri("http://galo/kb/graph/workload/tpcds");
+        f.insert_triples_in(
+            g1.clone(),
+            [
+                (
+                    Term::iri("http://t/1"),
+                    Term::iri("http://p"),
+                    Term::lit("a"),
+                ),
+                (
+                    Term::iri("http://t/2"),
+                    Term::iri("http://p"),
+                    Term::lit("b"),
+                ),
+            ],
+        );
+        let text = f.export();
+        let g = FusekiLite::new();
+        assert_eq!(g.import(&text).unwrap(), 50); // default-graph triples only
+        assert_eq!(g.len(), 50);
+        assert_eq!(g.graph_names(), vec![g1.clone()]);
+        let names = g.with_store(|st| {
+            let gid = st.term_id(&g1).expect("graph interned");
+            st.scan_in(gid, None, None, None).len()
+        });
+        assert_eq!(names, 2);
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl ResultSet {
 }
 
 /// Evaluate a `SELECT` query against a store.
-pub fn evaluate(store: &TripleStore, query: &SelectQuery) -> ResultSet {
+pub fn evaluate<S: TripleStore + ?Sized>(store: &S, query: &SelectQuery) -> ResultSet {
     // Variables in order of first appearance across patterns.
     let mut all_vars: Vec<String> = Vec::new();
     let note_var = |v: &str, vars: &mut Vec<String>| {
@@ -70,7 +70,10 @@ pub fn evaluate(store: &TripleStore, query: &SelectQuery) -> ResultSet {
         let mut bound: BTreeSet<&str> = BTreeSet::new();
         for (step, &pi) in order.iter().enumerate() {
             let p = &query.patterns[pi];
-            for v in [p.subject.as_var(), p.object.as_var()].into_iter().flatten() {
+            for v in [p.subject.as_var(), p.object.as_var()]
+                .into_iter()
+                .flatten()
+            {
                 if bound.insert(v) {
                     bound_after.insert(v, step);
                 }
@@ -82,7 +85,12 @@ pub fn evaluate(store: &TripleStore, query: &SelectQuery) -> ResultSet {
         let step = f
             .variables()
             .iter()
-            .map(|v| bound_after.get(v.to_owned()).map(|&s| s + 1).unwrap_or(usize::MAX))
+            .map(|v| {
+                bound_after
+                    .get(v.to_owned())
+                    .map(|&s| s + 1)
+                    .unwrap_or(usize::MAX)
+            })
             .max()
             .unwrap_or(0);
         if step == usize::MAX {
@@ -153,7 +161,7 @@ fn row_key(row: &[Option<Term>]) -> String {
         .join("\u{1}")
 }
 
-fn order_patterns(store: &TripleStore, patterns: &[TriplePattern]) -> Vec<usize> {
+fn order_patterns<S: TripleStore + ?Sized>(store: &S, patterns: &[TriplePattern]) -> Vec<usize> {
     // Static per-pattern match counts are bound-independent: compute once.
     let static_cost: Vec<usize> = patterns
         .iter()
@@ -214,7 +222,10 @@ fn order_patterns(store: &TripleStore, patterns: &[TriplePattern]) -> Vec<usize>
         ordered.push(best);
         remaining.remove(pos);
         let p = &patterns[best];
-        for v in [p.subject.as_var(), p.object.as_var()].into_iter().flatten() {
+        for v in [p.subject.as_var(), p.object.as_var()]
+            .into_iter()
+            .flatten()
+        {
             bound.insert(v);
         }
     }
@@ -222,8 +233,8 @@ fn order_patterns(store: &TripleStore, patterns: &[TriplePattern]) -> Vec<usize>
 }
 
 #[allow(clippy::too_many_arguments)]
-fn search(
-    store: &TripleStore,
+fn search<S: TripleStore + ?Sized>(
+    store: &S,
     query: &SelectQuery,
     order: &[usize],
     filters_at: &[Vec<&Expr>],
@@ -265,7 +276,14 @@ fn search(
                 .all(|f| eval_filter(store, f, bindings));
             if filters_ok {
                 search(
-                    store, query, order, filters_at, step + 1, bindings, rows, projected,
+                    store,
+                    query,
+                    order,
+                    filters_at,
+                    step + 1,
+                    bindings,
+                    rows,
+                    projected,
                 );
             }
         }
@@ -277,8 +295,8 @@ fn search(
 
 /// Enumerate (subject, object) id pairs satisfying one pattern under the
 /// current bindings.
-fn candidate_pairs(
-    store: &TripleStore,
+fn candidate_pairs<S: TripleStore + ?Sized>(
+    store: &S,
     pattern: &TriplePattern,
     bindings: &HashMap<String, TermId>,
 ) -> Vec<(TermId, TermId)> {
@@ -330,8 +348,8 @@ enum Resolution {
 }
 
 /// (s, o) pairs connected by 1+ (`Plus`) or 0+ (`Star`) steps of `pred`.
-fn path_pairs(
-    store: &TripleStore,
+fn path_pairs<S: TripleStore + ?Sized>(
+    store: &S,
     pred: TermId,
     s: Option<TermId>,
     o: Option<TermId>,
@@ -375,8 +393,8 @@ fn path_pairs(
     }
 }
 
-fn forward_closure(
-    store: &TripleStore,
+fn forward_closure<S: TripleStore + ?Sized>(
+    store: &S,
     pred: TermId,
     start: TermId,
     include_zero: bool,
@@ -400,8 +418,8 @@ fn forward_closure(
     seen
 }
 
-fn backward_closure(
-    store: &TripleStore,
+fn backward_closure<S: TripleStore + ?Sized>(
+    store: &S,
     pred: TermId,
     start: TermId,
     include_zero: bool,
@@ -434,12 +452,16 @@ enum Val {
     B(bool),
 }
 
-fn eval_filter(store: &TripleStore, expr: &Expr, bindings: &HashMap<String, TermId>) -> bool {
+fn eval_filter<S: TripleStore + ?Sized>(
+    store: &S,
+    expr: &Expr,
+    bindings: &HashMap<String, TermId>,
+) -> bool {
     matches!(eval_expr(store, expr, bindings), Some(Val::B(true)))
 }
 
-fn eval_expr(
-    store: &TripleStore,
+fn eval_expr<S: TripleStore + ?Sized>(
+    store: &S,
     expr: &Expr,
     bindings: &HashMap<String, TermId>,
 ) -> Option<Val> {
@@ -526,7 +548,7 @@ fn compare(op: CmpOp, a: &Val, b: &Val) -> Option<bool> {
 }
 
 /// Apply an update; returns the number of triples inserted or removed.
-pub fn apply_update(store: &mut TripleStore, update: &Update) -> usize {
+pub fn apply_update<S: TripleStore + ?Sized>(store: &mut S, update: &Update) -> usize {
     match update {
         Update::InsertData(triples) => triples
             .iter()
@@ -567,6 +589,7 @@ pub fn apply_update(store: &mut TripleStore, update: &Update) -> usize {
 mod tests {
     use super::*;
     use crate::sparql::parser::{parse_select, parse_update};
+    use crate::store::IndexedStore;
 
     fn prop(name: &str) -> Term {
         Term::iri(format!("http://galo/qep/property/{name}"))
@@ -577,8 +600,8 @@ mod tests {
     }
 
     /// A small plan graph: 5 -> 4 -> 2, 3 -> 2; cardinalities attached.
-    fn plan_store() -> TripleStore {
-        let mut st = TripleStore::new();
+    fn plan_store() -> IndexedStore {
+        let mut st = IndexedStore::new();
         for (a, b) in [(5u32, 4u32), (4, 2), (3, 2)] {
             st.insert(pop(a), prop("hasOutputStream"), pop(b));
         }
@@ -587,7 +610,11 @@ mod tests {
         st.insert(pop(3), prop("hasPopType"), Term::lit("IXSCAN"));
         st.insert(pop(5), prop("hasPopType"), Term::lit("IXSCAN"));
         st.insert(pop(5), prop("hasEstimateCardinality"), Term::lit("19.734"));
-        st.insert(pop(3), prop("hasEstimateCardinality"), Term::lit("0.994903"));
+        st.insert(
+            pop(3),
+            prop("hasEstimateCardinality"),
+            Term::lit("0.994903"),
+        );
         st
     }
 

@@ -5,9 +5,7 @@ use std::fmt;
 
 use crate::term::Term;
 
-use super::ast::{
-    CmpOp, Expr, PathPattern, SelectQuery, TermPattern, TriplePattern, Update,
-};
+use super::ast::{CmpOp, Expr, PathPattern, SelectQuery, TermPattern, TriplePattern, Update};
 
 /// Parse error with a byte-offset hint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,7 +16,11 @@ pub struct SparqlParseError {
 
 impl fmt::Display for SparqlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SPARQL parse error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SPARQL parse error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -153,10 +155,7 @@ impl<'a> P<'a> {
 
     fn parse_name(&mut self) -> Result<String, SparqlParseError> {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_')
-        {
+        while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
             self.pos += 1;
         }
         if start == self.pos {
@@ -227,7 +226,11 @@ impl<'a> P<'a> {
                 self.pos += 1;
             }
             let digits: String = self.chars[start..self.pos].iter().collect();
-            limit = Some(digits.parse().map_err(|_| self.err("expected LIMIT count"))?);
+            limit = Some(
+                digits
+                    .parse()
+                    .map_err(|_| self.err("expected LIMIT count"))?,
+            );
         }
 
         Ok(SelectQuery {
@@ -273,9 +276,7 @@ impl<'a> P<'a> {
         }
     }
 
-    fn parse_group(
-        &mut self,
-    ) -> Result<(Vec<TriplePattern>, Vec<Expr>), SparqlParseError> {
+    fn parse_group(&mut self) -> Result<(Vec<TriplePattern>, Vec<Expr>), SparqlParseError> {
         self.expect('{')?;
         let mut patterns = Vec::new();
         let mut filters = Vec::new();
@@ -584,19 +585,16 @@ mod tests {
 
     #[test]
     fn parses_property_path_plus() {
-        let q = parse_select(
-            "SELECT ?a WHERE { ?a <http://galo/qep/property/hasOutputStream>+ ?b . }",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT ?a WHERE { ?a <http://galo/qep/property/hasOutputStream>+ ?b . }")
+                .unwrap();
         assert!(matches!(q.patterns[0].path, PathPattern::Plus(_)));
     }
 
     #[test]
     fn parses_select_star_distinct_order_limit() {
-        let q = parse_select(
-            "SELECT DISTINCT * WHERE { ?s <http://p> ?o . } ORDER BY ?s LIMIT 10",
-        )
-        .unwrap();
+        let q = parse_select("SELECT DISTINCT * WHERE { ?s <http://p> ?o . } ORDER BY ?s LIMIT 10")
+            .unwrap();
         assert!(q.distinct);
         assert!(q.vars.is_empty());
         assert_eq!(q.order_by.as_deref(), Some("s"));
@@ -606,8 +604,9 @@ mod tests {
     #[test]
     fn parses_bare_word_literal_object() {
         // Paper §3.1 writes object literals bare: "...hasPopType>NLJOIN".
-        let q = parse_select("SELECT ?s WHERE { ?s <http://galo/qep/property/hasPopType> NLJOIN . }")
-            .unwrap();
+        let q =
+            parse_select("SELECT ?s WHERE { ?s <http://galo/qep/property/hasPopType> NLJOIN . }")
+                .unwrap();
         assert_eq!(
             q.patterns[0].object,
             TermPattern::Ground(Term::lit("NLJOIN"))

@@ -1,113 +1,281 @@
-//! The triple store: interned triples with SPO/POS/OSP indexes.
+//! Triple storage: the [`TripleStore`] trait and its in-memory backends.
+//!
+//! The knowledge base is the hot path of online re-optimization — every
+//! incoming plan segment becomes a SPARQL query against it — so storage
+//! is behind a trait: [`IndexedStore`] (hash-indexed, the default) serves
+//! keyed triple-pattern lookups, while [`ScanStore`] is the naive
+//! linear-scan reference used to cross-check results and benchmark the
+//! indexes. A persistent or sharded backend can be dropped in without
+//! touching the evaluator, the server, or the matching engine.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
 
 use crate::term::{Interner, Term, TermId};
 
 /// A ground triple of interned terms.
 pub type Triple = (TermId, TermId, TermId);
 
-/// In-memory triple store. Three B-tree indexes cover every single- and
-/// two-term access pattern the SPARQL evaluator produces.
-#[derive(Debug, Default, Clone)]
-pub struct TripleStore {
-    interner: Interner,
-    spo: BTreeSet<(TermId, TermId, TermId)>,
-    pos: BTreeSet<(TermId, TermId, TermId)>,
-    osp: BTreeSet<(TermId, TermId, TermId)>,
-}
-
-impl TripleStore {
-    pub fn new() -> Self {
-        Self::default()
-    }
+/// Storage contract for RDF triples.
+///
+/// A store owns a term [`Interner`] and a default graph of triples, plus
+/// optional named graphs. The required methods work on interned
+/// [`TermId`]s — the evaluator's hot path; the provided methods lift them
+/// to [`Term`]s for callers that deal in concrete terms.
+///
+/// # Contract
+///
+/// * **Set semantics** — `insert_ids` returns `true` iff the triple was
+///   new; `remove_ids` returns `true` iff it was present.
+/// * **Pattern scans** — `scan(s, p, o)` treats `None` as a wildcard and
+///   returns every matching default-graph triple. Results must be
+///   deterministic for a given store content (iteration order must not
+///   depend on process-level randomness).
+/// * **Counting** — `count` agrees with `scan(..).len()` but should avoid
+///   materializing (the evaluator orders patterns by it).
+/// * **Named graphs** — `insert_ids_in` / `scan_in` address a named graph
+///   by its (interned) name; `graph_names` enumerates the names of all
+///   non-empty named graphs. Named graphs are disjoint from the default
+///   graph.
+/// * **Interning** — ids are stable for the lifetime of the store and
+///   shared between the default and named graphs.
+pub trait TripleStore: fmt::Debug + Send + Sync {
+    // ---- interning ----
 
     /// Intern a term (public so callers can pre-intern query constants).
-    pub fn intern(&mut self, term: Term) -> TermId {
-        self.interner.intern(term)
-    }
+    fn intern(&mut self, term: Term) -> TermId;
 
     /// Id of a term if it has ever been interned.
-    pub fn term_id(&self, term: &Term) -> Option<TermId> {
-        self.interner.get(term)
-    }
+    fn term_id(&self, term: &Term) -> Option<TermId>;
 
     /// Resolve an id back to its term.
-    pub fn resolve(&self, id: TermId) -> &Term {
-        self.interner.resolve(id)
-    }
+    fn resolve(&self, id: TermId) -> &Term;
 
-    /// Insert a triple of terms. Returns true if it was new.
-    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+    // ---- default graph ----
+
+    /// Insert an already-interned triple. Returns true if it was new.
+    fn insert_ids(&mut self, t: Triple) -> bool;
+
+    /// Remove an interned triple. Returns true if it was present.
+    fn remove_ids(&mut self, t: Triple) -> bool;
+
+    /// Remove every triple (all graphs). Interned terms remain valid.
+    fn clear(&mut self);
+
+    /// Number of triples in the default graph.
+    fn len(&self) -> usize;
+
+    /// Matching triples for a pattern where `None` is a wildcard.
+    fn scan(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple>;
+
+    /// Count matches without materializing (used by the evaluator's
+    /// pattern-ordering heuristic).
+    fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize;
+
+    // ---- named graphs ----
+
+    /// Names of all non-empty named graphs, in deterministic order.
+    fn graph_names(&self) -> Vec<Term>;
+
+    /// Insert a triple into the named graph `graph`.
+    fn insert_ids_in(&mut self, graph: TermId, t: Triple) -> bool;
+
+    /// Pattern scan over one named graph.
+    fn scan_in(
+        &self,
+        graph: TermId,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple>;
+
+    // ---- provided term-level API ----
+
+    /// Insert a triple of terms into the default graph. Returns true if
+    /// it was new.
+    fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
         let s = self.intern(s);
         let p = self.intern(p);
         let o = self.intern(o);
         self.insert_ids((s, p, o))
     }
 
-    /// Insert an already-interned triple.
-    pub fn insert_ids(&mut self, (s, p, o): Triple) -> bool {
-        let added = self.spo.insert((s, p, o));
-        if added {
-            self.pos.insert((p, o, s));
-            self.osp.insert((o, s, p));
-        }
-        added
+    /// Insert a triple of terms into the named graph `graph`.
+    fn insert_in(&mut self, graph: Term, s: Term, p: Term, o: Term) -> bool {
+        let g = self.intern(graph);
+        let s = self.intern(s);
+        let p = self.intern(p);
+        let o = self.intern(o);
+        self.insert_ids_in(g, (s, p, o))
     }
 
-    /// Remove a triple. Returns true if it was present.
-    pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
-        let (Some(s), Some(p), Some(o)) = (
-            self.interner.get(s),
-            self.interner.get(p),
-            self.interner.get(o),
-        ) else {
+    /// Remove a triple of terms. Returns true if it was present.
+    fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let (Some(s), Some(p), Some(o)) = (self.term_id(s), self.term_id(p), self.term_id(o))
+        else {
             return false;
         };
         self.remove_ids((s, p, o))
     }
 
-    /// Remove an interned triple.
-    pub fn remove_ids(&mut self, (s, p, o): Triple) -> bool {
-        let removed = self.spo.remove(&(s, p, o));
-        if removed {
-            self.pos.remove(&(p, o, s));
-            self.osp.remove(&(o, s, p));
-        }
-        removed
-    }
-
-    /// Number of triples.
-    pub fn len(&self) -> usize {
-        self.spo.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
-    }
-
-    /// True if the ground triple is present.
-    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
-        match (
-            self.interner.get(s),
-            self.interner.get(p),
-            self.interner.get(o),
-        ) {
-            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+    /// True if the ground triple is present in the default graph.
+    fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.term_id(s), self.term_id(p), self.term_id(o)) {
+            (Some(s), Some(p), Some(o)) => self.count(Some(s), Some(p), Some(o)) == 1,
             _ => false,
         }
     }
 
-    /// Iterate matching triples for a pattern where `None` is a wildcard.
-    /// Chooses the index with the longest bound prefix.
-    pub fn scan(
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All default-graph triples in SPO order, resolved to terms.
+    fn iter_terms(&self) -> Box<dyn Iterator<Item = (&Term, &Term, &Term)> + '_> {
+        Box::new(
+            self.scan(None, None, None)
+                .into_iter()
+                .map(move |(s, p, o)| (self.resolve(s), self.resolve(p), self.resolve(o))),
+        )
+    }
+}
+
+/// Shared named-graph storage for the in-memory backends: per-graph
+/// B-tree sets, scanned linearly (named graphs hold tagging metadata and
+/// stay small; the hot path is the default graph).
+#[derive(Debug, Default, Clone)]
+struct NamedGraphs {
+    graphs: BTreeMap<TermId, BTreeSet<Triple>>,
+}
+
+impl NamedGraphs {
+    fn insert(&mut self, graph: TermId, t: Triple) -> bool {
+        self.graphs.entry(graph).or_default().insert(t)
+    }
+
+    fn names(&self, resolve: impl Fn(TermId) -> Term) -> Vec<Term> {
+        self.graphs
+            .iter()
+            .filter(|(_, triples)| !triples.is_empty())
+            .map(|(&g, _)| resolve(g))
+            .collect()
+    }
+
+    fn scan(
         &self,
+        graph: TermId,
         s: Option<TermId>,
         p: Option<TermId>,
         o: Option<TermId>,
     ) -> Vec<Triple> {
-        const MIN: TermId = TermId(0);
-        const MAX: TermId = TermId(u32::MAX);
+        self.graphs
+            .get(&graph)
+            .map(|triples| {
+                triples
+                    .iter()
+                    .filter(|&&(ts, tp, to)| {
+                        s.is_none_or(|s| s == ts)
+                            && p.is_none_or(|p| p == tp)
+                            && o.is_none_or(|o| o == to)
+                    })
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Hash-indexed in-memory backend: the default [`TripleStore`].
+///
+/// Every bound prefix of the SPO/POS/OSP access patterns is keyed: the
+/// master B-tree set in SPO order serves S-prefix patterns via prefix
+/// ranges (and full scans, `iter_terms`, deterministic N-Triples export),
+/// while four hash indexes cover the POS and OSP families — so no
+/// `scan`/`count` ever passes over the whole store.
+#[derive(Debug, Default, Clone)]
+pub struct IndexedStore {
+    interner: Interner,
+    /// Master copy in SPO order; prefix ranges serve the S-bound patterns.
+    spo: BTreeSet<Triple>,
+    /// p -> (o, s): the POS index family.
+    by_p: HashMap<TermId, BTreeSet<(TermId, TermId)>>,
+    by_po: HashMap<(TermId, TermId), BTreeSet<TermId>>,
+    /// o -> (s, p): the OSP index family.
+    by_o: HashMap<TermId, BTreeSet<(TermId, TermId)>>,
+    by_os: HashMap<(TermId, TermId), BTreeSet<TermId>>,
+    named: NamedGraphs,
+}
+
+impl IndexedStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Remove `key -> member` from a one-to-many hash index, dropping the
+/// entry when its set empties.
+fn index_remove<K: std::hash::Hash + Eq, V: Ord>(
+    index: &mut HashMap<K, BTreeSet<V>>,
+    key: K,
+    member: &V,
+) {
+    if let Some(set) = index.get_mut(&key) {
+        set.remove(member);
+        if set.is_empty() {
+            index.remove(&key);
+        }
+    }
+}
+
+impl TripleStore for IndexedStore {
+    fn intern(&mut self, term: Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    fn resolve(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    fn insert_ids(&mut self, (s, p, o): Triple) -> bool {
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.by_p.entry(p).or_default().insert((o, s));
+            self.by_po.entry((p, o)).or_default().insert(s);
+            self.by_o.entry(o).or_default().insert((s, p));
+            self.by_os.entry((o, s)).or_default().insert(p);
+        }
+        added
+    }
+
+    fn remove_ids(&mut self, (s, p, o): Triple) -> bool {
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            index_remove(&mut self.by_p, p, &(o, s));
+            index_remove(&mut self.by_po, (p, o), &s);
+            index_remove(&mut self.by_o, o, &(s, p));
+            index_remove(&mut self.by_os, (o, s), &p);
+        }
+        removed
+    }
+
+    fn clear(&mut self) {
+        self.spo.clear();
+        self.by_p.clear();
+        self.by_po.clear();
+        self.by_o.clear();
+        self.by_os.clear();
+        self.named.graphs.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    fn scan(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
                 if self.spo.contains(&(s, p, o)) {
@@ -118,60 +286,160 @@ impl TripleStore {
             }
             (Some(s), Some(p), None) => self
                 .spo
-                .range((s, p, MIN)..=(s, p, MAX))
+                .range((s, p, TermId(0))..=(s, p, TermId(u32::MAX)))
                 .copied()
                 .collect(),
             (Some(s), None, None) => self
                 .spo
-                .range((s, MIN, MIN)..=(s, MAX, MAX))
+                .range((s, TermId(0), TermId(0))..=(s, TermId(u32::MAX), TermId(u32::MAX)))
                 .copied()
                 .collect(),
             (Some(s), None, Some(o)) => self
-                .osp
-                .range((o, s, MIN)..=(o, s, MAX))
-                .map(|&(o, s, p)| (s, p, o))
-                .collect(),
+                .by_os
+                .get(&(o, s))
+                .map(|ps| ps.iter().map(|&p| (s, p, o)).collect())
+                .unwrap_or_default(),
             (None, Some(p), Some(o)) => self
-                .pos
-                .range((p, o, MIN)..=(p, o, MAX))
-                .map(|&(p, o, s)| (s, p, o))
-                .collect(),
+                .by_po
+                .get(&(p, o))
+                .map(|ss| ss.iter().map(|&s| (s, p, o)).collect())
+                .unwrap_or_default(),
             (None, Some(p), None) => self
-                .pos
-                .range((p, MIN, MIN)..=(p, MAX, MAX))
-                .map(|&(p, o, s)| (s, p, o))
-                .collect(),
+                .by_p
+                .get(&p)
+                .map(|os| os.iter().map(|&(o, s)| (s, p, o)).collect())
+                .unwrap_or_default(),
             (None, None, Some(o)) => self
-                .osp
-                .range((o, MIN, MIN)..=(o, MAX, MAX))
-                .map(|&(o, s, p)| (s, p, o))
-                .collect(),
+                .by_o
+                .get(&o)
+                .map(|sp| sp.iter().map(|&(s, p)| (s, p, o)).collect())
+                .unwrap_or_default(),
             (None, None, None) => self.spo.iter().copied().collect(),
         }
     }
 
-    /// Count matches without materializing (used by the evaluator's
-    /// pattern-ordering heuristic).
-    pub fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
-        const MIN: TermId = TermId(0);
-        const MAX: TermId = TermId(u32::MAX);
+    fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s, p, o))),
-            (Some(s), Some(p), None) => self.spo.range((s, p, MIN)..=(s, p, MAX)).count(),
-            (Some(s), None, None) => self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)).count(),
-            (Some(s), None, Some(o)) => self.osp.range((o, s, MIN)..=(o, s, MAX)).count(),
-            (None, Some(p), Some(o)) => self.pos.range((p, o, MIN)..=(p, o, MAX)).count(),
-            (None, Some(p), None) => self.pos.range((p, MIN, MIN)..=(p, MAX, MAX)).count(),
-            (None, None, Some(o)) => self.osp.range((o, MIN, MIN)..=(o, MAX, MAX)).count(),
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s, p, TermId(0))..=(s, p, TermId(u32::MAX)))
+                .count(),
+            (Some(s), None, None) => self
+                .spo
+                .range((s, TermId(0), TermId(0))..=(s, TermId(u32::MAX), TermId(u32::MAX)))
+                .count(),
+            (Some(s), None, Some(o)) => self.by_os.get(&(o, s)).map_or(0, BTreeSet::len),
+            (None, Some(p), Some(o)) => self.by_po.get(&(p, o)).map_or(0, BTreeSet::len),
+            (None, Some(p), None) => self.by_p.get(&p).map_or(0, BTreeSet::len),
+            (None, None, Some(o)) => self.by_o.get(&o).map_or(0, BTreeSet::len),
             (None, None, None) => self.spo.len(),
         }
     }
 
-    /// All triples in SPO order, resolved to terms.
-    pub fn iter_terms(&self) -> impl Iterator<Item = (&Term, &Term, &Term)> {
-        self.spo
+    fn graph_names(&self) -> Vec<Term> {
+        self.named.names(|g| self.interner.resolve(g).clone())
+    }
+
+    fn insert_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
+        self.named.insert(graph, t)
+    }
+
+    fn scan_in(
+        &self,
+        graph: TermId,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        self.named.scan(graph, s, p, o)
+    }
+}
+
+/// Naive linear-scan backend: the reference implementation.
+///
+/// Every pattern lookup walks the full triple set. Kept for differential
+/// testing against [`IndexedStore`] (see the proptests) and as the
+/// baseline side of the indexed-vs-scan micro-benchmark; also a model of
+/// the minimal work a new backend has to do.
+#[derive(Debug, Default, Clone)]
+pub struct ScanStore {
+    interner: Interner,
+    triples: BTreeSet<Triple>,
+    named: NamedGraphs,
+}
+
+impl ScanStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TripleStore for ScanStore {
+    fn intern(&mut self, term: Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    fn resolve(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    fn insert_ids(&mut self, t: Triple) -> bool {
+        self.triples.insert(t)
+    }
+
+    fn remove_ids(&mut self, t: Triple) -> bool {
+        self.triples.remove(&t)
+    }
+
+    fn clear(&mut self) {
+        self.triples.clear();
+        self.named.graphs.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    fn scan(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
+        self.triples
             .iter()
-            .map(move |&(s, p, o)| (self.resolve(s), self.resolve(p), self.resolve(o)))
+            .filter(|&&(ts, tp, to)| {
+                s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) && o.is_none_or(|o| o == to)
+            })
+            .copied()
+            .collect()
+    }
+
+    fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        self.triples
+            .iter()
+            .filter(|&&(ts, tp, to)| {
+                s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) && o.is_none_or(|o| o == to)
+            })
+            .count()
+    }
+
+    fn graph_names(&self) -> Vec<Term> {
+        self.named.names(|g| self.interner.resolve(g).clone())
+    }
+
+    fn insert_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
+        self.named.insert(graph, t)
+    }
+
+    fn scan_in(
+        &self,
+        graph: TermId,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        self.named.scan(graph, s, p, o)
     }
 }
 
@@ -187,13 +455,17 @@ mod tests {
         Term::iri(format!("http://galo/qep/property/{name}"))
     }
 
-    fn paper_store() -> TripleStore {
+    fn fill_paper_store(st: &mut dyn TripleStore) {
         // The triples from paper §3.1.
-        let mut st = TripleStore::new();
         st.insert(pop(2), prop("hasPopType"), Term::lit("NLJOIN"));
         st.insert(pop(2), prop("hasEstimateCardinality"), Term::lit("2949250"));
         st.insert(pop(2), prop("hasOuterInputStream"), pop(3));
         st.insert(pop(3), prop("hasOutputStream"), pop(2));
+    }
+
+    fn paper_store() -> IndexedStore {
+        let mut st = IndexedStore::new();
+        fill_paper_store(&mut st);
         st
     }
 
@@ -215,9 +487,7 @@ mod tests {
         assert_eq!(st.len(), 3);
     }
 
-    #[test]
-    fn scan_all_access_patterns() {
-        let st = paper_store();
+    fn assert_scan_patterns(st: &dyn TripleStore) {
         let s = st.term_id(&pop(2));
         let p = st.term_id(&prop("hasOuterInputStream"));
         let o = st.term_id(&pop(3));
@@ -240,6 +510,15 @@ mod tests {
     }
 
     #[test]
+    fn scan_all_access_patterns_both_backends() {
+        let st = paper_store();
+        assert_scan_patterns(&st);
+        let mut scan = ScanStore::new();
+        fill_paper_store(&mut scan);
+        assert_scan_patterns(&scan);
+    }
+
+    #[test]
     fn scan_with_unknown_term_is_empty() {
         let st = paper_store();
         assert!(st.term_id(&pop(99)).is_none());
@@ -250,7 +529,7 @@ mod tests {
 
     #[test]
     fn indexes_stay_consistent_under_churn() {
-        let mut st = TripleStore::new();
+        let mut st = IndexedStore::new();
         for i in 0..100u32 {
             st.insert(pop(i), prop("hasOutputStream"), pop(i + 1));
         }
@@ -265,5 +544,50 @@ mod tests {
             assert_eq!(st.scan(Some(s), p, Some(o)).len(), 1);
             assert_eq!(st.scan(Some(s), None, Some(o)).len(), 1);
         }
+        // Counts stay keyed and consistent too.
+        assert_eq!(st.count(None, p, None), 50);
+        assert_eq!(st.count(None, None, None), 50);
+    }
+
+    #[test]
+    fn stores_are_usable_as_trait_objects() {
+        let mut boxed: Box<dyn TripleStore> = Box::<IndexedStore>::default();
+        fill_paper_store(boxed.as_mut());
+        assert_eq!(boxed.len(), 4);
+        assert_eq!(boxed.iter_terms().count(), 4);
+        let boxed_scan: Box<dyn TripleStore> = Box::<ScanStore>::default();
+        assert!(boxed_scan.is_empty());
+    }
+
+    #[test]
+    fn named_graphs_enumerate_and_scan() {
+        let mut st = IndexedStore::new();
+        assert!(st.graph_names().is_empty());
+        let g1 = Term::iri("http://galo/graph/workload/tpcds");
+        let g2 = Term::iri("http://galo/graph/workload/client");
+        st.insert_in(g1.clone(), pop(1), prop("hasPopType"), Term::lit("NLJOIN"));
+        st.insert_in(g1.clone(), pop(2), prop("hasPopType"), Term::lit("HSJOIN"));
+        st.insert_in(g2.clone(), pop(3), prop("hasPopType"), Term::lit("IXSCAN"));
+        assert_eq!(st.graph_names(), vec![g1.clone(), g2.clone()]);
+        // Named graphs are disjoint from the default graph.
+        assert_eq!(st.len(), 0);
+        let g = st.term_id(&g1).expect("graph name interned");
+        let p = st.term_id(&prop("hasPopType"));
+        assert_eq!(st.scan_in(g, None, p, None).len(), 2);
+        let s1 = st.term_id(&pop(1));
+        assert_eq!(st.scan_in(g, s1, p, None).len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_all_graphs() {
+        let mut st = IndexedStore::new();
+        fill_paper_store(&mut st);
+        st.insert_in(Term::iri("http://g"), pop(9), prop("x"), Term::lit("1"));
+        st.clear();
+        assert_eq!(st.len(), 0);
+        assert!(st.graph_names().is_empty());
+        assert_eq!(st.count(None, None, None), 0);
+        // Interned ids survive a clear.
+        assert!(st.term_id(&pop(2)).is_some());
     }
 }

@@ -127,7 +127,9 @@ impl Query {
 
     /// Local predicates attached to one table instance.
     pub fn locals_of(&self, table_idx: usize) -> impl Iterator<Item = &LocalPred> {
-        self.locals.iter().filter(move |p| p.col.table_idx == table_idx)
+        self.locals
+            .iter()
+            .filter(move |p| p.col.table_idx == table_idx)
     }
 
     /// The join graph as an adjacency list over table-instance indexes.
@@ -179,7 +181,7 @@ impl Query {
         if self.projections.is_empty() {
             out.push('*');
         } else {
-            let cols: Vec<String> = self.projections.iter().map(|c| col_name(c)).collect();
+            let cols: Vec<String> = self.projections.iter().map(&col_name).collect();
             out.push_str(&cols.join(", "));
         }
         out.push_str("\nFROM ");
@@ -222,22 +224,46 @@ mod tests {
         Query {
             name: "chain".into(),
             tables: vec![
-                TableRef { table: TableId(0), qualifier: "Q1".into() },
-                TableRef { table: TableId(1), qualifier: "Q2".into() },
-                TableRef { table: TableId(2), qualifier: "Q3".into() },
+                TableRef {
+                    table: TableId(0),
+                    qualifier: "Q1".into(),
+                },
+                TableRef {
+                    table: TableId(1),
+                    qualifier: "Q2".into(),
+                },
+                TableRef {
+                    table: TableId(2),
+                    qualifier: "Q3".into(),
+                },
             ],
             joins: vec![
                 JoinPred {
-                    left: ColRef { table_idx: 0, column: ColumnId(0) },
-                    right: ColRef { table_idx: 1, column: ColumnId(0) },
+                    left: ColRef {
+                        table_idx: 0,
+                        column: ColumnId(0),
+                    },
+                    right: ColRef {
+                        table_idx: 1,
+                        column: ColumnId(0),
+                    },
                 },
                 JoinPred {
-                    left: ColRef { table_idx: 2, column: ColumnId(0) },
-                    right: ColRef { table_idx: 1, column: ColumnId(1) },
+                    left: ColRef {
+                        table_idx: 2,
+                        column: ColumnId(0),
+                    },
+                    right: ColRef {
+                        table_idx: 1,
+                        column: ColumnId(1),
+                    },
                 },
             ],
             locals: vec![LocalPred::eq(
-                ColRef { table_idx: 1, column: ColumnId(1) },
+                ColRef {
+                    table_idx: 1,
+                    column: ColumnId(1),
+                },
                 "Jewelry",
             )],
             projections: vec![],
@@ -264,7 +290,10 @@ mod tests {
     fn normalized_join_is_orientation_independent() {
         let q = q3();
         let j = q.joins[1];
-        let flipped = JoinPred { left: j.right, right: j.left };
+        let flipped = JoinPred {
+            left: j.right,
+            right: j.left,
+        };
         assert_eq!(j.normalized(), flipped.normalized());
     }
 

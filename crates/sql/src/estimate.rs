@@ -40,12 +40,7 @@ pub enum View {
 }
 
 /// Selectivity of one local predicate against one view.
-pub fn local_selectivity(
-    view: &StatsView,
-    table: TableId,
-    pred: &LocalPred,
-    col: ColumnId,
-) -> f64 {
+pub fn local_selectivity(view: &StatsView, table: TableId, pred: &LocalPred, col: ColumnId) -> f64 {
     let stats = view.column(table, col);
     let rows = view.table(table).row_count;
     match &pred.kind {
@@ -154,7 +149,7 @@ impl CardEstimator {
             }
         };
         let mut parent: Vec<usize> = Vec::new();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -283,9 +278,9 @@ impl CardEstimator {
     /// True if the two disjoint sets are connected by some equivalence
     /// class (directly or through transitivity).
     pub fn connected(&self, left: u64, right: u64) -> bool {
-        self.classes.iter().any(|c| {
-            c.members_in(left).next().is_some() && c.members_in(right).next().is_some()
-        })
+        self.classes
+            .iter()
+            .any(|c| c.members_in(left).next().is_some() && c.members_in(right).next().is_some())
     }
 
     /// Join key pairs usable between two disjoint sets: for each class
@@ -373,7 +368,10 @@ mod tests {
         assert!((est.local_sel(1) - 0.5).abs() < 0.01);
         // Join card ≈ |SS| × 0.5 under containment.
         let card = est.join_card(0b11);
-        assert!((card / (2_880_400.0 * 0.5) - 1.0).abs() < 0.02, "card={card}");
+        assert!(
+            (card / (2_880_400.0 * 0.5) - 1.0).abs() < 0.02,
+            "card={card}"
+        );
     }
 
     #[test]

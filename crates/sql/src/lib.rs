@@ -10,8 +10,8 @@ pub mod estimate;
 pub mod parser;
 pub mod subquery;
 
-pub use estimate::{local_selectivity, CardEstimator, View};
 pub use ast::{CmpOp, ColRef, JoinPred, LocalPred, PredKind, Query, TableRef};
+pub use estimate::{local_selectivity, CardEstimator, View};
 pub use parser::{parse, ParseError};
 pub use subquery::{connected_subsets, project, structure_signature, subqueries};
 

@@ -34,7 +34,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "SQL parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -120,13 +124,16 @@ fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                 }
                 tokens.push(Token::Str(s));
             }
-            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 i += 1;
                 let mut is_float = false;
                 while i < bytes.len()
                     && (bytes[i].is_ascii_digit()
-                        || (bytes[i] == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
+                        || (bytes[i] == '.'
+                            && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
                 {
                     if bytes[i] == '.' {
                         is_float = true;
@@ -167,12 +174,7 @@ fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
 /// Parse SQL text into a [`Query`], resolving identifiers against `db`.
 pub fn parse(db: &Database, name: &str, sql: &str) -> Result<Query, ParseError> {
     let tokens = lex(sql)?;
-    Parser {
-        db,
-        tokens,
-        pos: 0,
-    }
-    .parse_query(name)
+    Parser { db, tokens, pos: 0 }.parse_query(name)
 }
 
 struct Parser<'a> {
@@ -435,7 +437,10 @@ impl<'a> Parser<'a> {
                 if lhs.table_idx == rhs.table_idx {
                     return Err(self.err("self-comparison within one table instance"));
                 }
-                joins.push(JoinPred { left: lhs, right: rhs });
+                joins.push(JoinPred {
+                    left: lhs,
+                    right: rhs,
+                });
             }
             _ => {
                 let v = self.literal()?;

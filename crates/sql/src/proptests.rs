@@ -67,7 +67,10 @@ fn arb_query(n: usize) -> impl Strategy<Value = Query> {
                 kind: if eq {
                     PredKind::Cmp(CmpOp::Eq, galo_catalog::Value::Int(v))
                 } else {
-                    PredKind::Between(galo_catalog::Value::Int(v), galo_catalog::Value::Int(v + 10))
+                    PredKind::Between(
+                        galo_catalog::Value::Int(v),
+                        galo_catalog::Value::Int(v + 10),
+                    )
                 },
             })
             .collect();

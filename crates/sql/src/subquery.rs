@@ -204,7 +204,12 @@ pub fn structure_signature(db: &Database, query: &Query) -> String {
         .iter()
         .map(|&i| format!("t{}", query.tables[i].table.0))
         .collect();
-    format!("{}|{}|{}", tables.join(","), joins.join(","), locals.join(","))
+    format!(
+        "{}|{}|{}",
+        tables.join(","),
+        joins.join(","),
+        locals.join(",")
+    )
 }
 
 #[cfg(test)]

@@ -47,16 +47,12 @@ impl<'a> QueryBuilder<'a> {
 
     fn colref(&self, instance: usize, column: &str) -> ColRef {
         let table = self.tables[instance].table;
-        let col = self
-            .db
-            .table(table)
-            .column_id(column)
-            .unwrap_or_else(|| {
-                panic!(
-                    "unknown column '{column}' on table '{}'",
-                    self.db.table(table).name
-                )
-            });
+        let col = self.db.table(table).column_id(column).unwrap_or_else(|| {
+            panic!(
+                "unknown column '{column}' on table '{}'",
+                self.db.table(table).name
+            )
+        });
         ColRef {
             table_idx: instance,
             column: col,
@@ -72,7 +68,13 @@ impl<'a> QueryBuilder<'a> {
     }
 
     /// Local comparison predicate.
-    pub fn cmp(&mut self, instance: usize, column: &str, op: CmpOp, v: impl Into<Value>) -> &mut Self {
+    pub fn cmp(
+        &mut self,
+        instance: usize,
+        column: &str,
+        op: CmpOp,
+        v: impl Into<Value>,
+    ) -> &mut Self {
         let col = self.colref(instance, column);
         self.locals.push(LocalPred {
             col,
@@ -142,7 +144,10 @@ mod tests {
         b.add_table(
             Table::new(
                 "FACT",
-                vec![col("F_K", ColumnType::Integer), col("F_V", ColumnType::Decimal)],
+                vec![
+                    col("F_K", ColumnType::Integer),
+                    col("F_V", ColumnType::Decimal),
+                ],
             ),
             1000,
             vec![

@@ -45,7 +45,10 @@ pub fn database() -> Database {
     ] {
         let mut t = Table::new(
             name,
-            vec![col(pk, ColumnType::Integer), col(attr, ColumnType::Varchar(20))],
+            vec![
+                col(pk, ColumnType::Integer),
+                col(attr, ColumnType::Varchar(20)),
+            ],
         );
         t.add_index(Index {
             name: format!("{pk}_PK"),
@@ -53,7 +56,11 @@ pub fn database() -> Database {
             unique: true,
             cluster_ratio: 0.99,
         });
-        b.add_table(t, rows, vec![uniform(rows, rows as f64, 4), uniform(attr_d, 1e6, 10)]);
+        b.add_table(
+            t,
+            rows,
+            vec![uniform(rows, rows as f64, 4), uniform(attr_d, 1e6, 10)],
+        );
     }
 
     // Belief staleness on PRODUCT.P_LINE: the catalog thinks the column is
@@ -67,8 +74,7 @@ pub fn database() -> Database {
             .expect("PRODUCT added above");
         *b.belief_mut().column_mut(product, ColumnId(1)) =
             ColumnStats::uniform(2_000, 0.0, 1e6, 10);
-        *b.truth_mut().column_mut(product, ColumnId(1)) =
-            ColumnStats::uniform(15, 0.0, 1e6, 10);
+        *b.truth_mut().column_mut(product, ColumnId(1)) = ColumnStats::uniform(15, 0.0, 1e6, 10);
     }
 
     let mut date_ref = Table::new(
@@ -348,7 +354,12 @@ pub fn database() -> Database {
     b.plant_correlation_full((claim, ColumnId(2)), (date_ref, ColumnId(1)), 0.05, 0.30);
     // The mid-size mirrors carry the same quirk mechanics as TPC-DS facts
     // (this structural overlap is what enables Exp-2 cross-workload reuse).
-    b.plant_correlation_full((claim_item, ColumnId(0)), (date_ref, ColumnId(1)), 0.01, 0.19);
+    b.plant_correlation_full(
+        (claim_item, ColumnId(0)),
+        (date_ref, ColumnId(1)),
+        0.01,
+        0.19,
+    );
     b.plant_correlation_full((ledger, ColumnId(0)), (date_ref, ColumnId(1)), 0.05, 0.30);
     // Flooding mirror: LEDGER's product index is badly clustered in truth.
     b.plant_stale_cluster_ratio(ledger, IndexId(1), 0.03);
@@ -364,12 +375,7 @@ pub fn database() -> Database {
 
 /// A mid-size fact with the same shape as a TPC-DS fact: date FK, product
 /// FK, customer FK, a measure and a payload.
-fn mid_fact(
-    b: &mut DatabaseBuilder,
-    name: &str,
-    prefix: &str,
-    rows: u64,
-) -> galo_catalog::TableId {
+fn mid_fact(b: &mut DatabaseBuilder, name: &str, prefix: &str, rows: u64) -> galo_catalog::TableId {
     let mk = |s: &str| -> String { format!("{prefix}_{s}") };
     let mut t = Table::new(
         name,
@@ -476,7 +482,7 @@ fn add_predicate(qb: &mut QueryBuilder<'_>, table: &str, instance: usize, rng: &
 pub fn workload() -> Workload {
     let db = database();
     let es = edges();
-    let mut rng = StdRng::seed_from_u64(0xC11E_17);
+    let mut rng = StdRng::seed_from_u64(0x00C1_1E17);
     let mut queries = Vec::with_capacity(116);
 
     let anchors = [
@@ -561,7 +567,12 @@ pub fn workload() -> Workload {
 /// status-index trap (Fig 1 family), the mid-size mirrors of the TPC-DS
 /// kernels (cross-workload reuse), a flooding mirror and the
 /// transaction-log date correlation.
-pub fn client_kernel(db: &Database, qi: usize, kernel_no: usize, rng: &mut StdRng) -> galo_sql::Query {
+pub fn client_kernel(
+    db: &Database,
+    qi: usize,
+    kernel_no: usize,
+    rng: &mut StdRng,
+) -> galo_sql::Query {
     let mut qb = QueryBuilder::new(db, format!("client_q{:03}", qi + 1));
     match kernel_no % 6 {
         0 => {
@@ -675,7 +686,8 @@ mod tests {
         let w = workload();
         let opt = galo_optimizer::Optimizer::new(&w.db);
         for q in &w.queries {
-            opt.optimize(q).unwrap_or_else(|e| panic!("{} failed: {e}", q.name));
+            opt.optimize(q)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", q.name));
         }
     }
 

@@ -6,7 +6,7 @@
 
 use galo_core::{match_plan, qgm_to_rdf, segment_to_sparql, Galo, LearningConfig, MatchConfig};
 use galo_optimizer::Optimizer;
-use galo_rdf::TripleStore;
+use galo_rdf::{IndexedStore, TripleStore};
 
 fn main() {
     // The Figure 4 scenario (flooding) keeps the output readable.
@@ -20,7 +20,7 @@ fn main() {
     // 1. QGM -> RDF (the transformation engine, paper §3.1).
     let triples = qgm_to_rdf(&workload.db, &plan);
     println!("as RDF ({} triples); a sample:", triples.len());
-    let mut store = TripleStore::new();
+    let mut store = IndexedStore::new();
     for (s, p, o) in triples {
         store.insert(s, p, o);
     }

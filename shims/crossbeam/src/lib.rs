@@ -1,0 +1,54 @@
+//! Offline subset of `crossbeam`: `thread::scope` with the crossbeam
+//! calling convention (spawn closures receive the scope), implemented on
+//! `std::thread::scope`.
+
+pub mod thread {
+    /// Scope handle passed to `scope` and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to the scope. As in crossbeam, the closure
+        /// receives the scope so workers can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            inner.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. std's scope propagates child panics by resuming them on
+    /// the owning thread, so the crossbeam-style `Result` here is always
+    /// `Ok` — callers' `.expect(...)` is then a no-op, which matches
+    /// crossbeam's behavior of only erring on unjoinable panics.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let counter = &counter;
+                scope.spawn(move |_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline subset of the `proptest` crate.
+//!
+//! The container has no crates.io access, so the workspace vendors the
+//! slice of proptest its property tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_flat_map` / `prop_recursive` /
+//! `boxed`, strategies for numeric ranges, tuples, regex-like string
+//! patterns, collections, samples, options and booleans, plus the
+//! [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//! [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, by design:
+//! * **No shrinking.** A failing case reports its inputs via the assert
+//!   message but is not minimized.
+//! * **Deterministic seeding.** Each test's RNG is seeded from the test
+//!   name, so runs are reproducible without a persistence file.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+
+/// `bool`-valued strategies (`proptest::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// The `prop::` umbrella module (`proptest::prelude::prop`).
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run one property test function: the expansion target of [`proptest!`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(file!(), stringify!($name));
+                let mut cases_run = 0u32;
+                let mut rejects = 0u32;
+                while cases_run < config.cases {
+                    let ($($pat,)*) = ($(
+                        match $crate::strategy::Strategy::generate(&($strat), &mut rng) {
+                            Some(value) => value,
+                            None => {
+                                rejects += 1;
+                                assert!(
+                                    rejects < 65_536,
+                                    "strategy rejected too many inputs in {}",
+                                    stringify!($name),
+                                );
+                                continue;
+                            }
+                        }
+                    ,)*);
+                    // Bodies run in a closure returning `Result` so that
+                    // `return Ok(())` (an early pass) works as in real
+                    // proptest. Assertion macros panic instead of
+                    // returning `Err`, so the error type is free.
+                    #[allow(clippy::redundant_closure_call)]
+                    let _outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    cases_run += 1;
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Union of strategies with the same value type; each case picks one arm
+/// uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assertion macros. Without shrinking these are plain asserts: a failure
+/// panics with the formatted message and fails the test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("lib", "ranges");
+        let strat = (0u8..12, -50i64..50, 0.0f64..1.0).prop_map(|(a, b, c)| (a, b, c));
+        for _ in 0..200 {
+            let (a, b, c) = Strategy::generate(&strat, &mut rng).unwrap();
+            assert!(a < 12);
+            assert!((-50..50).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn string_pattern_strategy_matches_shape() {
+        let mut rng = crate::test_runner::TestRng::for_test("lib", "strings");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng).unwrap();
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let p = Strategy::generate(&"[a-z]{1,3}(/[a-z0-9]{1,4}){0,2}", &mut rng).unwrap();
+            assert!(p.split('/').count() <= 3, "{p:?}");
+
+            let t = Strategy::generate(&"[ -~]{0,12}", &mut rng).unwrap();
+            assert!(t.len() <= 12);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn filter_and_oneof_obey_predicates() {
+        let mut rng = crate::test_runner::TestRng::for_test("lib", "filter");
+        let strat = prop_oneof![
+            (0i32..100).prop_filter("even", |v| v % 2 == 0),
+            (1000i32..2000).prop_map(|v| v),
+        ];
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng).unwrap();
+            assert!(v % 2 == 0 || (1000..2000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn collection_vec_and_sample_index() {
+        let mut rng = crate::test_runner::TestRng::for_test("lib", "vec");
+        let strat = prop::collection::vec(0u32..10, 1..40);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng).unwrap();
+            assert!((1..40).contains(&v.len()));
+            let idx = Strategy::generate(&any::<prop::sample::Index>(), &mut rng).unwrap();
+            assert!(idx.index(v.len()) < v.len());
+        }
+        // Fixed-size form.
+        let fixed = prop::collection::vec(0u32..10, 7usize);
+        assert_eq!(Strategy::generate(&fixed, &mut rng).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::test_runner::TestRng::for_test("lib", "recursive");
+        for _ in 0..100 {
+            let t = Strategy::generate(&strat, &mut rng).unwrap();
+            assert!(depth(&t) <= 4, "depth {} too deep", depth(&t));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(
+            v in prop::collection::vec(0i64..100, 0..10),
+            flag in prop::bool::ANY,
+            opt in prop::option::of(1u8..5),
+            choice in prop::sample::select(vec![2u32, 4, 8]),
+        ) {
+            prop_assert!(v.iter().all(|&x| (0..100).contains(&x)));
+            // `flag` itself just needs to have been generated; either value
+            // is valid.
+            let _: bool = flag;
+            if let Some(x) = opt {
+                prop_assert!((1..5).contains(&x));
+            }
+            prop_assert!(choice == 2 || choice == 4 || choice == 8);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! `Option` strategies (`proptest::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `Some` with high probability (3 in 4), `None` otherwise — close to
+/// proptest's default weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+        if rng.below(4) == 0 {
+            Some(None)
+        } else {
+            Some(Some(self.inner.generate(rng)?))
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Sampling strategies (`proptest::sample`).
+
+use crate::strategy::{Arbitrary, Strategy};
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose size is only known at use time
+/// (`proptest::sample::Index`). Obtain one with `any::<Index>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Resolve against a collection of `len` elements.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index {
+            raw: rng.next_u64(),
+        }
+    }
+}
+
+/// Uniform choice from a fixed list of values.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty list");
+    Select { options }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        Some(self.options[pick].clone())
+    }
+}

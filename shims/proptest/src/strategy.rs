@@ -1,0 +1,517 @@
+//! The [`Strategy`] trait, its combinators, and strategies for primitive
+//! types, ranges, tuples and regex-like string patterns.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// How many times a filtered or composite strategy retries locally before
+/// reporting a rejection to the runner.
+const LOCAL_REJECT_RETRIES: usize = 100;
+
+/// A generator of values of one type.
+///
+/// `generate` returns `None` when a filter rejected the candidate; the
+/// test runner retries the whole case. No shrinking is implemented.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Keep only values satisfying `pred`. The reason string is carried
+    /// for API compatibility; rejection reporting does not use it.
+    fn prop_filter<R, F>(self, _reason: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { source: self, pred }
+    }
+
+    /// Generate an intermediate value, then generate from the strategy it
+    /// maps to.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Build recursive values: `self` is the leaf strategy, `branch` maps
+    /// an inner strategy to a composite one. `depth` bounds recursion;
+    /// the size/branch hints are accepted for API compatibility.
+    fn prop_recursive<F, S2>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        S2: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let composite = branch(current).boxed();
+            current = Union::new(vec![leaf.clone(), composite]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase into a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// Cloneable type-erased strategy (`proptest::strategy::BoxedStrategy`).
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.source.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..LOCAL_REJECT_RETRIES {
+            match self.source.generate(rng) {
+                Some(v) if (self.pred)(&v) => return Some(v),
+                _ => continue,
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let intermediate = self.source.generate(rng)?;
+        (self.f)(intermediate).generate(rng)
+    }
+}
+
+/// Uniform choice between type-erased strategies ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Always the same value (`proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// ---- any::<T>() ----
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<A> {
+        Some(A::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for `A` (`proptest::arbitrary::any`).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns cover the full domain, NaN and infinities
+        // included, like proptest's full-range float strategy.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+// ---- numeric ranges ----
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                Some((self.start as i128 + off as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                Some((lo as i128 + off as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                Some(self.start + (rng.unit_f64() as $t) * (self.end - self.start))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                Some(lo + (rng.unit_f64() as $t) * (hi - lo))
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---- tuples ----
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---- regex-like string patterns ----
+
+/// `&str` patterns are regex-like string strategies, supporting the
+/// subset this workspace uses: literal characters, character classes with
+/// ranges (`[a-z0-9]`, `[ -~]`), groups, and `{m}` / `{m,n}` / `?` / `*` /
+/// `+` quantifiers (unbounded quantifiers are capped at 8 repetitions).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let pattern = Pattern::parse(self);
+        let mut out = String::new();
+        pattern.generate_into(rng, &mut out);
+        Some(out)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        self.as_str().generate(rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; a lone char is a degenerate range.
+    Class(Vec<(char, char)>),
+    Group(Pattern),
+}
+
+#[derive(Debug, Clone)]
+struct Pattern {
+    /// Atoms with repetition bounds `[lo, hi]`.
+    atoms: Vec<(Atom, u32, u32)>,
+}
+
+impl Pattern {
+    fn parse(text: &str) -> Pattern {
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0;
+        let pattern = Self::parse_seq(&chars, &mut pos, text);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex pattern {text:?} (stopped at byte {pos})"
+        );
+        pattern
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, whole: &str) -> Pattern {
+        let mut atoms = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            let atom = match c {
+                ')' => break,
+                '(' => {
+                    *pos += 1;
+                    let inner = Self::parse_seq(chars, pos, whole);
+                    assert_eq!(chars.get(*pos), Some(&')'), "unclosed group in {whole:?}");
+                    *pos += 1;
+                    Atom::Group(inner)
+                }
+                '[' => {
+                    *pos += 1;
+                    let mut ranges = Vec::new();
+                    while let Some(&cc) = chars.get(*pos) {
+                        if cc == ']' {
+                            break;
+                        }
+                        let lo = cc;
+                        *pos += 1;
+                        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                            *pos += 1;
+                            let hi = *chars.get(*pos).expect("dangling '-' in class");
+                            *pos += 1;
+                            assert!(lo <= hi, "inverted class range in {whole:?}");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert_eq!(chars.get(*pos), Some(&']'), "unclosed class in {whole:?}");
+                    *pos += 1;
+                    assert!(!ranges.is_empty(), "empty class in {whole:?}");
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    *pos += 1;
+                    let escaped = *chars.get(*pos).expect("dangling escape");
+                    *pos += 1;
+                    match escaped {
+                        'd' => Atom::Class(vec![('0', '9')]),
+                        'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        other => Atom::Literal(other),
+                    }
+                }
+                other => {
+                    *pos += 1;
+                    Atom::Literal(other)
+                }
+            };
+            let (lo, hi) = Self::parse_quantifier(chars, pos, whole);
+            atoms.push((atom, lo, hi));
+        }
+        Pattern { atoms }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, whole: &str) -> (u32, u32) {
+        match chars.get(*pos) {
+            Some('{') => {
+                *pos += 1;
+                let mut lo = String::new();
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    lo.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let lo: u32 = lo.parse().expect("quantifier lower bound");
+                let hi = if chars.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    let mut hi = String::new();
+                    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                        hi.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    hi.parse().expect("quantifier upper bound")
+                } else {
+                    lo
+                };
+                assert_eq!(
+                    chars.get(*pos),
+                    Some(&'}'),
+                    "unclosed quantifier in {whole:?}"
+                );
+                *pos += 1;
+                assert!(lo <= hi, "inverted quantifier in {whole:?}");
+                (lo, hi)
+            }
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn generate_into(&self, rng: &mut TestRng, out: &mut String) {
+        for (atom, lo, hi) in &self.atoms {
+            let count = *lo as u64 + rng.below((*hi - *lo) as u64 + 1);
+            for _ in 0..count {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        // Weight ranges by size for uniformity over chars.
+                        let total: u64 =
+                            ranges.iter().map(|(a, b)| *b as u64 - *a as u64 + 1).sum();
+                        let mut pick = rng.below(total);
+                        for (a, b) in ranges {
+                            let size = *b as u64 - *a as u64 + 1;
+                            if pick < size {
+                                out.push(
+                                    char::from_u32(*a as u32 + pick as u32).expect("class char"),
+                                );
+                                break;
+                            }
+                            pick -= size;
+                        }
+                    }
+                    Atom::Group(inner) => inner.generate_into(rng, out),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Workspace facade: re-exports every GALO crate under one name so the
+//! integration tests, examples and downstream users can depend on a
+//! single package.
+//!
+//! The interesting entry points live in [`core`] ([`core::Galo`]) and
+//! [`workloads`] (the TPC-DS-like and client workload generators); see
+//! the repository README for a tour.
+
+pub use galo_bench as bench;
+pub use galo_catalog as catalog;
+pub use galo_core as core;
+pub use galo_executor as executor;
+pub use galo_optimizer as optimizer;
+pub use galo_qgm as qgm;
+pub use galo_rdf as rdf;
+pub use galo_sql as sql;
+pub use galo_workloads as workloads;

@@ -14,7 +14,9 @@ use galo_workloads::{client, tpcds, QueryBuilder, Workload};
 fn cfg() -> LearningConfig {
     LearningConfig {
         threads: 2,
-        random_plans: 12,
+        // Enough draws to cover the ~24-shape plan space of a two-table
+        // join; the winning rewrite must not hinge on sampling luck.
+        random_plans: 24,
         ..LearningConfig::default()
     }
 }
@@ -107,7 +109,11 @@ fn fig7_transfer_rate_pattern_recovers() {
         matches!(p.kind, PopKind::IxScan { table, fetch: true, .. }
             if w.queries[0].tables[table].qualifier == "Q1")
     });
-    assert!(uses_ws_index_fetch, "trap plan: {}", plan.plan_fingerprint());
+    assert!(
+        uses_ws_index_fetch,
+        "trap plan: {}",
+        plan.plan_fingerprint()
+    );
 
     let galo = Galo::new();
     let report = galo.learn(&w, &cfg());

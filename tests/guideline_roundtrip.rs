@@ -11,16 +11,14 @@ use proptest::prelude::*;
 
 /// Strategy for random guideline trees over qualifiers Q1..Q6.
 fn guideline_tree() -> impl Strategy<Value = GuidelineNode> {
-    let leaf = (1u8..7, prop::bool::ANY, prop::option::of("[A-Z]{2,8}")).prop_map(
-        |(q, tb, ix)| {
-            let tabid = format!("Q{q}");
-            if tb {
-                GuidelineNode::TbScan { tabid }
-            } else {
-                GuidelineNode::IxScan { tabid, index: ix }
-            }
-        },
-    );
+    let leaf = (1u8..7, prop::bool::ANY, prop::option::of("[A-Z]{2,8}")).prop_map(|(q, tb, ix)| {
+        let tabid = format!("Q{q}");
+        if tb {
+            GuidelineNode::TbScan { tabid }
+        } else {
+            GuidelineNode::IxScan { tabid, index: ix }
+        }
+    });
     leaf.prop_recursive(3, 16, 2, |inner| {
         (0u8..3, inner.clone(), inner).prop_map(|(kind, o, i)| match kind {
             0 => GuidelineNode::HsJoin(Box::new(o), Box::new(i)),
@@ -118,7 +116,10 @@ fn displaced_ranges_do_not_match() {
     let kb = KnowledgeBase::new();
     let mut tpl = abstract_plan(&db, &plan, plan.root(), &fix, kb.fresh_id(9));
     for p in &mut tpl.pops {
-        p.cardinality = Range { lo: 1.0e12, hi: 2.0e12 };
+        p.cardinality = Range {
+            lo: 1.0e12,
+            hi: 2.0e12,
+        };
     }
     tpl.source_workload = "unit".into();
     kb.insert(&tpl);
