@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use galo_bench::{inflate_kb, learning_config};
-use galo_core::{match_plan, KnowledgeBase, MatchConfig};
+use galo_core::{match_plan, match_plan_text, KnowledgeBase, MatchConfig};
 use galo_optimizer::Optimizer;
 use galo_rdf::{IndexedStore, ScanStore, Term, TripleStore};
 use galo_workloads::tpcds;
@@ -37,7 +37,7 @@ fn bench_match_by_width(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{}tables", query.tables.len())),
             &plan,
             |b, plan| {
-                b.iter(|| match_plan(&w.db, &kb, plan, &MatchConfig::default()).sparql_queries)
+                b.iter(|| match_plan(&w.db, &kb, plan, &MatchConfig::default()).probes_executed)
             },
         );
     }
@@ -111,9 +111,76 @@ fn bench_pattern_lookup(c: &mut Criterion) {
     group.finish();
 }
 
+/// Text pipeline vs compiled probe pipeline, per plan, against KBs at the
+/// Exp-3 (100 templates) and Exp-4 (1,000 templates) scales. The text
+/// path renders + re-parses SPARQL per segment and evaluates with no
+/// candidate pruning; the probe path is what `match_plan` runs online —
+/// signature-pruned, compiled, batched under one lock.
+fn bench_match_pipeline(c: &mut Criterion) {
+    let w = tpcds::workload();
+    // Learn a handful of real templates once; per KB size, reimport and
+    // inflate with synthetic out-of-range templates (as Exp-4 does).
+    let base = KnowledgeBase::new();
+    let small = galo_workloads::Workload {
+        name: w.name.clone(),
+        db: w.db.clone(),
+        queries: w.queries[..10].to_vec(),
+    };
+    galo_core::learn_workload(&small, &base, &learning_config(true));
+    let dump = base.export();
+
+    let optimizer = Optimizer::new(&w.db);
+    // A representative mid-size slice of the workload: per iteration the
+    // matcher sees plans that hit candidates and plans that prune.
+    let plans: Vec<_> = w.queries[10..16]
+        .iter()
+        .filter_map(|q| optimizer.optimize(q).ok())
+        .collect();
+
+    let mut group = c.benchmark_group("match_pipeline");
+    for templates in [100usize, 1000] {
+        let kb = KnowledgeBase::new();
+        kb.import(&dump).expect("kb reimport");
+        inflate_kb(&kb, &w.db, &w.queries[..6], templates);
+        group.bench_with_input(
+            BenchmarkId::new("text", format!("{templates}tpl")),
+            &kb,
+            |b, kb| {
+                b.iter(|| {
+                    plans
+                        .iter()
+                        .map(|p| {
+                            match_plan_text(&w.db, kb, p, &MatchConfig::default())
+                                .rewrites
+                                .len()
+                        })
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("probe", format!("{templates}tpl")),
+            &kb,
+            |b, kb| {
+                b.iter(|| {
+                    plans
+                        .iter()
+                        .map(|p| {
+                            match_plan(&w.db, kb, p, &MatchConfig::default())
+                                .rewrites
+                                .len()
+                        })
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_match_by_width, bench_pattern_lookup
+    targets = bench_match_by_width, bench_pattern_lookup, bench_match_pipeline
 }
 criterion_main!(benches);

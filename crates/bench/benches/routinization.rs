@@ -23,7 +23,7 @@ fn bench_routinization(c: &mut Criterion) {
             b.iter(|| {
                 let mut total = 0usize;
                 for plan in &plans {
-                    total += match_plan(&w.db, kb, plan, &MatchConfig::default()).sparql_queries;
+                    total += match_plan(&w.db, kb, plan, &MatchConfig::default()).probes_executed;
                 }
                 total
             })

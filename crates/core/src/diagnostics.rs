@@ -21,11 +21,11 @@ use std::collections::BTreeMap;
 use galo_catalog::Database;
 use galo_executor::compute_actuals;
 use galo_qgm::{segments, GuidelineNode, Qgm};
-use galo_rdf::Term;
+use galo_rdf::{Probe, Term};
 
 use crate::kb::KnowledgeBase;
 use crate::matching::{match_plan, MatchConfig};
-use crate::transform::segment_to_sparql;
+use crate::transform::{segment_to_probe, ProbeOptions};
 use crate::vocab;
 
 /// One suspicious operator: large estimated-vs-actual discrepancy.
@@ -62,29 +62,41 @@ pub struct Diagnosis {
 pub fn diagnose(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfig) -> Diagnosis {
     let matched = match_plan(db, kb, qgm, cfg);
 
-    // Near misses: rerun each segment's SPARQL with the range FILTERs
-    // stripped (structure + types only), then subtract exact matches.
+    // Near misses: probe each segment with the range constraints dropped
+    // (structure + types only), then subtract exact matches. Same compiled
+    // pipeline as matching — the signature index supplies the structural
+    // candidates and the relaxed probes run as one batch per segment.
+    let relaxed_opts = ProbeOptions {
+        range_margin: cfg.range_margin,
+        include_ranges: false,
+    };
     let mut near: BTreeMap<String, NearMiss> = BTreeMap::new();
     for segment in segments(qgm, cfg.join_threshold) {
-        let sparql = segment_to_sparql(db, qgm, segment.root);
-        let relaxed = strip_range_filters(&sparql);
-        let Ok(parsed) = galo_rdf::parse_select(&relaxed) else {
+        let probe = segment_to_probe(db, qgm, segment.root, &relaxed_opts);
+        let candidates = kb.candidate_templates(probe.signature);
+        if candidates.is_empty() {
             continue;
-        };
-        let solutions = kb.server().query_parsed(&parsed);
-        for row in 0..solutions.len() {
-            let Some(tmpl) = solutions.get(row, "tmpl") else {
-                continue;
-            };
-            let iri = tmpl.str_value().to_string();
-            if matched.rewrites.iter().any(|r| r.template_iri == iri) {
+        }
+        let jobs: Vec<Probe<'_>> = candidates
+            .iter()
+            .map(|iri| Probe {
+                query: &probe.query,
+                bind: vec![("tmpl".to_string(), Term::iri(iri.clone()))],
+            })
+            .collect();
+        let results = kb.server().probe_batch(&jobs);
+        for (iri, solutions) in candidates.iter().zip(&results) {
+            if solutions.is_empty() {
                 continue;
             }
-            if let Some((improvement, source)) = template_meta(kb, &iri) {
+            if matched.rewrites.iter().any(|r| &r.template_iri == iri) {
+                continue;
+            }
+            if let Some((improvement, source)) = template_meta(kb, iri) {
                 near.insert(
                     iri.clone(),
                     NearMiss {
-                        template_iri: iri,
+                        template_iri: iri.clone(),
                         source_workload: source,
                         improvement,
                     },
@@ -117,26 +129,6 @@ pub fn diagnose(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfig)
         near_misses: near.into_values().collect(),
         suspects,
     }
-}
-
-/// Remove `hasLower*`/`hasHigher*` triple patterns and their FILTER lines
-/// from a generated SPARQL query, leaving the pure structural skeleton.
-fn strip_range_filters(sparql: &str) -> String {
-    let mut out = Vec::new();
-    let mut skip_next_filter = false;
-    for line in sparql.lines() {
-        let trimmed = line.trim_start();
-        if trimmed.contains(":hasLower") || trimmed.contains(":hasHigher") {
-            skip_next_filter = true;
-            continue;
-        }
-        if skip_next_filter && trimmed.starts_with("FILTER ( ?ih") {
-            skip_next_filter = false;
-            continue;
-        }
-        out.push(line);
-    }
-    out.join("\n")
 }
 
 fn template_meta(kb: &KnowledgeBase, iri: &str) -> Option<(f64, String)> {

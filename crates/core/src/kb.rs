@@ -8,11 +8,12 @@
 //! unique random identifier, and the recommended rewrite attached as an
 //! OPTGUIDELINES document over the canonical labels.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use galo_catalog::Database;
-use galo_qgm::{GuidelineDoc, PopId, Qgm};
+use galo_qgm::{shape_signature, GuidelineDoc, PopId, Qgm};
 use galo_rdf::{FusekiLite, Term, TripleStore};
 
 use crate::vocab::{self, prop};
@@ -96,6 +97,25 @@ pub struct Template {
     pub join_count: usize,
 }
 
+/// Fetch a template's guideline document and source workload from a raw
+/// store reference — the matcher calls this inside its one read-lock
+/// session per plan, so no second lock acquisition is needed. Two keyed
+/// (subject, predicate) scans; no SPARQL text is rendered or parsed.
+pub(crate) fn guideline_of_in(
+    st: &dyn TripleStore,
+    template_iri: &str,
+) -> Option<(GuidelineDoc, String)> {
+    let tnode = st.term_id(&Term::iri(template_iri))?;
+    let fetch = |property: &str| -> Option<String> {
+        let pid = st.term_id(&prop(property))?;
+        let (_, _, object) = st.scan(Some(tnode), Some(pid), None).into_iter().next()?;
+        Some(st.resolve(object).str_value().to_string())
+    };
+    let xml = fetch(vocab::HAS_GUIDELINE_XML)?;
+    let source = fetch(vocab::HAS_SOURCE_WORKLOAD)?;
+    GuidelineDoc::parse_xml(&xml).ok().map(|doc| (doc, source))
+}
+
 /// Build a [`Template`] from a concrete problem plan: canonicalize table
 /// labels in scan pre-order, seed every numeric range from the plan's
 /// values, and rewrite the guideline onto the canonical labels.
@@ -165,10 +185,37 @@ pub fn abstract_plan(
     }
 }
 
+/// Per-operator entry of one template in the signature index: the data a
+/// candidate pre-check needs without touching the triple store.
+#[derive(Debug, Clone)]
+struct IndexedPop {
+    pop_type: String,
+    cardinality: Range,
+}
+
+/// shape signature -> template IRI -> indexed operator summaries, ordered
+/// so candidate iteration (and therefore match tie-breaking) is
+/// deterministic.
+type SigIndex = HashMap<u64, BTreeMap<String, Vec<IndexedPop>>>;
+
 /// The knowledge base: an RDF endpoint plus template bookkeeping.
+///
+/// Besides the triple store, the KB maintains a **signature index** —
+/// structural [`shape_signature`] → the templates with that shape, each
+/// with a compact per-operator cardinality summary — kept in step by
+/// [`insert`](Self::insert), [`remove_template`](Self::remove_template)
+/// and [`import`](Self::import). The online matcher consults it through
+/// [`candidate_templates`](Self::candidate_templates) /
+/// [`candidate_templates_admitting`](Self::candidate_templates_admitting)
+/// so segments whose shape matches no stored template never touch the
+/// store, and matching segments probe only candidates whose cardinality
+/// ranges could possibly admit them. Callers that mutate template triples
+/// through the raw [`server`](Self::server) endpoint must call
+/// [`reindex`](Self::reindex) afterwards.
 pub struct KnowledgeBase {
     server: FusekiLite,
     counter: AtomicU64,
+    sig_index: RwLock<SigIndex>,
 }
 
 impl Default for KnowledgeBase {
@@ -183,6 +230,7 @@ impl KnowledgeBase {
         KnowledgeBase {
             server: FusekiLite::new(),
             counter: AtomicU64::new(0),
+            sig_index: RwLock::new(HashMap::new()),
         }
     }
 
@@ -192,7 +240,70 @@ impl KnowledgeBase {
         KnowledgeBase {
             server: FusekiLite::with_backend(backend),
             counter: AtomicU64::new(0),
+            sig_index: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Structural signature of a template — the index key a matching
+    /// segment must share (transparent operators above the template's root
+    /// join are filtered out by [`shape_signature`] itself).
+    pub fn template_signature(tpl: &Template) -> u64 {
+        shape_signature(tpl.join_count, tpl.pops.iter().map(|p| p.pop_type.as_str()))
+    }
+
+    /// IRIs of the templates whose structural signature equals
+    /// `signature`, in ascending IRI order (the matcher's deterministic
+    /// tie-break). Empty means no stored template can match a segment of
+    /// that shape, so the caller can skip probing entirely.
+    pub fn candidate_templates(&self, signature: u64) -> Vec<String> {
+        self.sig_index
+            .read()
+            .expect("signature index lock")
+            .get(&signature)
+            .map(|tpls| tpls.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Like [`candidate_templates`](Self::candidate_templates), but also
+    /// applies the cardinality pre-check: a candidate survives only if,
+    /// for every `(pop_type, est_card)` the segment will probe with, the
+    /// template has at least one operator of that type whose cardinality
+    /// range admits the value under `margin`. This is a *necessary*
+    /// condition for a match (every probe binds each segment operator to a
+    /// same-typed template operator and tests exactly this range), so the
+    /// pre-check only removes templates the probe would reject anyway —
+    /// without touching the triple store.
+    pub fn candidate_templates_admitting(
+        &self,
+        signature: u64,
+        checks: &[(&str, f64)],
+        margin: f64,
+    ) -> Vec<String> {
+        let m = margin.max(1.0);
+        self.sig_index
+            .read()
+            .expect("signature index lock")
+            .get(&signature)
+            .map(|tpls| {
+                tpls.iter()
+                    .filter(|(_, pops)| {
+                        checks.iter().all(|&(ty, v)| {
+                            pops.iter().any(|p| {
+                                p.pop_type == ty
+                                    && p.cardinality.lo <= v * m
+                                    && p.cardinality.hi >= v / m
+                            })
+                        })
+                    })
+                    .map(|(iri, _)| iri.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct structural signatures in the index.
+    pub fn signature_count(&self) -> usize {
+        self.sig_index.read().expect("signature index lock").len()
     }
 
     /// The underlying SPARQL endpoint.
@@ -317,12 +428,159 @@ impl KnowledgeBase {
             self.server.insert_triples_in(
                 vocab::workload_graph_iri(&tpl.source_workload),
                 [(
-                    tnode,
+                    tnode.clone(),
                     prop(vocab::HAS_PROBLEM_FINGERPRINT),
                     Term::lit(tpl.fingerprint.clone()),
                 )],
             );
         }
+        self.sig_index
+            .write()
+            .expect("signature index lock")
+            .entry(Self::template_signature(tpl))
+            .or_default()
+            .insert(
+                tnode.str_value().to_string(),
+                tpl.pops
+                    .iter()
+                    .map(|p| IndexedPop {
+                        pop_type: p.pop_type.clone(),
+                        cardinality: p.cardinality,
+                    })
+                    .collect(),
+            );
+    }
+
+    /// Retract a template: remove its triples (template node, operator
+    /// nodes, stream edges, workload tagging) and unlink it from the
+    /// signature index. Returns true when anything was removed.
+    pub fn remove_template(&self, template_iri: &str) -> bool {
+        let removed = self.server.with_store_mut(|st| {
+            let Some(tid) = st.term_id(&Term::iri(template_iri)) else {
+                return false;
+            };
+            // The template's resources: the template node plus every
+            // operator linked to it via inTemplate. All of the template's
+            // triples have one of these as subject (stream edges go
+            // child -> parent, role edges parent -> child; both are pops).
+            let mut subjects = vec![tid];
+            if let Some(in_tpl) = st.term_id(&prop(vocab::IN_TEMPLATE)) {
+                subjects.extend(
+                    st.scan(None, Some(in_tpl), Some(tid))
+                        .into_iter()
+                        .map(|(s, _, _)| s),
+                );
+            }
+            let mut removed = false;
+            for s in subjects {
+                for t in st.scan(Some(s), None, None) {
+                    removed |= st.remove_ids(t);
+                }
+            }
+            // Drop the per-workload tagging triple(s) from named graphs.
+            for graph in st.graph_names() {
+                let is_workload = graph
+                    .as_iri()
+                    .is_some_and(|iri| iri.starts_with(vocab::WORKLOAD_GRAPH_NS));
+                if !is_workload {
+                    continue;
+                }
+                let gid = st.term_id(&graph).expect("graph name interned");
+                for t in st.scan_in(gid, Some(tid), None, None) {
+                    removed |= st.remove_ids_in(gid, t);
+                }
+            }
+            removed
+        });
+        let mut index = self.sig_index.write().expect("signature index lock");
+        index.retain(|_, tpls| {
+            tpls.remove(template_iri);
+            !tpls.is_empty()
+        });
+        removed
+    }
+
+    /// Rebuild the signature index from the stored triples. Called after
+    /// [`import`](Self::import); required after mutating template triples
+    /// through the raw SPARQL endpoint.
+    pub fn reindex(&self) {
+        let jc_query = format!(
+            "PREFIX p: <{}> SELECT ?t ?jc WHERE {{ ?t p:{} ?jc . }}",
+            vocab::PROP_NS,
+            vocab::HAS_JOIN_COUNT
+        );
+        let pops_query = format!(
+            "PREFIX p: <{}> SELECT ?pop ?t ?ty WHERE {{ ?pop p:{} ?t . ?pop p:{} ?ty . }}",
+            vocab::PROP_NS,
+            vocab::IN_TEMPLATE,
+            vocab::HAS_POP_TYPE
+        );
+        let ranges_query = format!(
+            "PREFIX p: <{}> SELECT ?pop ?lo ?hi WHERE {{ ?pop p:{} ?lo . ?pop p:{} ?hi . }}",
+            vocab::PROP_NS,
+            vocab::HAS_LOWER_CARDINALITY,
+            vocab::HAS_HIGHER_CARDINALITY
+        );
+        let mut join_counts: HashMap<String, usize> = HashMap::new();
+        if let Ok(rs) = self.server.query(&jc_query) {
+            for row in 0..rs.len() {
+                let (Some(t), Some(jc)) = (rs.get(row, "t"), rs.get(row, "jc")) else {
+                    continue;
+                };
+                let Some(jc) = jc.as_literal().and_then(|l| l.as_number()) else {
+                    continue;
+                };
+                join_counts.insert(t.str_value().to_string(), jc as usize);
+            }
+        }
+        // A pop whose cardinality bounds are missing (hand-crafted via the
+        // raw endpoint) defaults to an unbounded range so the pre-check
+        // never rejects what the probe would accept.
+        let mut pop_ranges: HashMap<String, Range> = HashMap::new();
+        if let Ok(rs) = self.server.query(&ranges_query) {
+            for row in 0..rs.len() {
+                let (Some(pop), Some(lo), Some(hi)) =
+                    (rs.get(row, "pop"), rs.get(row, "lo"), rs.get(row, "hi"))
+                else {
+                    continue;
+                };
+                let (Some(lo), Some(hi)) = (
+                    lo.as_literal().and_then(|l| l.as_number()),
+                    hi.as_literal().and_then(|l| l.as_number()),
+                ) else {
+                    continue;
+                };
+                pop_ranges.insert(pop.str_value().to_string(), Range { lo, hi });
+            }
+        }
+        let mut template_pops: HashMap<String, Vec<IndexedPop>> = HashMap::new();
+        if let Ok(rs) = self.server.query(&pops_query) {
+            for row in 0..rs.len() {
+                let (Some(pop), Some(t), Some(ty)) =
+                    (rs.get(row, "pop"), rs.get(row, "t"), rs.get(row, "ty"))
+                else {
+                    continue;
+                };
+                let cardinality = pop_ranges.get(pop.str_value()).copied().unwrap_or(Range {
+                    lo: f64::NEG_INFINITY,
+                    hi: f64::INFINITY,
+                });
+                template_pops
+                    .entry(t.str_value().to_string())
+                    .or_default()
+                    .push(IndexedPop {
+                        pop_type: ty.str_value().to_string(),
+                        cardinality,
+                    });
+            }
+        }
+        let mut index: SigIndex = HashMap::new();
+        for (iri, jc) in join_counts {
+            let pops = template_pops.remove(&iri).unwrap_or_default();
+            let sig = shape_signature(jc, pops.iter().map(|p| p.pop_type.as_str()));
+            index.entry(sig).or_default().insert(iri, pops);
+        }
+        *self.sig_index.write().expect("signature index lock") = index;
     }
 
     /// Number of templates stored.
@@ -338,20 +596,8 @@ impl KnowledgeBase {
     /// Fetch a template's guideline document and source workload by
     /// template IRI.
     pub fn guideline_of(&self, template_iri: &str) -> Option<(GuidelineDoc, String)> {
-        let q = format!(
-            "PREFIX p: <{}> SELECT ?g ?s WHERE {{ <{template_iri}> p:{} ?g . \
-             <{template_iri}> p:{} ?s . }}",
-            vocab::PROP_NS,
-            vocab::HAS_GUIDELINE_XML,
-            vocab::HAS_SOURCE_WORKLOAD
-        );
-        let rs = self.server.query(&q).ok()?;
-        if rs.is_empty() {
-            return None;
-        }
-        let xml = rs.get(0, "g")?.str_value().to_string();
-        let source = rs.get(0, "s")?.str_value().to_string();
-        GuidelineDoc::parse_xml(&xml).ok().map(|doc| (doc, source))
+        self.server
+            .with_store(|st| guideline_of_in(st, template_iri))
     }
 
     /// All stored problem fingerprints with sources (deduplication during
@@ -393,9 +639,12 @@ impl KnowledgeBase {
         self.server.export()
     }
 
-    /// Load from N-Triples, replacing the current contents.
+    /// Load from N-Triples, replacing the current contents. The signature
+    /// index is rebuilt from the imported triples.
     pub fn import(&self, text: &str) -> Result<usize, galo_rdf::ServerError> {
-        self.server.import(text)
+        let n = self.server.import(text)?;
+        self.reindex();
+        Ok(n)
     }
 }
 
@@ -577,6 +826,132 @@ mod tests {
         kb2.import(&dump).unwrap();
         assert_eq!(kb2.template_count(), 1);
         assert_eq!(kb2.workloads(), vec!["tpcds".to_string()]);
+    }
+
+    #[test]
+    fn signature_index_tracks_insert_import_remove() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(1));
+        tpl.source_workload = "tpcds".into();
+        let sig = KnowledgeBase::template_signature(&tpl);
+        // The template's shape equals the shape of the plan it abstracts.
+        assert_eq!(sig, galo_qgm::segment_signature(&plan, plan.root()).hash);
+        assert!(kb.candidate_templates(sig).is_empty());
+
+        kb.insert(&tpl);
+        let iri = vocab::template_iri(&tpl.id).str_value().to_string();
+        assert_eq!(kb.candidate_templates(sig), vec![iri.clone()]);
+        assert_eq!(kb.signature_count(), 1);
+        assert!(kb.candidate_templates(sig ^ 1).is_empty());
+
+        // Import rebuilds the index from triples.
+        let dump = kb.export();
+        let kb2 = KnowledgeBase::new();
+        kb2.import(&dump).unwrap();
+        assert_eq!(kb2.candidate_templates(sig), vec![iri.clone()]);
+
+        // Removal unlinks triples, tagging and index entry.
+        let triples_before = kb.server().len();
+        assert!(kb.remove_template(&iri));
+        assert!(kb.candidate_templates(sig).is_empty());
+        assert_eq!(kb.signature_count(), 0);
+        assert_eq!(kb.template_count(), 0);
+        assert!(kb.server().len() < triples_before);
+        assert!(kb.workloads().is_empty(), "workload tag must be retracted");
+        assert!(!kb.remove_template(&iri), "second removal is a no-op");
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_per_signature() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut iris = Vec::new();
+        for i in 0..3 {
+            let mut tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(i));
+            tpl.source_workload = "w".into();
+            kb.insert(&tpl);
+            iris.push(vocab::template_iri(&tpl.id).str_value().to_string());
+        }
+        let sig = galo_qgm::segment_signature(&plan, plan.root()).hash;
+        let candidates = kb.candidate_templates(sig);
+        assert_eq!(candidates.len(), 3);
+        let mut sorted = candidates.clone();
+        sorted.sort();
+        assert_eq!(candidates, sorted, "candidate order must be deterministic");
+        for iri in &iris {
+            assert!(candidates.contains(iri));
+        }
+    }
+
+    #[test]
+    fn cardinality_precheck_filters_candidates_without_probing() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        // One template seeded from the plan's own values, one displaced
+        // far out of range. Both share the structural signature.
+        let near = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(1));
+        let mut far = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(2));
+        for p in &mut far.pops {
+            p.cardinality = Range { lo: 1e12, hi: 2e12 };
+        }
+        kb.insert(&near);
+        kb.insert(&far);
+        let sig = KnowledgeBase::template_signature(&near);
+        assert_eq!(kb.candidate_templates(sig).len(), 2);
+
+        let checks: Vec<(&str, f64)> = plan
+            .subtree(plan.root())
+            .iter()
+            .map(|&pid| {
+                let pop = plan.pop(pid);
+                (pop.kind.name(), pop.est_card)
+            })
+            .collect();
+        // Exact margin admits only the near template.
+        let admitted = kb.candidate_templates_admitting(sig, &checks, 1.0);
+        assert_eq!(
+            admitted,
+            vec![vocab::template_iri(&near.id).str_value().to_string()]
+        );
+        // A margin large enough to bridge the displacement admits both.
+        let admitted_wide = kb.candidate_templates_admitting(sig, &checks, 1e13);
+        assert_eq!(admitted_wide.len(), 2);
+        // The pre-check survives an export/import round-trip (reindex
+        // reconstructs the ranges from RDF).
+        let kb2 = KnowledgeBase::new();
+        kb2.import(&kb.export()).unwrap();
+        assert_eq!(
+            kb2.candidate_templates_admitting(sig, &checks, 1.0),
+            admitted
+        );
+    }
+
+    #[test]
+    fn matching_survives_template_removal() {
+        // remove_template must leave the remaining templates matchable
+        // (index and triples stay consistent under churn).
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut keep = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(1));
+        keep.source_workload = "w".into();
+        let mut drop = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(2));
+        drop.source_workload = "w".into();
+        kb.insert(&keep);
+        kb.insert(&drop);
+        assert_eq!(kb.template_count(), 2);
+        kb.remove_template(vocab::template_iri(&drop.id).str_value());
+        assert_eq!(kb.template_count(), 1);
+        let report = crate::matching::match_plan(&db, &kb, &plan, &Default::default());
+        assert_eq!(report.rewrites.len(), 1);
+        assert_eq!(
+            report.rewrites[0].template_iri,
+            vocab::template_iri(&keep.id).str_value()
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ pub use galo::{Galo, QueryReoptResult, WorkloadReoptReport};
 pub use kb::{abstract_plan, KnowledgeBase, Range, Template, TemplatePop, TemplateScan};
 pub use learning::{learn_workload, LearnedTemplate, LearningConfig, LearningReport};
 pub use matching::{
-    match_plan, reoptimize_query, MatchConfig, MatchReport, MatchedRewrite, ReoptOutcome,
+    match_plan, match_plan_text, reoptimize_query, MatchConfig, MatchReport, MatchedRewrite,
+    ReoptOutcome,
 };
 pub use ranking::{better, kmeans2, score_runs, PlanScore, TIE_EPSILON};
-pub use transform::{qgm_to_rdf, segment_scan_qualifiers, segment_to_sparql};
+pub use transform::{
+    qgm_to_rdf, segment_card_checks, segment_scan_qualifiers, segment_to_probe, segment_to_sparql,
+    segment_to_sparql_opt, ProbeOptions, ScanVar, SegmentProbe,
+};

@@ -1,24 +1,56 @@
-//! The matching engine (paper §3.3).
+//! The matching engine (paper §3.3) — the compile-once probe pipeline.
 //!
 //! Online, per incoming query: compile the query, climb bottom-up over the
-//! plan's sub-QGM segments (capped by the learning join threshold), emit
-//! one Figure-6-style SPARQL query per segment against the knowledge base,
-//! translate every match's canonical table labels back to the query's
-//! table references, collect the matched rewrites into a single guideline
-//! document, and pass query + guidelines through the optimizer again
-//! ("re-optimization").
+//! plan's sub-QGM segments (capped by the learning join threshold), and
+//! match each segment against the knowledge base in three stages:
+//!
+//! 1. **Signature pruning** — every segment gets a cheap structural
+//!    signature (join count + join/scan operator multiset,
+//!    [`galo_qgm::shape_signature`]); the knowledge base's signature index
+//!    maps it to the candidate template IRIs that *could* match. Segments
+//!    with no candidates are pruned without touching the store.
+//! 2. **Probe compilation** — surviving segments are compiled straight to
+//!    the Figure-6 `SelectQuery` AST ([`crate::transform::segment_to_probe`]):
+//!    no SPARQL text is rendered or re-parsed on the hot path, and the
+//!    scan-variable table (`?tab_<opid>` → query qualifier) is precomputed.
+//! 3. **Sessioned probing** — the plan's probes are evaluated under one
+//!    read-lock session: constants are pre-resolved through the interner,
+//!    the pattern plan is prepared once per probe
+//!    ([`galo_rdf::prepare_seeded`]), and candidates are evaluated lazily
+//!    in ascending IRI order with `?tmpl` pre-bound, so every
+//!    `inTemplate` pattern is a keyed lookup instead of a KB-wide
+//!    enumeration and no evaluation is spent past a segment's first
+//!    match or on segments an earlier match already claimed. (Callers
+//!    that want plain batch evaluation use
+//!    [`galo_rdf::FusekiLite::probe_batch`], as the diagnostics
+//!    near-miss pass does.)
+//!
+//! Matches are then processed bottom-up exactly as before: the first
+//! (smallest-IRI) matching template per segment wins, canonical table
+//! labels are translated back to the query's table references, overlapping
+//! segments are skipped via the claimed-operator set, and the collected
+//! rewrites form one guideline document for re-optimization.
+//!
+//! The legacy text path ([`match_plan_text`]) — render SPARQL text, parse
+//! it back, evaluate one query at a time — is kept as the differential
+//! oracle: property tests assert both pipelines produce identical
+//! rewrites.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use galo_catalog::Database;
 use galo_executor::Simulator;
 use galo_optimizer::{Optimizer, ReoptResult};
 use galo_qgm::{segments, GuidelineDoc, GuidelineNode, Qgm};
-use galo_rdf::SelectQuery;
+use galo_rdf::{ResultSet, Term};
 use galo_sql::Query;
 
 use crate::kb::KnowledgeBase;
-use crate::transform::{segment_scan_qualifiers, segment_to_sparql};
+use crate::transform::{
+    segment_card_checks, segment_scan_qualifiers, segment_to_probe, segment_to_sparql_opt,
+    ProbeOptions, ScanVar,
+};
 
 /// Matching-engine configuration.
 #[derive(Debug, Clone)]
@@ -26,11 +58,30 @@ pub struct MatchConfig {
     /// Sub-QGM size cap, in joins — "the same predefined threshold that
     /// was used in the learning phase" (§3.3).
     pub join_threshold: usize,
+    /// Match-time multiplicative widening of template ranges: a template
+    /// range `[lo, hi]` admits a concrete value `v` when `lo <= v * margin`
+    /// and `hi >= v / margin`. `1.0` (the default) is the paper's exact
+    /// semantics; raising it trades precision for cross-workload reuse
+    /// (Exp-2), letting patterns learned on one schema's statistics match
+    /// queries over another.
+    pub range_margin: f64,
 }
 
 impl Default for MatchConfig {
     fn default() -> Self {
-        MatchConfig { join_threshold: 4 }
+        MatchConfig {
+            join_threshold: 4,
+            range_margin: 1.0,
+        }
+    }
+}
+
+impl MatchConfig {
+    fn probe_options(&self) -> ProbeOptions {
+        ProbeOptions {
+            range_margin: self.range_margin,
+            include_ranges: true,
+        }
     }
 }
 
@@ -55,8 +106,16 @@ pub struct MatchReport {
     pub rewrites: Vec<MatchedRewrite>,
     /// Wall time spent matching, milliseconds.
     pub match_ms: f64,
-    /// SPARQL queries issued (one per candidate segment).
-    pub sparql_queries: usize,
+    /// Segments resolved without issuing any knowledge-base probe: no
+    /// structural candidates in the signature index, none whose
+    /// cardinality ranges could admit the segment, or a probe constant
+    /// absent from the store's interner.
+    pub probes_pruned: usize,
+    /// Probe evaluations executed: on the compiled path, one per
+    /// (surviving segment × candidate) actually evaluated — claimed
+    /// segments and candidates past a segment's first match are never
+    /// evaluated; on the text path, one per candidate segment.
+    pub probes_executed: usize,
 }
 
 impl MatchReport {
@@ -66,11 +125,180 @@ impl MatchReport {
     }
 }
 
-/// Match a compiled plan's segments against the knowledge base.
+/// The deterministic winning solution of one segment probe: the smallest
+/// `(template IRI, canonical table labels)` pair over all solution rows.
+/// Both pipelines use this rule, which is what makes them comparable —
+/// "first row wins" would depend on evaluator search order.
+fn winning_solution(solutions: &ResultSet, scan_vars: &[ScanVar]) -> Option<(String, Vec<String>)> {
+    let mut best: Option<(String, Vec<String>)> = None;
+    for row in 0..solutions.len() {
+        let Some(tmpl) = solutions.get(row, "tmpl") else {
+            continue;
+        };
+        let labels: Vec<String> = scan_vars
+            .iter()
+            .map(|sv| {
+                solutions
+                    .get(row, &sv.var)
+                    .map(|t| t.str_value().to_string())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let key = (tmpl.str_value().to_string(), labels);
+        if best.as_ref().is_none_or(|b| key < *b) {
+            best = Some(key);
+        }
+    }
+    best
+}
+
+/// Instantiate a matched template as rewrites over the query's table
+/// qualifiers. Returns `None` (and claims nothing) when the template's
+/// guideline references canonical labels the match did not bind.
+fn instantiate_match(
+    fetched: (GuidelineDoc, String),
+    template_iri: &str,
+    labels: &[String],
+    scan_vars: &[ScanVar],
+    segment_op_id: u32,
+) -> Option<Vec<MatchedRewrite>> {
+    let (guideline, source_workload) = fetched;
+    // Canonical label -> query qualifier, via the matched scan pops.
+    let mapping: Vec<(&String, &str)> = labels
+        .iter()
+        .zip(scan_vars)
+        .filter(|(label, _)| !label.is_empty())
+        .map(|(label, sv)| (label, sv.qualifier.as_str()))
+        .collect();
+    // Every canonical label the guideline references must be bound by
+    // the match; a partial mapping would produce a dangling guideline.
+    let fully_mapped = guideline.roots.iter().all(|r| {
+        r.tabids()
+            .iter()
+            .all(|t| mapping.iter().any(|(c, _)| *c == t))
+    });
+    if !fully_mapped {
+        return None;
+    }
+    let map = |canon: &str| -> String {
+        mapping
+            .iter()
+            .find(|(c, _)| c.as_str() == canon)
+            .map(|(_, q)| q.to_string())
+            .unwrap_or_else(|| canon.to_string())
+    };
+    Some(
+        guideline
+            .roots
+            .iter()
+            .map(|root| MatchedRewrite {
+                segment_op_id,
+                template_iri: template_iri.to_string(),
+                source_workload: source_workload.clone(),
+                guideline: root.map_tabids(&map),
+            })
+            .collect(),
+    )
+}
+
+/// Match a compiled plan's segments against the knowledge base — the
+/// production pipeline: signature pruning, compiled probe IR, and one
+/// read-lock session per plan (see the module docs).
 pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfig) -> MatchReport {
     let t0 = Instant::now();
     let mut report = MatchReport::default();
-    let mut claimed: Vec<u32> = Vec::new(); // op_ids already covered by a match
+    let opts = cfg.probe_options();
+    let mut claimed: HashSet<u32> = HashSet::new();
+    let seed_vars = ["tmpl".to_string()];
+
+    // One read-lock session for all of the plan's probe evaluations and
+    // guideline fetches. Per segment (bottom-up): the claimed-overlap
+    // check and the signature-index pre-checks run before anything is
+    // compiled, the probe AST is built only for segments that will
+    // actually be evaluated, its pattern plan is prepared once, and
+    // candidates are evaluated lazily in ascending IRI order — the first
+    // non-empty candidate (the globally smallest matching template)
+    // decides the segment, so no work is spent past it.
+    kb.server().with_store(|st| {
+        for segment in segments(qgm, cfg.join_threshold) {
+            let seg_pops: Vec<u32> = qgm
+                .subtree(segment.root)
+                .iter()
+                .map(|&p| qgm.pop(p).op_id)
+                .collect();
+            // Skip segments overlapping an earlier match — their rewrites
+            // would fight over the same table references.
+            if seg_pops.iter().any(|id| claimed.contains(id)) {
+                continue;
+            }
+            // Candidate templates must share the segment's structural
+            // signature AND have per-operator cardinality ranges that
+            // could admit the segment's values — both necessary
+            // conditions, checked entirely in the index. The signature is
+            // derived from the card-check walk rather than recomputed.
+            let checks = segment_card_checks(qgm, segment.root);
+            let signature =
+                galo_qgm::shape_signature(segment.join_count, checks.iter().map(|&(ty, _)| ty));
+            let candidates = kb.candidate_templates_admitting(signature, &checks, cfg.range_margin);
+            if candidates.is_empty() {
+                report.probes_pruned += 1;
+                continue;
+            }
+            let probe = segment_to_probe(db, qgm, segment.root, &opts);
+            if !galo_rdf::constants_interned(st, &probe.query) {
+                // A probe constant (e.g. an operator-type literal) was
+                // never interned: no template can match, and the store was
+                // never probed.
+                report.probes_pruned += 1;
+                continue;
+            }
+            let prepared = galo_rdf::prepare_seeded(st, &probe.query, &seed_vars);
+            for iri in &candidates {
+                let Some(id) = st.term_id(&Term::iri(iri.as_str())) else {
+                    continue;
+                };
+                report.probes_executed += 1;
+                let solutions = galo_rdf::evaluate_prepared(st, &prepared, &[id]);
+                if solutions.is_empty() {
+                    continue;
+                }
+                if let Some((_, labels)) = winning_solution(&solutions, &probe.scan_vars) {
+                    if let Some(rewrites) = crate::kb::guideline_of_in(st, iri).and_then(|g| {
+                        instantiate_match(
+                            g,
+                            iri,
+                            &labels,
+                            &probe.scan_vars,
+                            qgm.pop(segment.root).op_id,
+                        )
+                    }) {
+                        report.rewrites.extend(rewrites);
+                        claimed.extend(seg_pops.iter().copied());
+                    }
+                }
+                break; // first matching candidate decides the segment
+            }
+        }
+    });
+    report.match_ms = t0.elapsed().as_secs_f64() * 1e3;
+    report
+}
+
+/// The legacy text pipeline: render each segment to SPARQL text, re-parse
+/// it, and evaluate one query at a time with no signature pruning. Kept as
+/// the differential-testing oracle for [`match_plan`] (the property tests
+/// assert identical rewrites) and as a baseline for the `match_pipeline`
+/// benchmark; not used on the production path.
+pub fn match_plan_text(
+    db: &Database,
+    kb: &KnowledgeBase,
+    qgm: &Qgm,
+    cfg: &MatchConfig,
+) -> MatchReport {
+    let t0 = Instant::now();
+    let mut report = MatchReport::default();
+    let opts = cfg.probe_options();
+    let mut claimed: HashSet<u32> = HashSet::new();
 
     for segment in segments(qgm, cfg.join_threshold) {
         let seg_pops: Vec<u32> = qgm
@@ -78,62 +306,38 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
             .iter()
             .map(|&p| qgm.pop(p).op_id)
             .collect();
-        // Bottom-up climb: skip segments overlapping an earlier match —
-        // their rewrites would fight over the same table references.
         if seg_pops.iter().any(|id| claimed.contains(id)) {
             continue;
         }
-        let sparql = segment_to_sparql(db, qgm, segment.root);
-        let parsed: SelectQuery = match galo_rdf::parse_select(&sparql) {
-            Ok(q) => q,
-            Err(_) => continue,
+        let sparql = segment_to_sparql_opt(db, qgm, segment.root, &opts);
+        let Ok(parsed) = galo_rdf::parse_select(&sparql) else {
+            continue;
         };
-        report.sparql_queries += 1;
+        report.probes_executed += 1;
         let solutions = kb.server().query_parsed(&parsed);
-        if solutions.is_empty() {
-            continue;
-        }
-        // First solution wins (the KB stores the best rewrite per pattern).
-        let Some(tmpl) = solutions.get(0, "tmpl") else {
+        let scan_vars: Vec<ScanVar> = segment_scan_qualifiers(qgm, segment.root)
+            .into_iter()
+            .map(|(op_id, qualifier)| ScanVar {
+                op_id,
+                var: format!("tab_{op_id}"),
+                qualifier,
+            })
+            .collect();
+        let Some((template_iri, labels)) = winning_solution(&solutions, &scan_vars) else {
             continue;
         };
-        let template_iri = tmpl.str_value().to_string();
-        let Some((guideline, source_workload)) = kb.guideline_of(&template_iri) else {
+        let Some(rewrites) = kb.guideline_of(&template_iri).and_then(|g| {
+            instantiate_match(
+                g,
+                &template_iri,
+                &labels,
+                &scan_vars,
+                qgm.pop(segment.root).op_id,
+            )
+        }) else {
             continue;
         };
-        // Canonical label -> query qualifier, via the matched scan pops.
-        let scan_quals = segment_scan_qualifiers(qgm, segment.root);
-        let mut mapping: Vec<(String, String)> = Vec::with_capacity(scan_quals.len());
-        for (op_id, qualifier) in &scan_quals {
-            if let Some(tab) = solutions.get(0, &format!("tab_{op_id}")) {
-                mapping.push((tab.str_value().to_string(), qualifier.clone()));
-            }
-        }
-        // Every canonical label the guideline references must be bound by
-        // the match; a partial mapping would produce a dangling guideline.
-        let fully_mapped = guideline.roots.iter().all(|r| {
-            r.tabids()
-                .iter()
-                .all(|t| mapping.iter().any(|(c, _)| c == t))
-        });
-        if !fully_mapped {
-            continue;
-        }
-        let map = |canon: &str| -> String {
-            mapping
-                .iter()
-                .find(|(c, _)| c == canon)
-                .map(|(_, q)| q.clone())
-                .unwrap_or_else(|| canon.to_string())
-        };
-        for root in &guideline.roots {
-            report.rewrites.push(MatchedRewrite {
-                segment_op_id: qgm.pop(segment.root).op_id,
-                template_iri: template_iri.clone(),
-                source_workload: source_workload.clone(),
-                guideline: root.map_tabids(&map),
-            });
-        }
+        report.rewrites.extend(rewrites);
         claimed.extend(seg_pops);
     }
     report.match_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -314,7 +518,85 @@ mod tests {
         assert!(outcome.matched.rewrites.is_empty());
         assert!(outcome.reoptimized.is_none());
         assert_eq!(outcome.gain(), 0.0);
-        assert!(outcome.matched.sparql_queries >= 1);
+        // An empty KB has no candidate templates for any signature: every
+        // segment is pruned before the store is touched.
+        assert!(outcome.matched.probes_pruned >= 1);
+        assert_eq!(outcome.matched.probes_executed, 0);
+    }
+
+    #[test]
+    fn probe_and_text_pipelines_agree_end_to_end() {
+        let w = quirky_workload();
+        let kb = KnowledgeBase::new();
+        let learn_cfg = LearningConfig {
+            threads: 2,
+            random_plans: 12,
+            ..LearningConfig::default()
+        };
+        learn_workload(&w, &kb, &learn_cfg);
+        let optimizer = Optimizer::new(&w.db);
+        let plan = optimizer.optimize(&w.queries[0]).unwrap();
+        for margin in [1.0, 2.0] {
+            let cfg = MatchConfig {
+                range_margin: margin,
+                ..MatchConfig::default()
+            };
+            let probe = match_plan(&w.db, &kb, &plan, &cfg);
+            let text = match_plan_text(&w.db, &kb, &plan, &cfg);
+            assert!(!probe.rewrites.is_empty());
+            assert_eq!(probe.rewrites.len(), text.rewrites.len());
+            for (a, b) in probe.rewrites.iter().zip(&text.rewrites) {
+                assert_eq!(a.segment_op_id, b.segment_op_id);
+                assert_eq!(a.template_iri, b.template_iri);
+                assert_eq!(a.source_workload, b.source_workload);
+                assert_eq!(a.guideline, b.guideline);
+            }
+        }
+    }
+
+    #[test]
+    fn range_margin_admits_displaced_values() {
+        let w = quirky_workload();
+        let kb = KnowledgeBase::new();
+        let optimizer = Optimizer::new(&w.db);
+        let plan = optimizer.optimize(&w.queries[0]).unwrap();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut tpl = abstract_plan(&w.db, &plan, plan.root(), &g, kb.fresh_id(1));
+        // Displace every range by 3x: exact matching must fail, a 4x
+        // match-time margin must recover it.
+        for p in &mut tpl.pops {
+            p.cardinality = crate::kb::Range {
+                lo: p.cardinality.lo * 3.0,
+                hi: p.cardinality.hi * 3.0,
+            };
+            if let Some(scan) = &mut p.scan {
+                for r in [
+                    &mut scan.row_size,
+                    &mut scan.fpages,
+                    &mut scan.base_cardinality,
+                ] {
+                    r.lo *= 3.0;
+                    r.hi *= 3.0;
+                }
+            }
+        }
+        tpl.source_workload = "displaced".into();
+        kb.insert(&tpl);
+        let exact = match_plan(&w.db, &kb, &plan, &MatchConfig::default());
+        assert!(exact.rewrites.is_empty(), "3x displaced must not match");
+        let widened = match_plan(
+            &w.db,
+            &kb,
+            &plan,
+            &MatchConfig {
+                range_margin: 4.0,
+                ..MatchConfig::default()
+            },
+        );
+        assert!(
+            !widened.rewrites.is_empty(),
+            "4x margin must admit the 3x-displaced template"
+        );
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //! 3. **Template → RDF** — the §3.2 abstraction step lives in
 //!    [`crate::kb`], which shares this module's property emission.
 
+use std::collections::BTreeSet;
+
 use galo_catalog::Database;
-use galo_qgm::{PopId, PopKind, Qgm};
-use galo_rdf::Term;
+use galo_qgm::{segment_signature, PopId, PopKind, Qgm};
+use galo_rdf::{CmpOp, Expr, PathPattern, SelectQuery, Term, TermPattern, TriplePattern};
 
 use crate::vocab::{self, prop};
 
@@ -100,10 +102,80 @@ pub fn qgm_to_rdf(db: &Database, qgm: &Qgm) -> Vec<(Term, Term, Term)> {
     triples
 }
 
-/// Generate the SPARQL query that matches one concrete plan segment
-/// against the knowledge base's abstracted templates (paper Figure 6).
+/// Options for segment-probe generation, shared by the compiled-IR path
+/// ([`segment_to_probe`]) and the text path ([`segment_to_sparql_opt`]).
+#[derive(Debug, Clone)]
+pub struct ProbeOptions {
+    /// Match-time multiplicative widening of every template range test:
+    /// a template range `[lo, hi]` admits a concrete value `v` when
+    /// `lo <= v * margin && hi >= v / margin`. `1.0` is the paper's exact
+    /// semantics; larger values trade precision for cross-workload reuse
+    /// (Exp-2) by letting templates learned on one schema's statistics
+    /// cover another's.
+    pub range_margin: f64,
+    /// When false, emit only the structural skeleton (types, edges,
+    /// template linkage) without any `hasLower*`/`hasHigher*` constraint —
+    /// the near-miss probe of problem determination (paper Goal 1).
+    pub include_ranges: bool,
+}
+
+impl Default for ProbeOptions {
+    fn default() -> Self {
+        ProbeOptions {
+            range_margin: 1.0,
+            include_ranges: true,
+        }
+    }
+}
+
+/// Values a concrete property is tested against under a match margin:
+/// `(against_lower, against_upper)` — the template matches when its lower
+/// bound is `<= against_lower` and its upper bound is `>= against_upper`.
+fn margin_bounds(value: f64, margin: f64) -> (f64, f64) {
+    let m = margin.max(1.0);
+    (value * m, value / m)
+}
+
+/// One scan operator's bindings in a segment probe, precomputed so the
+/// matching engine never formats variable names inside its solution loop.
+#[derive(Debug, Clone)]
+pub struct ScanVar {
+    /// Operator id of the scan in the plan.
+    pub op_id: u32,
+    /// Probe variable bound to the template's canonical table label
+    /// (`tab_<opid>`).
+    pub var: String,
+    /// The query's table qualifier for this scan (`Q1`, `Q2`, …).
+    pub qualifier: String,
+}
+
+/// A compiled knowledge-base probe for one plan segment: the Figure-6
+/// query as a ready-to-evaluate [`SelectQuery`] AST — no string rendering,
+/// no re-parsing — plus the structural signature used to prune candidate
+/// templates and the precomputed scan-variable table.
+#[derive(Debug, Clone)]
+pub struct SegmentProbe {
+    /// The probe query; `?tmpl` binds the matched template.
+    pub query: SelectQuery,
+    /// Scan operators of the segment in pre-order (the order
+    /// [`segment_scan_qualifiers`] reports).
+    pub scan_vars: Vec<ScanVar>,
+    /// [`galo_qgm::shape_signature`] of the segment — the knowledge base's
+    /// candidate-index key.
+    pub signature: u64,
+    /// Names of the tables the segment scans (sorted, deduplicated) — for
+    /// explain/debug output; schema-dependent, so never part of the
+    /// signature.
+    pub table_names: Vec<String>,
+}
+
+/// Compile one plan segment into a knowledge-base probe (paper Figure 6)
+/// as a [`SelectQuery`] AST. Structurally identical to parsing
+/// [`segment_to_sparql_opt`]'s output — the differential tests pin the two
+/// paths to each other — but built directly, so the online matcher never
+/// round-trips through SPARQL text.
 ///
-/// For every operator of the segment the query:
+/// For every operator of the segment the probe:
 /// * binds a result handler `?pop_<opid>` constrained to the operator's
 ///   type and to the template's `[hasLower*, hasHigher*]` ranges around
 ///   the concrete value, via internal handlers `?ih<k>`;
@@ -113,15 +185,223 @@ pub fn qgm_to_rdf(db: &Database, qgm: &Qgm) -> Vec<(Term, Term, Term)> {
 ///   role-tagged join edges;
 /// * forces all bindings into one template via a shared `?tmpl`, and
 ///   pairwise-distinct resources via `FILTER(STR(..) != STR(..))`.
+pub fn segment_to_probe(
+    db: &Database,
+    qgm: &Qgm,
+    root: PopId,
+    opts: &ProbeOptions,
+) -> SegmentProbe {
+    let pops = qgm.subtree(root);
+    let mut vars: Vec<String> = vec!["tmpl".to_string()];
+    let mut patterns: Vec<TriplePattern> = Vec::with_capacity(pops.len() * 8);
+    let mut filters: Vec<Expr> = Vec::with_capacity(pops.len() * 8);
+    let mut scan_vars: Vec<ScanVar> = Vec::new();
+    let mut table_names: BTreeSet<String> = BTreeSet::new();
+    let mut ih = 0usize;
+
+    let var_pattern = |name: &str| TermPattern::Var(name.to_string());
+    let pred = |name: &str| PathPattern::Direct(prop(name));
+    let num = |v: f64| Term::lit(format!("{v}"));
+
+    // The segment must match a template of exactly the same join count —
+    // otherwise a small segment can subgraph-match part of a larger
+    // template, leaving canonical labels in its guideline unbound.
+    patterns.push(TriplePattern {
+        subject: var_pattern("tmpl"),
+        path: pred(vocab::HAS_JOIN_COUNT),
+        object: var_pattern("jc"),
+    });
+    filters.push(Expr::Cmp(
+        CmpOp::Eq,
+        Box::new(Expr::Var("jc".into())),
+        Box::new(Expr::Const(Term::lit(qgm.join_count(root).to_string()))),
+    ));
+
+    let mut range_filter = |patterns: &mut Vec<TriplePattern>,
+                            filters: &mut Vec<Expr>,
+                            var: &str,
+                            lower: &str,
+                            higher: &str,
+                            value: f64| {
+        let (against_lower, against_upper) = margin_bounds(value, opts.range_margin);
+        for (property, op, bound) in [
+            (lower, CmpOp::Le, against_lower),
+            (higher, CmpOp::Ge, against_upper),
+        ] {
+            ih += 1;
+            let ih_var = format!("ih{ih}");
+            patterns.push(TriplePattern {
+                subject: TermPattern::Var(var.to_string()),
+                path: pred(property),
+                object: TermPattern::Var(ih_var.clone()),
+            });
+            filters.push(Expr::Cmp(
+                op,
+                Box::new(Expr::Var(ih_var)),
+                Box::new(Expr::Const(num(bound))),
+            ));
+        }
+    };
+
+    for &pid in &pops {
+        let pop = qgm.pop(pid);
+        let var = format!("pop_{}", pop.op_id);
+        vars.push(var.clone());
+        patterns.push(TriplePattern {
+            subject: var_pattern(&var),
+            path: pred(vocab::IN_TEMPLATE),
+            object: var_pattern("tmpl"),
+        });
+        patterns.push(TriplePattern {
+            subject: var_pattern(&var),
+            path: pred(vocab::HAS_POP_TYPE),
+            object: TermPattern::Ground(Term::lit(pop.kind.name())),
+        });
+        if opts.include_ranges {
+            range_filter(
+                &mut patterns,
+                &mut filters,
+                &var,
+                vocab::HAS_LOWER_CARDINALITY,
+                vocab::HAS_HIGHER_CARDINALITY,
+                pop.est_card,
+            );
+        }
+        if let Some(t) = pop.kind.scan_table() {
+            let tref = &qgm.query.tables[t];
+            let stats = db.belief.table(tref.table);
+            table_names.insert(db.table(tref.table).name.clone());
+            if opts.include_ranges {
+                range_filter(
+                    &mut patterns,
+                    &mut filters,
+                    &var,
+                    vocab::HAS_LOWER_ROW_SIZE,
+                    vocab::HAS_HIGHER_ROW_SIZE,
+                    stats.row_size as f64,
+                );
+                range_filter(
+                    &mut patterns,
+                    &mut filters,
+                    &var,
+                    vocab::HAS_LOWER_FPAGES,
+                    vocab::HAS_HIGHER_FPAGES,
+                    stats.pages as f64,
+                );
+                range_filter(
+                    &mut patterns,
+                    &mut filters,
+                    &var,
+                    vocab::HAS_LOWER_BASE_CARDINALITY,
+                    vocab::HAS_HIGHER_BASE_CARDINALITY,
+                    stats.row_count as f64,
+                );
+            }
+            let tab_var = format!("tab_{}", pop.op_id);
+            vars.push(tab_var.clone());
+            patterns.push(TriplePattern {
+                subject: var_pattern(&var),
+                path: pred(vocab::HAS_CANONICAL_TABID),
+                object: var_pattern(&tab_var),
+            });
+            scan_vars.push(ScanVar {
+                op_id: pop.op_id,
+                var: tab_var,
+                qualifier: tref.qualifier.clone(),
+            });
+        }
+    }
+
+    // Relationship handlers.
+    for &pid in &pops {
+        let pop = qgm.pop(pid);
+        let var = format!("pop_{}", pop.op_id);
+        for (i, &child) in pop.inputs.iter().enumerate() {
+            if !pops.contains(&child) {
+                continue;
+            }
+            let child_var = format!("pop_{}", qgm.pop(child).op_id);
+            patterns.push(TriplePattern {
+                subject: var_pattern(&child_var),
+                path: pred(vocab::HAS_OUTPUT_STREAM),
+                object: var_pattern(&var),
+            });
+            if pop.kind.is_join() {
+                let role = if i == 0 {
+                    vocab::HAS_OUTER_INPUT_STREAM
+                } else {
+                    vocab::HAS_INNER_INPUT_STREAM
+                };
+                patterns.push(TriplePattern {
+                    subject: var_pattern(&var),
+                    path: pred(role),
+                    object: var_pattern(&child_var),
+                });
+            }
+        }
+    }
+
+    // Uniqueness filters for same-typed operators (the paper's
+    // `FILTER (STR(?pop_6) > STR(?pop_8))` idiom).
+    for i in 0..pops.len() {
+        for j in (i + 1)..pops.len() {
+            let (a, b) = (qgm.pop(pops[i]), qgm.pop(pops[j]));
+            if a.kind.name() == b.kind.name() {
+                filters.push(Expr::Cmp(
+                    CmpOp::Ne,
+                    Box::new(Expr::Str(Box::new(Expr::Var(format!("pop_{}", a.op_id))))),
+                    Box::new(Expr::Str(Box::new(Expr::Var(format!("pop_{}", b.op_id))))),
+                ));
+            }
+        }
+    }
+
+    SegmentProbe {
+        query: SelectQuery {
+            distinct: false,
+            vars,
+            patterns,
+            filters,
+            order_by: None,
+            limit: None,
+        },
+        scan_vars,
+        signature: segment_signature(qgm, root).hash,
+        table_names: table_names.into_iter().collect(),
+    }
+}
+
+/// `(operator type, estimated cardinality)` per operator of the segment —
+/// the values the knowledge base's cardinality pre-check tests candidates
+/// against. Computable without compiling a probe, so the matcher can prune
+/// a segment before building anything.
+pub fn segment_card_checks(qgm: &Qgm, root: PopId) -> Vec<(&'static str, f64)> {
+    qgm.subtree(root)
+        .into_iter()
+        .map(|pid| {
+            let pop = qgm.pop(pid);
+            (pop.kind.name(), pop.est_card)
+        })
+        .collect()
+}
+
+/// Generate the Figure-6 segment-match query as SPARQL **text**. Since the
+/// probe-IR refactor this path serves explain/debug output (e.g. the
+/// knowledge-base tour example) and acts as the independent oracle the
+/// differential tests compare [`segment_to_probe`] against; the online
+/// matcher no longer parses it.
 pub fn segment_to_sparql(db: &Database, qgm: &Qgm, root: PopId) -> String {
+    segment_to_sparql_opt(db, qgm, root, &ProbeOptions::default())
+}
+
+/// [`segment_to_sparql`] with explicit [`ProbeOptions`].
+pub fn segment_to_sparql_opt(db: &Database, qgm: &Qgm, root: PopId, opts: &ProbeOptions) -> String {
     let pops = qgm.subtree(root);
     let mut select: Vec<String> = vec!["?tmpl".to_string()];
     let mut body = String::new();
     let mut ih = 0usize;
 
-    // The segment must match a template of exactly the same join count —
-    // otherwise a small segment can subgraph-match part of a larger
-    // template, leaving canonical labels in its guideline unbound.
+    // Same join count as the template; see `segment_to_probe`.
     body.push_str(&format!(
         " ?tmpl predURI:{} ?jc .\n FILTER ( ?jc = {} ) .\n",
         vocab::HAS_JOIN_COUNT,
@@ -129,13 +409,14 @@ pub fn segment_to_sparql(db: &Database, qgm: &Qgm, root: PopId) -> String {
     ));
 
     let mut range_filter = |body: &mut String, var: &str, lower: &str, higher: &str, value: f64| {
+        let (against_lower, against_upper) = margin_bounds(value, opts.range_margin);
         ih += 1;
         body.push_str(&format!(
-            " {var} predURI:{lower} ?ih{ih} .\n FILTER ( ?ih{ih} <= {value}) .\n"
+            " {var} predURI:{lower} ?ih{ih} .\n FILTER ( ?ih{ih} <= {against_lower}) .\n"
         ));
         ih += 1;
         body.push_str(&format!(
-            " {var} predURI:{higher} ?ih{ih} .\n FILTER ( ?ih{ih} >= {value}) .\n"
+            " {var} predURI:{higher} ?ih{ih} .\n FILTER ( ?ih{ih} >= {against_upper}) .\n"
         ));
     };
 
@@ -149,37 +430,41 @@ pub fn segment_to_sparql(db: &Database, qgm: &Qgm, root: PopId) -> String {
             vocab::HAS_POP_TYPE,
             pop.kind.name()
         ));
-        range_filter(
-            &mut body,
-            &var,
-            vocab::HAS_LOWER_CARDINALITY,
-            vocab::HAS_HIGHER_CARDINALITY,
-            pop.est_card,
-        );
+        if opts.include_ranges {
+            range_filter(
+                &mut body,
+                &var,
+                vocab::HAS_LOWER_CARDINALITY,
+                vocab::HAS_HIGHER_CARDINALITY,
+                pop.est_card,
+            );
+        }
         if let Some(t) = pop.kind.scan_table() {
             let tref = &qgm.query.tables[t];
             let stats = db.belief.table(tref.table);
-            range_filter(
-                &mut body,
-                &var,
-                vocab::HAS_LOWER_ROW_SIZE,
-                vocab::HAS_HIGHER_ROW_SIZE,
-                stats.row_size as f64,
-            );
-            range_filter(
-                &mut body,
-                &var,
-                vocab::HAS_LOWER_FPAGES,
-                vocab::HAS_HIGHER_FPAGES,
-                stats.pages as f64,
-            );
-            range_filter(
-                &mut body,
-                &var,
-                vocab::HAS_LOWER_BASE_CARDINALITY,
-                vocab::HAS_HIGHER_BASE_CARDINALITY,
-                stats.row_count as f64,
-            );
+            if opts.include_ranges {
+                range_filter(
+                    &mut body,
+                    &var,
+                    vocab::HAS_LOWER_ROW_SIZE,
+                    vocab::HAS_HIGHER_ROW_SIZE,
+                    stats.row_size as f64,
+                );
+                range_filter(
+                    &mut body,
+                    &var,
+                    vocab::HAS_LOWER_FPAGES,
+                    vocab::HAS_HIGHER_FPAGES,
+                    stats.pages as f64,
+                );
+                range_filter(
+                    &mut body,
+                    &var,
+                    vocab::HAS_LOWER_BASE_CARDINALITY,
+                    vocab::HAS_HIGHER_BASE_CARDINALITY,
+                    stats.row_count as f64,
+                );
+            }
             let tab_var = format!("?tab_{}", pop.op_id);
             select.push(tab_var.clone());
             body.push_str(&format!(
@@ -213,8 +498,7 @@ pub fn segment_to_sparql(db: &Database, qgm: &Qgm, root: PopId) -> String {
         }
     }
 
-    // Uniqueness filters for same-typed operators (the paper's
-    // `FILTER (STR(?pop_6) > STR(?pop_8))` idiom).
+    // Uniqueness filters for same-typed operators.
     for i in 0..pops.len() {
         for j in (i + 1)..pops.len() {
             let (a, b) = (qgm.pop(pops[i]), qgm.pop(pops[j]));
@@ -357,6 +641,113 @@ mod tests {
         assert!(text.contains("?tmpl"));
         // It must be valid SPARQL for our engine.
         galo_rdf::parse_select(&text).expect("generated SPARQL must parse");
+    }
+
+    #[test]
+    fn probe_ir_equals_parsed_text_for_all_options() {
+        // The compiled probe must be byte-for-byte the AST the text path
+        // parses to — same patterns, same filters, same projection — for
+        // every option combination, so either path can serve as the
+        // other's oracle.
+        let (db, plan) = setup();
+        let roots: Vec<_> = plan
+            .pops()
+            .filter(|(_, p)| p.kind.is_join())
+            .map(|(id, _)| id)
+            .chain(std::iter::once(plan.root()))
+            .collect();
+        for root in roots {
+            for opts in [
+                ProbeOptions::default(),
+                ProbeOptions {
+                    range_margin: 2.5,
+                    include_ranges: true,
+                },
+                ProbeOptions {
+                    range_margin: 1.0,
+                    include_ranges: false,
+                },
+            ] {
+                let probe = segment_to_probe(&db, &plan, root, &opts);
+                let text = segment_to_sparql_opt(&db, &plan, root, &opts);
+                let parsed = galo_rdf::parse_select(&text).expect("text path parses");
+                assert_eq!(probe.query, parsed, "opts {opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_carries_scan_vars_and_signature() {
+        let (db, plan) = setup();
+        let probe = segment_to_probe(&db, &plan, plan.root(), &ProbeOptions::default());
+        let quals = segment_scan_qualifiers(&plan, plan.root());
+        assert_eq!(probe.scan_vars.len(), quals.len());
+        for (sv, (op_id, qualifier)) in probe.scan_vars.iter().zip(&quals) {
+            assert_eq!(sv.op_id, *op_id);
+            assert_eq!(sv.var, format!("tab_{op_id}"));
+            assert_eq!(&sv.qualifier, qualifier);
+        }
+        assert_eq!(
+            probe.signature,
+            galo_qgm::segment_signature(&plan, plan.root()).hash
+        );
+        assert_eq!(probe.table_names, vec!["DIM".to_string(), "FACT".into()]);
+    }
+
+    #[test]
+    fn relaxed_probe_has_no_range_constraints() {
+        let (db, plan) = setup();
+        let relaxed = segment_to_probe(
+            &db,
+            &plan,
+            plan.root(),
+            &ProbeOptions {
+                range_margin: 1.0,
+                include_ranges: false,
+            },
+        );
+        for p in &relaxed.query.patterns {
+            let iri = p.path.iri().str_value();
+            assert!(
+                !iri.contains("hasLower") && !iri.contains("hasHigher"),
+                "range pattern {iri} in relaxed probe"
+            );
+        }
+        // Structural constraints remain: join count, types, edges, tabids.
+        let full = segment_to_probe(&db, &plan, plan.root(), &ProbeOptions::default());
+        assert!(relaxed.query.patterns.len() < full.query.patterns.len());
+        assert!(relaxed.query.patterns.iter().any(|p| p
+            .path
+            .iri()
+            .str_value()
+            .ends_with("hasCanonicalTabid")));
+    }
+
+    #[test]
+    fn range_margin_widens_filter_bounds() {
+        let (db, plan) = setup();
+        let exact = segment_to_sparql_opt(&db, &plan, plan.root(), &ProbeOptions::default());
+        let widened = segment_to_sparql_opt(
+            &db,
+            &plan,
+            plan.root(),
+            &ProbeOptions {
+                range_margin: 2.0,
+                include_ranges: true,
+            },
+        );
+        assert_ne!(exact, widened);
+        // A sub-1.0 margin is clamped to exact semantics.
+        let clamped = segment_to_sparql_opt(
+            &db,
+            &plan,
+            plan.root(),
+            &ProbeOptions {
+                range_margin: 0.25,
+                include_ranges: true,
+            },
+        );
+        assert_eq!(exact, clamped);
     }
 
     #[test]

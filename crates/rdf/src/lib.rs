@@ -41,10 +41,11 @@ pub mod store;
 pub mod term;
 
 pub use ntriples::{from_ntriples, load_ntriples, parse_ntriples, to_ntriples, NtParseError, Quad};
-pub use server::{FusekiLite, ServerError};
+pub use server::{FusekiLite, Probe, ServerError};
 pub use sparql::{
-    apply_update, evaluate, parse_select, parse_update, ResultSet, SelectQuery, SparqlParseError,
-    Update,
+    apply_update, constants_interned, evaluate, evaluate_prepared, evaluate_seeded, parse_select,
+    parse_update, prepare_seeded, projected_vars, CmpOp, Expr, PathPattern, PreparedQuery,
+    ResultSet, SelectQuery, SparqlParseError, TermPattern, TriplePattern, Update,
 };
 pub use store::{IndexedStore, ScanStore, Triple, TripleStore};
 pub use term::{Interner, Literal, Term, TermId};

@@ -11,11 +11,24 @@
 use parking_lot::RwLock;
 
 use crate::ntriples::{parse_ntriples, to_ntriples, NtParseError};
+use crate::sparql::eval::{evaluate_prepared, prepare_seeded, PreparedQuery};
 use crate::sparql::{
-    apply_update, evaluate, parse_select, parse_update, ResultSet, SelectQuery, SparqlParseError,
+    apply_update, constants_interned, evaluate, parse_select, parse_update, projected_vars,
+    ResultSet, SelectQuery, SparqlParseError,
 };
 use crate::store::{IndexedStore, TripleStore};
-use crate::term::Term;
+use crate::term::{Term, TermId};
+
+/// One compiled knowledge-base probe: a pre-parsed `SELECT` plus variable
+/// pre-bindings (the matching engine binds `?tmpl` to one candidate
+/// template per probe). Evaluated in batches via [`FusekiLite::probe_batch`].
+#[derive(Debug, Clone)]
+pub struct Probe<'a> {
+    pub query: &'a SelectQuery,
+    /// Variables to bind before evaluation; a term that was never interned
+    /// makes the probe trivially empty.
+    pub bind: Vec<(String, Term)>,
+}
 
 /// Errors surfaced by the endpoint.
 #[derive(Debug)]
@@ -91,6 +104,72 @@ impl FusekiLite {
     /// queries across the workload).
     pub fn query_parsed(&self, query: &SelectQuery) -> ResultSet {
         evaluate(self.store.read().as_ref(), query)
+    }
+
+    /// Evaluate a batch of compiled probes under **one** read lock — the
+    /// matching engine submits all of a plan's segment probes in one call
+    /// instead of re-acquiring the lock per segment. Before evaluating,
+    /// each probe's constants (ground pattern terms, predicate IRIs, and
+    /// pre-bindings) are resolved through the store's interner; a probe
+    /// with any unresolved constant is answered with an empty result set
+    /// without touching the indexes.
+    pub fn probe_batch(&self, probes: &[Probe<'_>]) -> Vec<ResultSet> {
+        let guard = self.store.read();
+        let store = guard.as_ref();
+        // Consecutive probes over the same query with the same seed
+        // variables (the common case: one probe per candidate template of
+        // one segment) share a single prepared plan — pattern ordering and
+        // filter scheduling are paid once per segment, not per candidate.
+        struct Cached<'q> {
+            query_ptr: *const SelectQuery,
+            seed_vars: Vec<String>,
+            /// `None` when a ground constant of the query was never
+            /// interned: every evaluation is empty, so the query is not
+            /// even prepared — only its projection is kept.
+            prepared: Option<PreparedQuery<'q>>,
+            projected: Vec<String>,
+        }
+        let mut cached: Option<Cached<'_>> = None;
+        probes
+            .iter()
+            .map(|probe| {
+                let reusable = cached.as_ref().is_some_and(|c| {
+                    std::ptr::eq(c.query_ptr, probe.query)
+                        && c.seed_vars.len() == probe.bind.len()
+                        && c.seed_vars
+                            .iter()
+                            .zip(&probe.bind)
+                            .all(|(v, (bv, _))| v == bv)
+                });
+                if !reusable {
+                    let seed_vars: Vec<String> =
+                        probe.bind.iter().map(|(v, _)| v.clone()).collect();
+                    cached = Some(Cached {
+                        query_ptr: probe.query,
+                        prepared: constants_interned(store, probe.query)
+                            .then(|| prepare_seeded(store, probe.query, &seed_vars)),
+                        projected: projected_vars(probe.query),
+                        seed_vars,
+                    });
+                }
+                let cache = cached.as_ref().expect("prepared above");
+                let empty = || ResultSet {
+                    vars: cache.projected.clone(),
+                    rows: Vec::new(),
+                };
+                let Some(prepared) = &cache.prepared else {
+                    return empty();
+                };
+                let mut seed_ids: Vec<TermId> = Vec::with_capacity(probe.bind.len());
+                for (_, term) in &probe.bind {
+                    match store.term_id(term) {
+                        Some(id) => seed_ids.push(id),
+                        None => return empty(),
+                    }
+                }
+                evaluate_prepared(store, prepared, &seed_ids)
+            })
+            .collect()
     }
 
     /// Execute a SPARQL update from text; returns affected triple count.
@@ -296,6 +375,83 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(f.len(), 54);
+    }
+
+    #[test]
+    fn probe_batch_matches_per_query_evaluation() {
+        let f = seeded();
+        let q1 = parse_select(
+            "SELECT ?s ?c WHERE { ?s <http://galo/qep/property/hasEstimateCardinality> ?c . \
+             FILTER(?c >= 4800) }",
+        )
+        .unwrap();
+        let q2 = parse_select(
+            "SELECT ?s WHERE { ?s <http://galo/qep/property/hasEstimateCardinality> \"100\" . }",
+        )
+        .unwrap();
+        let jobs = vec![
+            Probe {
+                query: &q1,
+                bind: vec![],
+            },
+            Probe {
+                query: &q2,
+                bind: vec![],
+            },
+        ];
+        let batched = f.probe_batch(&jobs);
+        assert_eq!(batched.len(), 2);
+        assert_eq!(batched[0], f.query_parsed(&q1));
+        assert_eq!(batched[1], f.query_parsed(&q2));
+        assert_eq!(batched[0].len(), 2);
+        assert_eq!(batched[1].len(), 1);
+    }
+
+    #[test]
+    fn probe_bindings_restrict_solutions() {
+        let f = seeded();
+        let q = parse_select(
+            "SELECT ?s ?c WHERE { ?s <http://galo/qep/property/hasEstimateCardinality> ?c . }",
+        )
+        .unwrap();
+        let jobs = vec![Probe {
+            query: &q,
+            bind: vec![("s".to_string(), Term::iri("http://galo/qep/pop/7"))],
+        }];
+        let rs = f.probe_batch(&jobs).remove(0);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.get(0, "s").unwrap().str_value(), "http://galo/qep/pop/7");
+        assert_eq!(rs.get(0, "c").unwrap().str_value(), "700");
+    }
+
+    #[test]
+    fn probe_with_unresolved_constant_is_empty_without_eval() {
+        let f = seeded();
+        // Ground object never interned -> empty, projection preserved.
+        let q = parse_select(
+            "SELECT ?s WHERE { ?s <http://galo/qep/property/hasEstimateCardinality> \"nope\" . }",
+        )
+        .unwrap();
+        // Pre-binding to a never-interned IRI -> empty as well.
+        let q2 = parse_select(
+            "SELECT ?s ?c WHERE { ?s <http://galo/qep/property/hasEstimateCardinality> ?c . }",
+        )
+        .unwrap();
+        let jobs = vec![
+            Probe {
+                query: &q,
+                bind: vec![],
+            },
+            Probe {
+                query: &q2,
+                bind: vec![("s".to_string(), Term::iri("http://nowhere"))],
+            },
+        ];
+        let out = f.probe_batch(&jobs);
+        assert!(out[0].is_empty());
+        assert_eq!(out[0].vars, vec!["s"]);
+        assert!(out[1].is_empty());
+        assert_eq!(out[1].vars, vec!["s", "c"]);
     }
 
     #[test]

@@ -36,96 +36,191 @@ impl ResultSet {
 
 /// Evaluate a `SELECT` query against a store.
 pub fn evaluate<S: TripleStore + ?Sized>(store: &S, query: &SelectQuery) -> ResultSet {
-    // Variables in order of first appearance across patterns.
-    let mut all_vars: Vec<String> = Vec::new();
-    let note_var = |v: &str, vars: &mut Vec<String>| {
-        if !vars.iter().any(|x| x == v) {
-            vars.push(v.to_string());
-        }
-    };
-    for p in &query.patterns {
-        if let Some(v) = p.subject.as_var() {
-            note_var(v, &mut all_vars);
-        }
-        if let Some(v) = p.object.as_var() {
-            note_var(v, &mut all_vars);
-        }
+    evaluate_seeded(store, query, &[])
+}
+
+/// Projected variable names of a query: its explicit projection, or every
+/// pattern variable in order of first appearance for `SELECT *`.
+pub fn projected_vars(query: &SelectQuery) -> Vec<String> {
+    if !query.vars.is_empty() {
+        return query.vars.clone();
     }
-
-    let projected: Vec<String> = if query.vars.is_empty() {
-        all_vars.clone()
-    } else {
-        query.vars.clone()
-    };
-
-    // Order patterns most-constrained-first (static heuristic: more ground
-    // positions first, then fewer matching triples for the ground parts).
-    let order = order_patterns(store, &query.patterns);
-
-    // Attach each filter to the earliest pattern index after which all its
-    // variables are bound; filters over never-bound variables reject rows
-    // (SPARQL's error-as-false semantics).
-    let mut bound_after: HashMap<&str, usize> = HashMap::new();
-    {
-        let mut bound: BTreeSet<&str> = BTreeSet::new();
-        for (step, &pi) in order.iter().enumerate() {
-            let p = &query.patterns[pi];
-            for v in [p.subject.as_var(), p.object.as_var()]
-                .into_iter()
-                .flatten()
-            {
-                if bound.insert(v) {
-                    bound_after.insert(v, step);
-                }
+    let mut all_vars: Vec<String> = Vec::new();
+    for p in &query.patterns {
+        for v in [p.subject.as_var(), p.object.as_var()]
+            .into_iter()
+            .flatten()
+        {
+            if !all_vars.iter().any(|x| x == v) {
+                all_vars.push(v.to_string());
             }
         }
     }
+    all_vars
+}
+
+/// True when every ground term of the query's patterns — constants in
+/// subject/object position and every predicate IRI — is interned in the
+/// store. A pattern whose constant was never interned can match nothing,
+/// so the whole basic graph pattern is empty; callers can skip evaluation
+/// entirely (the batched probe path pre-resolves constants this way).
+pub fn constants_interned<S: TripleStore + ?Sized>(store: &S, query: &SelectQuery) -> bool {
+    query.patterns.iter().all(|p| {
+        let grounded = |tp: &TermPattern| match tp {
+            TermPattern::Ground(t) => store.term_id(t).is_some(),
+            TermPattern::Var(_) => true,
+        };
+        store.term_id(p.path.iri()).is_some() && grounded(&p.subject) && grounded(&p.object)
+    })
+}
+
+/// Evaluate a `SELECT` query with variables pre-bound to interned terms —
+/// the per-candidate probe path binds `?tmpl` to one template IRI so every
+/// `inTemplate` pattern becomes a keyed lookup instead of a KB-wide scan.
+/// Solutions are exactly those of [`evaluate`] restricted to the seed.
+pub fn evaluate_seeded<S: TripleStore + ?Sized>(
+    store: &S,
+    query: &SelectQuery,
+    seed: &[(String, TermId)],
+) -> ResultSet {
+    let seed_vars: Vec<String> = seed.iter().map(|(v, _)| v.clone()).collect();
+    let seed_ids: Vec<TermId> = seed.iter().map(|(_, id)| *id).collect();
+    let prepared = prepare_seeded(store, query, &seed_vars);
+    evaluate_prepared(store, &prepared, &seed_ids)
+}
+
+/// A query prepared for repeated evaluation against one store state:
+/// pattern order, filter schedule and projection are computed once, so
+/// evaluating the same probe for many seed bindings (one knowledge-base
+/// candidate template each) pays only for the actual search.
+#[derive(Debug)]
+pub struct PreparedQuery<'q> {
+    query: &'q SelectQuery,
+    projected: Vec<String>,
+    order: Vec<usize>,
+    filters_at: Vec<Vec<&'q Expr>>,
+    /// A filter references a variable that is neither seeded nor bound by
+    /// any pattern: no evaluation can yield rows.
+    unsatisfiable: bool,
+    seed_vars: Vec<String>,
+}
+
+impl PreparedQuery<'_> {
+    /// Projected variable names (the `vars` of every produced result set).
+    pub fn projected(&self) -> &[String] {
+        &self.projected
+    }
+
+    /// An empty result set with this query's projection.
+    pub fn empty_result(&self) -> ResultSet {
+        ResultSet {
+            vars: self.projected.clone(),
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// Prepare a query for evaluation under seeds binding exactly `seed_vars`
+/// (in that order). The preparation is valid as long as the store's
+/// contents don't change — pattern ordering uses the store's counts.
+pub fn prepare_seeded<'q, S: TripleStore + ?Sized>(
+    store: &S,
+    query: &'q SelectQuery,
+    seed_vars: &[String],
+) -> PreparedQuery<'q> {
+    let projected = projected_vars(query);
+
+    // Order patterns most-constrained-first (static heuristic: more ground
+    // positions first, then fewer matching triples for the ground parts).
+    // Seeded variables count as bound from the start.
+    let pre_bound: BTreeSet<&str> = seed_vars.iter().map(String::as_str).collect();
+    let order = order_patterns(store, &query.patterns, &pre_bound);
+
+    // Attach each filter to the earliest step after which all its
+    // variables are available: seeded variables at step 0, pattern-bound
+    // variables right after their binding pattern. Filters over never-bound
+    // variables reject rows (SPARQL's error-as-false semantics).
+    let mut avail_at: HashMap<&str, usize> = HashMap::new();
+    for v in &pre_bound {
+        avail_at.insert(v, 0);
+    }
+    for (step, &pi) in order.iter().enumerate() {
+        let p = &query.patterns[pi];
+        for v in [p.subject.as_var(), p.object.as_var()]
+            .into_iter()
+            .flatten()
+        {
+            avail_at.entry(v).or_insert(step + 1);
+        }
+    }
+    let mut unsatisfiable = false;
     let mut filters_at: Vec<Vec<&Expr>> = vec![Vec::new(); order.len() + 1];
     for f in &query.filters {
         let step = f
             .variables()
             .iter()
-            .map(|v| {
-                bound_after
-                    .get(v.to_owned())
-                    .map(|&s| s + 1)
-                    .unwrap_or(usize::MAX)
-            })
+            .map(|v| avail_at.get(v.to_owned()).copied().unwrap_or(usize::MAX))
             .max()
             .unwrap_or(0);
         if step == usize::MAX {
-            // A variable never bound by the BGP: no solution can satisfy
-            // the filter.
-            return ResultSet {
-                vars: projected,
-                rows: Vec::new(),
-            };
+            unsatisfiable = true;
+            break;
         }
         filters_at[step.min(order.len())].push(f);
     }
 
-    let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
-    let mut bindings: HashMap<String, TermId> = HashMap::new();
+    PreparedQuery {
+        query,
+        projected,
+        order,
+        filters_at,
+        unsatisfiable,
+        seed_vars: seed_vars.to_vec(),
+    }
+}
 
-    // Filters with no variables evaluate immediately.
-    for f in &filters_at[0] {
+/// Evaluate a prepared query for one seed (`seed_ids` parallel to the
+/// `seed_vars` the query was prepared with).
+pub fn evaluate_prepared<S: TripleStore + ?Sized>(
+    store: &S,
+    prepared: &PreparedQuery<'_>,
+    seed_ids: &[TermId],
+) -> ResultSet {
+    assert_eq!(
+        seed_ids.len(),
+        prepared.seed_vars.len(),
+        "seed ids must match the seed variables the query was prepared with"
+    );
+    if prepared.unsatisfiable {
+        return prepared.empty_result();
+    }
+    let query = prepared.query;
+    let projected = &prepared.projected;
+    let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
+    let mut bindings: HashMap<String, TermId> = prepared
+        .seed_vars
+        .iter()
+        .cloned()
+        .zip(seed_ids.iter().copied())
+        .collect();
+
+    // Filters over no variables or only seeded variables evaluate
+    // immediately.
+    for f in &prepared.filters_at[0] {
         if !eval_filter(store, f, &bindings) {
-            return ResultSet {
-                vars: projected,
-                rows: Vec::new(),
-            };
+            return prepared.empty_result();
         }
     }
 
     search(
         store,
         query,
-        &order,
-        &filters_at,
+        &prepared.order,
+        &prepared.filters_at,
         0,
         &mut bindings,
         &mut rows,
-        &projected,
+        projected,
     );
 
     if query.distinct {
@@ -149,7 +244,7 @@ pub fn evaluate<S: TripleStore + ?Sized>(store: &S, query: &SelectQuery) -> Resu
     }
 
     ResultSet {
-        vars: projected,
+        vars: projected.clone(),
         rows,
     }
 }
@@ -161,7 +256,11 @@ fn row_key(row: &[Option<Term>]) -> String {
         .join("\u{1}")
 }
 
-fn order_patterns<S: TripleStore + ?Sized>(store: &S, patterns: &[TriplePattern]) -> Vec<usize> {
+fn order_patterns<S: TripleStore + ?Sized>(
+    store: &S,
+    patterns: &[TriplePattern],
+    pre_bound: &BTreeSet<&str>,
+) -> Vec<usize> {
     // Static per-pattern match counts are bound-independent: compute once.
     let static_cost: Vec<usize> = patterns
         .iter()
@@ -195,7 +294,7 @@ fn order_patterns<S: TripleStore + ?Sized>(store: &S, patterns: &[TriplePattern]
 
     let mut remaining: Vec<usize> = (0..patterns.len()).collect();
     let mut ordered = Vec::with_capacity(patterns.len());
-    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    let mut bound: BTreeSet<&str> = pre_bound.clone();
     while !remaining.is_empty() {
         let free = |tp: &TermPattern, bound: &BTreeSet<&str>| match tp {
             TermPattern::Var(v) => usize::from(!bound.contains(v.as_str())),
@@ -748,6 +847,67 @@ mod tests {
         let rs = evaluate(&st, &q);
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.get(0, "x"), Some(&pop(3)));
+    }
+
+    #[test]
+    fn seeded_evaluation_equals_filtered_full_evaluation() {
+        let st = plan_store();
+        let q = parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?a ?b WHERE { ?a p:hasOutputStream ?b . ?b p:hasPopType ?t . }",
+        )
+        .unwrap();
+        let full = evaluate(&st, &q);
+        for target in [2u32, 4] {
+            let id = st.term_id(&pop(target)).unwrap();
+            let seeded = evaluate_seeded(&st, &q, &[("b".to_string(), id)]);
+            let expect: Vec<_> = (0..full.len())
+                .filter(|&row| full.get(row, "b") == Some(&pop(target)))
+                .map(|row| full.get(row, "a").cloned())
+                .collect();
+            assert_eq!(seeded.len(), expect.len());
+            for row in 0..seeded.len() {
+                assert_eq!(seeded.get(row, "b"), Some(&pop(target)));
+                assert!(expect.contains(&seeded.get(row, "a").cloned()));
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_variable_satisfies_filters_at_step_zero() {
+        let st = plan_store();
+        // The filter references only the seeded variable: with a seed it
+        // must evaluate immediately, not reject rows as never-bound.
+        let q = parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?s ?c WHERE { ?s p:hasEstimateCardinality ?c . \
+             FILTER(STR(?s) != \"x\") }",
+        )
+        .unwrap();
+        let id = st.term_id(&pop(5)).unwrap();
+        let rs = evaluate_seeded(&st, &q, &[("s".to_string(), id)]);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.get(0, "c").unwrap().str_value(), "19.734");
+    }
+
+    #[test]
+    fn constants_interned_detects_unknown_terms() {
+        let st = plan_store();
+        let known = parse_select(
+            "PREFIX p: <http://galo/qep/property/> SELECT ?s WHERE { ?s p:hasPopType NLJOIN . }",
+        )
+        .unwrap();
+        assert!(constants_interned(&st, &known));
+        let unknown_object = parse_select(
+            "PREFIX p: <http://galo/qep/property/> SELECT ?s WHERE { ?s p:hasPopType MYSTERY . }",
+        )
+        .unwrap();
+        assert!(!constants_interned(&st, &unknown_object));
+        let unknown_pred = parse_select(
+            "PREFIX p: <http://galo/qep/property/> SELECT ?s WHERE { ?s p:neverSeen ?o . }",
+        )
+        .unwrap();
+        assert!(!constants_interned(&st, &unknown_pred));
     }
 
     #[test]

@@ -80,6 +80,11 @@ pub trait TripleStore: fmt::Debug + Send + Sync {
     /// Insert a triple into the named graph `graph`.
     fn insert_ids_in(&mut self, graph: TermId, t: Triple) -> bool;
 
+    /// Remove a triple from the named graph `graph`. Returns true if it
+    /// was present (knowledge-base template retraction unlinks the
+    /// per-workload tagging triples through this).
+    fn remove_ids_in(&mut self, graph: TermId, t: Triple) -> bool;
+
     /// Pattern scan over one named graph.
     fn scan_in(
         &self,
@@ -151,6 +156,17 @@ struct NamedGraphs {
 impl NamedGraphs {
     fn insert(&mut self, graph: TermId, t: Triple) -> bool {
         self.graphs.entry(graph).or_default().insert(t)
+    }
+
+    fn remove(&mut self, graph: TermId, t: Triple) -> bool {
+        let Some(triples) = self.graphs.get_mut(&graph) else {
+            return false;
+        };
+        let removed = triples.remove(&t);
+        if triples.is_empty() {
+            self.graphs.remove(&graph);
+        }
+        removed
     }
 
     fn names(&self, resolve: impl Fn(TermId) -> Term) -> Vec<Term> {
@@ -345,6 +361,10 @@ impl TripleStore for IndexedStore {
         self.named.insert(graph, t)
     }
 
+    fn remove_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
+        self.named.remove(graph, t)
+    }
+
     fn scan_in(
         &self,
         graph: TermId,
@@ -430,6 +450,10 @@ impl TripleStore for ScanStore {
 
     fn insert_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
         self.named.insert(graph, t)
+    }
+
+    fn remove_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
+        self.named.remove(graph, t)
     }
 
     fn scan_in(
@@ -576,6 +600,35 @@ mod tests {
         assert_eq!(st.scan_in(g, None, p, None).len(), 2);
         let s1 = st.term_id(&pop(1));
         assert_eq!(st.scan_in(g, s1, p, None).len(), 1);
+    }
+
+    #[test]
+    fn named_graph_remove_is_set_semantics_on_both_backends() {
+        for mut st in [
+            Box::<IndexedStore>::default() as Box<dyn TripleStore>,
+            Box::<ScanStore>::default(),
+        ] {
+            let g = Term::iri("http://galo/graph/workload/tpcds");
+            st.insert_in(g.clone(), pop(1), prop("hasPopType"), Term::lit("NLJOIN"));
+            st.insert_in(g.clone(), pop(2), prop("hasPopType"), Term::lit("HSJOIN"));
+            let gid = st.term_id(&g).unwrap();
+            let t = (
+                st.term_id(&pop(1)).unwrap(),
+                st.term_id(&prop("hasPopType")).unwrap(),
+                st.term_id(&Term::lit("NLJOIN")).unwrap(),
+            );
+            assert!(st.remove_ids_in(gid, t));
+            assert!(!st.remove_ids_in(gid, t), "second removal is a no-op");
+            assert_eq!(st.scan_in(gid, None, None, None).len(), 1);
+            // Emptying a graph drops it from the enumeration.
+            let t2 = (
+                st.term_id(&pop(2)).unwrap(),
+                st.term_id(&prop("hasPopType")).unwrap(),
+                st.term_id(&Term::lit("HSJOIN")).unwrap(),
+            );
+            assert!(st.remove_ids_in(gid, t2));
+            assert!(st.graph_names().is_empty());
+        }
     }
 
     #[test]

@@ -48,10 +48,29 @@ fn main() {
     let sparql = segment_to_sparql(&workload.db, &plan, segment);
     println!("\ngenerated SPARQL for the first segment (paper Figure 6):\n{sparql}");
 
+    // The online matcher never evaluates that text: it compiles the same
+    // segment straight to a probe AST and prunes through the signature
+    // index first.
+    let probe = galo_core::segment_to_probe(
+        &workload.db,
+        &plan,
+        segment,
+        &galo_core::ProbeOptions::default(),
+    );
+    println!(
+        "\ncompiled probe: {} patterns, {} filters, signature {:016x}, over tables {:?}",
+        probe.query.patterns.len(),
+        probe.query.filters.len(),
+        probe.signature,
+        probe.table_names
+    );
+
     let matched = match_plan(&workload.db, &galo.kb, &plan, &MatchConfig::default());
     println!(
-        "\nmatching: {} SPARQL queries issued, {} rewrite(s) found in {:.2} ms",
-        matched.sparql_queries,
+        "\nmatching: {} probe(s) executed, {} segment(s) pruned by signature, \
+         {} rewrite(s) found in {:.2} ms",
+        matched.probes_executed,
+        matched.probes_pruned,
         matched.rewrites.len(),
         matched.match_ms
     );

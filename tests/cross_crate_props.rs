@@ -4,9 +4,13 @@
 //! structure, and the measurement pipeline must be deterministic.
 
 use galo_catalog::Database;
+use galo_core::{
+    abstract_plan, match_plan, match_plan_text, segment_to_probe, segment_to_sparql_opt,
+    KnowledgeBase, MatchConfig, ProbeOptions,
+};
 use galo_executor::{db2batch, NoiseModel};
 use galo_optimizer::Optimizer;
-use galo_qgm::{guideline_from_plan, GuidelineDoc};
+use galo_qgm::{guideline_from_plan, segments, GuidelineDoc};
 use galo_sql::{CardEstimator, JoinPred, Query, TableRef};
 use galo_workloads::tpcds;
 use proptest::prelude::*;
@@ -136,6 +140,85 @@ proptest! {
         // one (sorts and residual operators aside).
         let again = guideline_from_plan(&reopt.qgm, reopt.qgm.root()).expect("joins exist");
         prop_assert_eq!(again, g);
+    }
+
+    /// The compiled probe-IR pipeline and the legacy text pipeline are
+    /// interchangeable: for random plans against a KB of templates
+    /// abstracted from random alternative plans (some matching, some
+    /// displaced out of range), both produce exactly the same rewrites,
+    /// and every segment's compiled probe is byte-identical to the parsed
+    /// text query.
+    #[test]
+    fn probe_pipeline_matches_text_oracle(
+        fact in 0usize..3,
+        dims in prop::collection::vec(0usize..6, 1..4),
+        seed in 0u64..1000,
+        self_template in prop::bool::ANY,
+        displace in prop::bool::ANY,
+        margin_tenths in 10u64..40,
+    ) {
+        let db = tpcds::database();
+        let Some(q) = random_query(&db, fact, dims) else { return Ok(()) };
+        let optimizer = Optimizer::new(&db);
+        let plan = optimizer.optimize(&q).expect("plans");
+        let gen = optimizer.random_plans(&q);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // A KB of templates abstracted from random alternatives of the
+        // same query; optionally one from the optimizer's own plan (a
+        // guaranteed structural match) and optionally one displaced out
+        // of its validity ranges.
+        let kb = KnowledgeBase::new();
+        let mut sources: Vec<galo_qgm::Qgm> = gen.generate_distinct(3, &mut rng);
+        if self_template {
+            sources.push(plan.clone());
+        }
+        for (i, src) in sources.iter().enumerate() {
+            let Some(g) = guideline_from_plan(src, src.root()) else { continue };
+            let doc = GuidelineDoc::new(vec![g]);
+            let mut tpl = abstract_plan(&db, src, src.root(), &doc, kb.fresh_id(i as u64));
+            for p in &mut tpl.pops {
+                p.cardinality = p.cardinality.widen(1.5);
+                if displace && i == 0 {
+                    p.cardinality.lo *= 1.0e6;
+                    p.cardinality.hi *= 1.0e6;
+                }
+            }
+            tpl.source_workload = "prop".into();
+            kb.insert(&tpl);
+        }
+
+        let cfg = MatchConfig {
+            range_margin: margin_tenths as f64 / 10.0,
+            ..MatchConfig::default()
+        };
+        let probe_report = match_plan(&db, &kb, &plan, &cfg);
+        let text_report = match_plan_text(&db, &kb, &plan, &cfg);
+        prop_assert_eq!(probe_report.rewrites.len(), text_report.rewrites.len());
+        for (a, b) in probe_report.rewrites.iter().zip(&text_report.rewrites) {
+            prop_assert_eq!(a.segment_op_id, b.segment_op_id);
+            prop_assert_eq!(&a.template_iri, &b.template_iri);
+            prop_assert_eq!(&a.source_workload, &b.source_workload);
+            prop_assert_eq!(&a.guideline, &b.guideline);
+        }
+        if self_template && !displace {
+            prop_assert!(
+                !probe_report.rewrites.is_empty(),
+                "a template abstracted from the plan itself must match"
+            );
+        }
+
+        // The compiled probe is the parse of the text query, per segment.
+        let opts = ProbeOptions {
+            range_margin: cfg.range_margin,
+            include_ranges: true,
+        };
+        for seg in segments(&plan, cfg.join_threshold) {
+            let compiled = segment_to_probe(&db, &plan, seg.root, &opts);
+            let text = segment_to_sparql_opt(&db, &plan, seg.root, &opts);
+            let parsed = galo_rdf::parse_select(&text).expect("generated SPARQL parses");
+            prop_assert_eq!(compiled.query, parsed);
+        }
     }
 
     /// db2batch measurement is deterministic per seed and positive.
