@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// Identifies a table within a [`crate::Catalog`].
+/// Identifies a table within a [`crate::Database`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId(pub u32);
 

@@ -86,6 +86,17 @@ impl Galo {
         }
     }
 
+    /// A GALO instance whose knowledge base persists under `path`:
+    /// templates learned in one process survive into the next, the
+    /// accumulation the paper's off-peak learning model assumes. See
+    /// [`KnowledgeBase::open_durable`].
+    pub fn open_durable(path: impl AsRef<std::path::Path>) -> Result<Self, galo_rdf::ServerError> {
+        Ok(Galo {
+            kb: KnowledgeBase::open_durable(path)?,
+            match_cfg: MatchConfig::default(),
+        })
+    }
+
     /// Offline workflow: learn problem patterns from a workload.
     pub fn learn(&self, workload: &Workload, cfg: &LearningConfig) -> LearningReport {
         learn_workload(workload, &self.kb, cfg)

@@ -244,6 +244,31 @@ impl KnowledgeBase {
         }
     }
 
+    /// A knowledge base over a durable on-disk store rooted at `path`
+    /// (paper §3.2: the KB is "a robust, transactional, and persistent
+    /// storage layer" that guidelines accumulate into across workloads).
+    /// Opening recovers the newest valid snapshot plus the committed
+    /// write-ahead-log tail and rebuilds the signature index from the
+    /// recovered triples, so matching works immediately after a restart
+    /// — or a crash.
+    pub fn open_durable(path: impl AsRef<std::path::Path>) -> Result<Self, galo_rdf::ServerError> {
+        let kb = KnowledgeBase {
+            server: FusekiLite::open_durable(path)?,
+            counter: AtomicU64::new(0),
+            sig_index: RwLock::new(HashMap::new()),
+        };
+        kb.reindex();
+        Ok(kb)
+    }
+
+    /// Checkpoint the backend: fold the durable store's write-ahead log
+    /// into a fresh snapshot (a no-op over in-memory backends). Call
+    /// after an off-peak learning run so reopening replays a snapshot
+    /// instead of the whole log.
+    pub fn compact(&self) -> std::io::Result<()> {
+        self.server.compact()
+    }
+
     /// Structural signature of a template — the index key a matching
     /// segment must share (transparent operators above the template's root
     /// join are filtered out by [`shape_signature`] itself).

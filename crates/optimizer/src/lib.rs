@@ -1,7 +1,7 @@
 //! # galo-optimizer
 //!
 //! A DB2-like two-stage query optimizer: a query-rewrite tier
-//! ([`rewrite`]) followed by cost-based plan enumeration
+//! ([`mod@rewrite`]) followed by cost-based plan enumeration
 //! ([`Optimizer::optimize`]) with System-R dynamic programming, interesting
 //! orders, a greedy fallback for very wide joins, bloom-filter hash joins,
 //! OPTGUIDELINES-constrained planning

@@ -27,20 +27,25 @@
 //!   tagging triple sets — e.g. one graph per learned workload — without
 //!   polluting the default graph that pattern matching runs against.
 //!
-//! Two backends ship in-memory: [`IndexedStore`] (the default; an SPO
-//! master B-tree plus POS and OSP hash-index families make every
-//! bound-prefix lookup keyed) and
-//! [`ScanStore`] (the naive linear-scan reference the proptests
-//! differential-test against). A persistent or sharded backend only has
-//! to implement the same contract to drop in.
+//! Three backends ship: [`IndexedStore`] (the default; an SPO master
+//! B-tree plus POS and OSP hash-index families make every bound-prefix
+//! lookup keyed), [`ScanStore`] (the naive linear-scan reference the
+//! proptests differential-test against), and [`DurableStore`] (the
+//! persistent backend: an append-only N-Quads write-ahead log plus
+//! periodic binary snapshots around an inner `IndexedStore`, with
+//! crash recovery in [`DurableStore::open`] — see the [`persist`]
+//! module docs for the on-disk formats). A sharded backend only has to
+//! implement the same contract to drop in.
 
 pub mod ntriples;
+pub mod persist;
 pub mod server;
 pub mod sparql;
 pub mod store;
 pub mod term;
 
 pub use ntriples::{from_ntriples, load_ntriples, parse_ntriples, to_ntriples, NtParseError, Quad};
+pub use persist::{DurableOptions, DurableStore, ScratchDir};
 pub use server::{FusekiLite, Probe, ServerError};
 pub use sparql::{
     apply_update, constants_interned, evaluate, evaluate_prepared, evaluate_seeded, parse_select,

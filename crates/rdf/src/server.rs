@@ -35,6 +35,8 @@ pub struct Probe<'a> {
 pub enum ServerError {
     Parse(SparqlParseError),
     Persistence(NtParseError),
+    /// Durable-backend I/O failure (open, recovery or compaction).
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for ServerError {
@@ -42,6 +44,7 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Parse(e) => write!(f, "{e}"),
             ServerError::Persistence(e) => write!(f, "{e}"),
+            ServerError::Io(e) => write!(f, "{e}"),
         }
     }
 }
@@ -57,6 +60,12 @@ impl From<SparqlParseError> for ServerError {
 impl From<NtParseError> for ServerError {
     fn from(e: NtParseError) -> Self {
         ServerError::Persistence(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
     }
 }
 
@@ -92,6 +101,33 @@ impl FusekiLite {
     /// Wrap an existing store.
     pub fn from_store(store: impl TripleStore + 'static) -> Self {
         Self::with_backend(Box::new(store))
+    }
+
+    /// An endpoint over a [`DurableStore`](crate::persist::DurableStore)
+    /// rooted at `dir`: the dataset-on-disk constructor. Opening recovers
+    /// the newest valid snapshot plus the committed write-ahead-log tail
+    /// (a torn trailing record is dropped), so the endpoint resumes where
+    /// the last process stopped.
+    pub fn open_durable(dir: impl AsRef<std::path::Path>) -> Result<Self, ServerError> {
+        Ok(Self::from_store(crate::persist::DurableStore::open(dir)?))
+    }
+
+    /// [`open_durable`](Self::open_durable) with explicit
+    /// [`DurableOptions`](crate::persist::DurableOptions).
+    pub fn open_durable_with(
+        dir: impl AsRef<std::path::Path>,
+        options: crate::persist::DurableOptions,
+    ) -> Result<Self, ServerError> {
+        Ok(Self::from_store(crate::persist::DurableStore::open_with(
+            dir, options,
+        )?))
+    }
+
+    /// Checkpoint the backend ([`TripleStore::compact`]): a no-op for the
+    /// in-memory stores, a snapshot-write-plus-log-rotation for a durable
+    /// one. Takes the write lock, so it serializes with updates.
+    pub fn compact(&self) -> std::io::Result<()> {
+        self.store.write().compact()
     }
 
     /// Execute a SPARQL `SELECT` from text.

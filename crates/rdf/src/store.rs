@@ -94,6 +94,18 @@ pub trait TripleStore: fmt::Debug + Send + Sync {
         o: Option<TermId>,
     ) -> Vec<Triple>;
 
+    // ---- maintenance ----
+
+    /// Checkpoint the store's durable state, if it has any. The in-memory
+    /// backends are their own checkpoint (a no-op returning `Ok`); a
+    /// persistent backend like
+    /// [`DurableStore`](crate::persist::DurableStore) folds its
+    /// write-ahead log into a fresh snapshot here. Callers reach this
+    /// through `FusekiLite::compact` without knowing the backend.
+    fn compact(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
     // ---- provided term-level API ----
 
     /// Insert a triple of terms into the default graph. Returns true if
@@ -225,6 +237,13 @@ pub struct IndexedStore {
 impl IndexedStore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Number of terms ever interned (ids are dense in `0..interner_len`).
+    /// The snapshot writer serializes the full table so ids — including
+    /// those of interned-but-unused terms — survive a snapshot round-trip.
+    pub fn interner_len(&self) -> usize {
+        self.interner.len()
     }
 }
 

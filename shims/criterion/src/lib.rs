@@ -7,11 +7,24 @@
 //! samples whose median/mean/min are printed per benchmark. No plots, no
 //! statistics beyond that; numbers are comparable within a run, which is
 //! all the workspace's before/after comparisons need.
+//!
+//! Two environment variables drive CI:
+//!
+//! * `GALO_BENCH_QUICK=1` — quick mode: every benchmark takes at most
+//!   [`QUICK_SAMPLE_SIZE`] samples regardless of configured sample sizes,
+//!   so a full bench binary finishes in seconds instead of minutes.
+//! * `GALO_BENCH_JSON=<path>` — on harness drop, write every collected
+//!   result as a JSON array (`name`/`median_ns`/`mean_ns`/`min_ns`/
+//!   `samples` per entry), the artifact CI uploads to track the perf
+//!   trajectory across PRs.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Sample cap applied when `GALO_BENCH_QUICK` is set.
+pub const QUICK_SAMPLE_SIZE: usize = 2;
 
 /// Identifier for one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -57,31 +70,85 @@ impl Bencher<'_> {
     }
 }
 
-fn report(name: &str, samples: &[Duration]) {
-    if samples.is_empty() {
-        println!("{name:<48} (no samples)");
-        return;
+/// One finished benchmark, as recorded for the JSON results file.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    median_ns: u128,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: usize,
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Minimal JSON string escaping for benchmark names.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
-    let mut sorted: Vec<Duration> = samples.to_vec();
-    sorted.sort();
-    let median = sorted[sorted.len() / 2];
-    let min = sorted[0];
-    let total: Duration = sorted.iter().sum();
-    let mean = total / sorted.len() as u32;
-    println!(
-        "{name:<48} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}  ({} samples)",
-        sorted.len()
-    );
+    out
+}
+
+fn write_json(path: &std::path::Path, results: &[BenchRecord]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"name\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}{sep}\n",
+            json_escape(&r.name),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.samples
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
 }
 
 /// Top-level harness state.
 pub struct Criterion {
     sample_size: usize,
+    /// `GALO_BENCH_QUICK`: cap every benchmark at [`QUICK_SAMPLE_SIZE`]
+    /// samples, overriding configured sample sizes (CI's fast lane).
+    quick: bool,
+    /// `GALO_BENCH_JSON`: where to write collected results on drop.
+    json_path: Option<std::path::PathBuf>,
+    results: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            quick: env_flag("GALO_BENCH_QUICK"),
+            json_path: std::env::var_os("GALO_BENCH_JSON").map(Into::into),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Some(path) = &self.json_path else { return };
+        if let Err(e) = write_json(path, &self.results) {
+            eprintln!("failed to write bench results to {}: {e}", path.display());
+        } else {
+            println!(
+                "wrote {} bench result(s) to {}",
+                self.results.len(),
+                path.display()
+            );
+        }
     }
 }
 
@@ -92,23 +159,60 @@ impl Criterion {
         self
     }
 
+    /// The sample count actually used: quick mode caps every request.
+    fn effective_sample_size(&self, requested: usize) -> usize {
+        if self.quick {
+            requested.min(QUICK_SAMPLE_SIZE)
+        } else {
+            requested
+        }
+    }
+
+    /// Report one finished benchmark: print the human-readable line and
+    /// retain the record for the JSON results file.
+    fn record(&mut self, name: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        println!(
+            "{name:<48} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}  ({} samples{})",
+            sorted.len(),
+            if self.quick { ", quick" } else { "" },
+        );
+        self.results.push(BenchRecord {
+            name: name.to_string(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            samples: sorted.len(),
+        });
+    }
+
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher<'_>),
     {
         let mut samples = Vec::new();
+        let sample_size = self.effective_sample_size(self.sample_size);
         f(&mut Bencher {
             samples: &mut samples,
-            sample_size: self.sample_size,
+            sample_size,
         });
-        report(name, &samples);
+        self.record(name, &samples);
         self
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: name.into(),
             sample_size,
         }
@@ -118,8 +222,7 @@ impl Criterion {
 /// A named group of related benchmarks. A `sample_size` override is
 /// scoped to the group, as in real criterion.
 pub struct BenchmarkGroup<'a> {
-    /// Held to keep the group borrow-exclusive like real criterion's.
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -131,16 +234,25 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    fn run_one<F>(&mut self, id: impl Display, mut f: F)
     where
         F: FnMut(&mut Bencher<'_>),
     {
         let mut samples = Vec::new();
+        let sample_size = self.criterion.effective_sample_size(self.sample_size);
         f(&mut Bencher {
             samples: &mut samples,
-            sample_size: self.sample_size,
+            sample_size,
         });
-        report(&format!("{}/{}", self.name, id), &samples);
+        self.criterion
+            .record(&format!("{}/{}", self.name, id), &samples);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(id, f);
         self
     }
 
@@ -153,15 +265,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher<'_>, &I),
     {
-        let mut samples = Vec::new();
-        f(
-            &mut Bencher {
-                samples: &mut samples,
-                sample_size: self.sample_size,
-            },
-            input,
-        );
-        report(&format!("{}/{}", self.name, id), &samples);
+        self.run_one(id, |b| f(b, input));
         self
     }
 
@@ -200,6 +304,7 @@ mod tests {
     #[test]
     fn bench_function_collects_samples() {
         let mut c = Criterion::default().sample_size(3);
+        c.quick = false; // immune to the ambient environment
         let mut calls = 0u32;
         c.bench_function("noop", |b| {
             b.iter(|| {
@@ -213,6 +318,7 @@ mod tests {
     #[test]
     fn group_bench_with_input_passes_input() {
         let mut c = Criterion::default().sample_size(2);
+        c.quick = false;
         let mut group = c.benchmark_group("g");
         let mut seen = 0u64;
         group.bench_with_input(BenchmarkId::from_parameter(7), &21u64, |b, &x| {
@@ -231,5 +337,64 @@ mod tests {
             "8tables"
         );
         assert_eq!(BenchmarkId::new("scan", 4).to_string(), "scan/4");
+    }
+
+    #[test]
+    fn quick_mode_caps_every_sample_size() {
+        let mut c = Criterion::default().sample_size(50);
+        c.quick = true;
+        let mut calls = 0u32;
+        c.bench_function("capped", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // One warm-up plus QUICK_SAMPLE_SIZE samples, not 50.
+        assert_eq!(calls, 1 + QUICK_SAMPLE_SIZE as u32);
+        // Group-level overrides are capped too.
+        let mut group_calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(40).bench_function("capped", |b| {
+            b.iter(|| {
+                group_calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(group_calls, 1 + QUICK_SAMPLE_SIZE as u32);
+    }
+
+    #[test]
+    fn json_results_file_is_written_on_drop() {
+        let dir = std::env::temp_dir().join(format!(
+            "galo-criterion-json-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        {
+            let mut c = Criterion::default().sample_size(2);
+            c.quick = false;
+            c.json_path = Some(path.clone());
+            c.bench_function("alpha \"quoted\"", |b| b.iter(|| 1 + 1));
+            let mut group = c.benchmark_group("grp");
+            group.bench_function("beta", |b| b.iter(|| 2 + 2));
+            group.finish();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"), "{text}");
+        assert!(text.contains("\"name\":\"alpha \\\"quoted\\\"\""), "{text}");
+        assert!(text.contains("\"name\":\"grp/beta\""), "{text}");
+        assert!(text.contains("\"median_ns\":"), "{text}");
+        assert_eq!(text.matches("\"samples\":2").count(), 2, "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn env_flag_semantics() {
+        // Parsing rules, not ambient env: set/unset is racy across
+        // threads, so exercise the values through a scoped helper.
+        assert!(!env_flag("GALO_BENCH_QUICK_SURELY_UNSET_VAR"));
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
     }
 }

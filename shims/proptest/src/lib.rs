@@ -1,7 +1,8 @@
 //! Offline subset of the `proptest` crate.
 //!
 //! The container has no crates.io access, so the workspace vendors the
-//! slice of proptest its property tests use: the [`Strategy`] trait with
+//! slice of proptest its property tests use: the [`strategy::Strategy`]
+//! trait with
 //! `prop_map` / `prop_filter` / `prop_flat_map` / `prop_recursive` /
 //! `boxed`, strategies for numeric ranges, tuples, regex-like string
 //! patterns, collections, samples, options and booleans, plus the
