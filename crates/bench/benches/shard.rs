@@ -1,0 +1,279 @@
+//! Criterion bench for the sharded knowledge-base backend: multi-threaded
+//! write throughput and batched-probe serving versus the single-store
+//! backends, at the Exp-4 scale (1,000 templates).
+//!
+//! Writers go through `FusekiLite::insert_triples` — one batch per
+//! template, exactly what `KnowledgeBase::insert` issues — from 4
+//! concurrent threads. The single-store arms serialize every batch behind
+//! the endpoint's global `RwLock`; the sharded arms lock only the shard a
+//! template routes to. The `durable-per-record` arm reproduces the PR-3
+//! journaling behavior (one flush per record, no group commit) as the
+//! before/after baseline for the write-path work in this PR.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use galo_rdf::{parse_select, DurableOptions, FusekiLite, Probe, ScratchDir, Term};
+
+const WRITER_THREADS: usize = 4;
+const SHARDS: usize = 4;
+const TEMPLATES: u32 = 1_000;
+
+fn prop(name: &str) -> Term {
+    Term::iri(format!("http://galo/qep/property/{name}"))
+}
+
+fn tpl_iri(t: u32) -> Term {
+    Term::iri(format!("http://galo/kb/template/{t:016x}"))
+}
+
+/// One KB-shaped problem-pattern template (~19 triples, the shape
+/// `KnowledgeBase::insert` emits), subjects under the template namespace
+/// so the default router colocates it.
+fn template_triples(t: u32) -> Vec<(Term, Term, Term)> {
+    let tnode = tpl_iri(t);
+    let mut out = vec![(tnode.clone(), prop("hasJoinCount"), Term::num(1.0))];
+    for op in 0..4u32 {
+        let me = Term::iri(format!("http://galo/kb/template/{t:016x}/pop/{op}"));
+        let ty = ["NLJOIN", "HSJOIN", "IXSCAN", "TBSCAN"][op as usize];
+        out.push((me.clone(), prop("inTemplate"), tnode.clone()));
+        out.push((me.clone(), prop("hasPopType"), Term::lit(ty)));
+        out.push((
+            me.clone(),
+            prop("hasLowerCardinality"),
+            Term::num((t * op) as f64),
+        ));
+        out.push((
+            me.clone(),
+            prop("hasHigherCardinality"),
+            Term::num((t * op + 1000) as f64),
+        ));
+        if op > 0 {
+            let parent = Term::iri(format!("http://galo/kb/template/{t:016x}/pop/{}", op - 1));
+            out.push((me, prop("hasOutputStream"), parent));
+        }
+    }
+    out
+}
+
+/// How the `WRITER_THREADS` writers split the template stream.
+#[derive(Clone, Copy)]
+enum WriterLayout {
+    /// Work-stealing over one shared id counter: threads interleave
+    /// arbitrarily, so concurrent batches regularly route to the same
+    /// shard (the contended worst case).
+    Stealing,
+    /// Each writer owns the templates that route to "its" shard — the
+    /// multi-machine learning layout, where each off-peak worker is
+    /// assigned a template-id partition. Writers never contend.
+    ShardAffine,
+}
+
+/// Ingest `TEMPLATES` templates from `WRITER_THREADS` threads, one
+/// `insert_triples` batch per template; every layout/arm does identical
+/// total work.
+fn parallel_ingest(server: &FusekiLite, batched: bool, layout: WriterLayout) -> usize {
+    let router = galo_rdf::TemplateRouter::default();
+    let partition: Vec<Vec<u32>> = match layout {
+        WriterLayout::Stealing => Vec::new(),
+        WriterLayout::ShardAffine => {
+            // Partition by the template's actual SHARD (not by writer
+            // count), then deal shards round-robin to writers, so the
+            // layout stays genuinely shard-affine even when SHARDS and
+            // WRITER_THREADS diverge.
+            let mut parts = vec![Vec::new(); WRITER_THREADS];
+            let probe = prop("x");
+            for t in 0..TEMPLATES {
+                use galo_rdf::ShardRouter;
+                let k = router.route(SHARDS, &tpl_iri(t), &probe, &probe);
+                parts[k % WRITER_THREADS].push(t);
+            }
+            parts
+        }
+    };
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..WRITER_THREADS {
+            let next = &next;
+            let partition = &partition;
+            scope.spawn(move || {
+                let ingest = |t: u32| {
+                    let triples = template_triples(t);
+                    if batched {
+                        server.insert_triples(triples);
+                    } else {
+                        // The PR-3 write path: one write transaction, but
+                        // no group commit — a durable backend flushes per
+                        // record.
+                        server.with_store_mut(|st| {
+                            for (s, p, o) in triples {
+                                st.insert(s, p, o);
+                            }
+                        });
+                    }
+                };
+                match layout {
+                    WriterLayout::Stealing => loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= TEMPLATES as usize {
+                            break;
+                        }
+                        ingest(t as u32);
+                    },
+                    WriterLayout::ShardAffine => {
+                        for &t in &partition[w] {
+                            ingest(t);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    server.len()
+}
+
+/// Multi-threaded template ingest across the backends.
+fn bench_shard_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_write");
+    group.sample_size(10);
+    let param = format!("{TEMPLATES}tpl-{WRITER_THREADS}thr");
+
+    group.bench_function(BenchmarkId::new("single-indexed", &param), |b| {
+        b.iter(|| {
+            let server = FusekiLite::new();
+            black_box(parallel_ingest(&server, true, WriterLayout::Stealing))
+        })
+    });
+    group.bench_function(
+        BenchmarkId::new(format!("sharded-indexed-{SHARDS}"), &param),
+        |b| {
+            b.iter(|| {
+                let server = FusekiLite::open_sharded(SHARDS);
+                black_box(parallel_ingest(&server, true, WriterLayout::Stealing))
+            })
+        },
+    );
+    group.bench_function(BenchmarkId::new("single-durable-per-record", &param), |b| {
+        b.iter(|| {
+            let dir = ScratchDir::new("bench-shard-w1r");
+            let server = FusekiLite::open_durable(dir.path()).expect("opens");
+            black_box(parallel_ingest(&server, false, WriterLayout::Stealing))
+        })
+    });
+    group.bench_function(BenchmarkId::new("single-durable", &param), |b| {
+        b.iter(|| {
+            let dir = ScratchDir::new("bench-shard-w1");
+            let server = FusekiLite::open_durable(dir.path()).expect("opens");
+            black_box(parallel_ingest(&server, true, WriterLayout::Stealing))
+        })
+    });
+    group.bench_function(
+        BenchmarkId::new(format!("sharded-durable-{SHARDS}"), &param),
+        |b| {
+            b.iter(|| {
+                let dir = ScratchDir::new("bench-shard-wN");
+                let server = FusekiLite::open_sharded_durable(dir.path(), SHARDS).expect("opens");
+                black_box(parallel_ingest(&server, true, WriterLayout::Stealing))
+            })
+        },
+    );
+    // The real-durability configuration: fsync per commit. Group commit
+    // makes that one fsync per template batch; the single store
+    // serializes them behind the global lock, while sharded writers
+    // fsync different shard files concurrently — I/O parallelism that
+    // pays off even on a single-CPU host.
+    let fsync = DurableOptions {
+        fsync_each_record: true,
+        ..DurableOptions::default()
+    };
+    group.bench_function(BenchmarkId::new("single-durable-fsync", &param), |b| {
+        b.iter(|| {
+            let dir = ScratchDir::new("bench-shard-wf1");
+            let server = FusekiLite::open_durable_with(dir.path(), fsync.clone()).expect("opens");
+            black_box(parallel_ingest(&server, true, WriterLayout::Stealing))
+        })
+    });
+    group.bench_function(
+        BenchmarkId::new(format!("sharded-durable-{SHARDS}-fsync"), &param),
+        |b| {
+            b.iter(|| {
+                let dir = ScratchDir::new("bench-shard-wfN");
+                let server = FusekiLite::open_sharded_durable_with(
+                    dir.path(),
+                    SHARDS,
+                    fsync.clone(),
+                    Box::<galo_rdf::TemplateRouter>::default(),
+                )
+                .expect("opens");
+                black_box(parallel_ingest(&server, true, WriterLayout::Stealing))
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new(format!("sharded-durable-{SHARDS}-fsync-affine"), &param),
+        |b| {
+            b.iter(|| {
+                let dir = ScratchDir::new("bench-shard-wfA");
+                let server = FusekiLite::open_sharded_durable_with(
+                    dir.path(),
+                    SHARDS,
+                    fsync.clone(),
+                    Box::<galo_rdf::TemplateRouter>::default(),
+                )
+                .expect("opens");
+                black_box(parallel_ingest(&server, true, WriterLayout::ShardAffine))
+            })
+        },
+    );
+    group.finish();
+}
+
+/// A matching-shaped probe batch: one probe per sampled template, the
+/// `?tmpl`-seeded join the compiled match pipeline issues.
+fn bench_shard_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_probe");
+    group.sample_size(10);
+
+    let single = FusekiLite::new();
+    let sharded = FusekiLite::open_sharded(SHARDS);
+    for t in 0..TEMPLATES {
+        single.insert_triples(template_triples(t));
+        sharded.insert_triples(template_triples(t));
+    }
+    let query = parse_select(
+        "SELECT ?pop ?lo WHERE { \
+           ?pop <http://galo/qep/property/inTemplate> ?tmpl . \
+           ?pop <http://galo/qep/property/hasPopType> \"NLJOIN\" . \
+           ?pop <http://galo/qep/property/hasLowerCardinality> ?lo . }",
+    )
+    .expect("probe query parses");
+    let probes: Vec<Probe<'_>> = (0..256u32)
+        .map(|i| Probe {
+            query: &query,
+            bind: vec![("tmpl".to_string(), tpl_iri((i * 37) % TEMPLATES))],
+        })
+        .collect();
+
+    for (label, server) in [("single", &single), ("sharded-4", &sharded)] {
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{}probes-{threads}thr", probes.len())),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let out = server.probe_batch_threads(&probes, threads);
+                        black_box(out.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shard_write, bench_shard_probe
+}
+criterion_main!(benches);

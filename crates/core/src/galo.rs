@@ -97,6 +97,21 @@ impl Galo {
         })
     }
 
+    /// A GALO instance over a durable **sharded** knowledge base: one
+    /// WAL+snapshot directory per shard under `path`, per-shard write
+    /// locks (concurrent off-peak learning runs append in parallel), and
+    /// parallel recovery on open. See
+    /// [`KnowledgeBase::open_sharded_durable`].
+    pub fn open_sharded_durable(
+        path: impl AsRef<std::path::Path>,
+        shards: usize,
+    ) -> Result<Self, galo_rdf::ServerError> {
+        Ok(Galo {
+            kb: KnowledgeBase::open_sharded_durable(path, shards)?,
+            match_cfg: MatchConfig::default(),
+        })
+    }
+
     /// Offline workflow: learn problem patterns from a workload.
     pub fn learn(&self, workload: &Workload, cfg: &LearningConfig) -> LearningReport {
         learn_workload(workload, &self.kb, cfg)

@@ -198,6 +198,15 @@ struct IndexedPop {
 /// deterministic.
 type SigIndex = HashMap<u64, BTreeMap<String, Vec<IndexedPop>>>;
 
+/// The cardinality pre-check over one template's indexed operators
+/// (margin already clamped to ≥ 1).
+fn admits(pops: &[IndexedPop], checks: &[(&str, f64)], m: f64) -> bool {
+    checks.iter().all(|&(ty, v)| {
+        pops.iter()
+            .any(|p| p.pop_type == ty && p.cardinality.lo <= v * m && p.cardinality.hi >= v / m)
+    })
+}
+
 /// The knowledge base: an RDF endpoint plus template bookkeeping.
 ///
 /// Besides the triple store, the KB maintains a **signature index** —
@@ -261,6 +270,41 @@ impl KnowledgeBase {
         Ok(kb)
     }
 
+    /// A knowledge base over an in-memory sharded store: `shards`
+    /// indexed stores behind per-shard locks with template-affine
+    /// routing, so concurrent learning runs appending different
+    /// templates no longer serialize behind one lock.
+    pub fn open_sharded(shards: usize) -> Self {
+        KnowledgeBase {
+            server: FusekiLite::open_sharded(shards),
+            counter: AtomicU64::new(0),
+            sig_index: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// A knowledge base over a durable **sharded** store rooted at
+    /// `path`: one WAL+snapshot directory per shard, recovered in
+    /// parallel on open, then the signature index is rebuilt — the
+    /// production-shape backend (concurrent writers *and* persistence).
+    pub fn open_sharded_durable(
+        path: impl AsRef<std::path::Path>,
+        shards: usize,
+    ) -> Result<Self, galo_rdf::ServerError> {
+        let kb = KnowledgeBase {
+            server: FusekiLite::open_sharded_durable(path, shards)?,
+            counter: AtomicU64::new(0),
+            sig_index: RwLock::new(HashMap::new()),
+        };
+        kb.reindex();
+        Ok(kb)
+    }
+
+    /// Per-shard triple/graph counts (`None` over a non-sharded
+    /// backend): how the templates spread over the shards.
+    pub fn shard_stats(&self) -> Option<Vec<galo_rdf::ShardStats>> {
+        self.server.shard_stats()
+    }
+
     /// Checkpoint the backend: fold the durable store's write-ahead log
     /// into a fresh snapshot (a no-op over in-memory backends). Call
     /// after an off-peak learning run so reopening replays a snapshot
@@ -311,19 +355,55 @@ impl KnowledgeBase {
             .get(&signature)
             .map(|tpls| {
                 tpls.iter()
-                    .filter(|(_, pops)| {
-                        checks.iter().all(|&(ty, v)| {
-                            pops.iter().any(|p| {
-                                p.pop_type == ty
-                                    && p.cardinality.lo <= v * m
-                                    && p.cardinality.hi >= v / m
-                            })
-                        })
-                    })
+                    .filter(|(_, pops)| admits(pops, checks, m))
                     .map(|(iri, _)| iri.clone())
                     .collect()
             })
             .unwrap_or_default()
+    }
+
+    /// The first admitted candidate strictly after `after` (`None` =
+    /// from the start), in ascending IRI order. The matcher steps
+    /// through a segment's candidates with this cursor: only the
+    /// candidates actually evaluated are cloned (usually one, thanks to
+    /// first-match-wins) instead of the whole admitted list, and the
+    /// signature-index lock is held only for the lookup, so index
+    /// readers never queue behind a probe evaluation. (Template
+    /// *inserts* still wait for the matcher's store read session either
+    /// way — they take the store write lock before touching the index.)
+    pub fn next_candidate_admitting(
+        &self,
+        signature: u64,
+        checks: &[(&str, f64)],
+        margin: f64,
+        after: Option<&str>,
+    ) -> Option<String> {
+        use std::ops::Bound;
+        let m = margin.max(1.0);
+        let index = self.sig_index.read().expect("signature index lock");
+        let tpls = index.get(&signature)?;
+        let lower = match after {
+            Some(a) => Bound::Excluded(a),
+            None => Bound::Unbounded,
+        };
+        tpls.range::<str, _>((lower, Bound::Unbounded))
+            .find(|(_, pops)| admits(pops, checks, m))
+            .map(|(iri, _)| iri.clone())
+    }
+
+    /// True when at least one stored template shares the signature and
+    /// passes the cardinality pre-check. (The matcher itself uses its
+    /// first [`next_candidate_admitting`](Self::next_candidate_admitting)
+    /// pull as the emptiness test; this is the standalone form for
+    /// callers that only need the boolean.)
+    pub fn any_candidate_admitting(
+        &self,
+        signature: u64,
+        checks: &[(&str, f64)],
+        margin: f64,
+    ) -> bool {
+        self.next_candidate_admitting(signature, checks, margin, None)
+            .is_some()
     }
 
     /// Number of distinct structural signatures in the index.
@@ -560,9 +640,12 @@ impl KnowledgeBase {
         }
         // A pop whose cardinality bounds are missing (hand-crafted via the
         // raw endpoint) defaults to an unbounded range so the pre-check
-        // never rejects what the probe would accept.
-        let mut pop_ranges: HashMap<String, Range> = HashMap::new();
-        if let Ok(rs) = self.server.query(&ranges_query) {
+        // never rejects what the probe would accept. The map borrows its
+        // keys from the result set — at 1,000-template scale this join
+        // table holds thousands of rows, so no per-row String clone.
+        let ranges_rs = self.server.query(&ranges_query).ok();
+        let mut pop_ranges: HashMap<&str, Range> = HashMap::new();
+        if let Some(rs) = &ranges_rs {
             for row in 0..rs.len() {
                 let (Some(pop), Some(lo), Some(hi)) =
                     (rs.get(row, "pop"), rs.get(row, "lo"), rs.get(row, "hi"))
@@ -575,7 +658,7 @@ impl KnowledgeBase {
                 ) else {
                     continue;
                 };
-                pop_ranges.insert(pop.str_value().to_string(), Range { lo, hi });
+                pop_ranges.insert(pop.str_value(), Range { lo, hi });
             }
         }
         let mut template_pops: HashMap<String, Vec<IndexedPop>> = HashMap::new();
@@ -870,6 +953,15 @@ mod tests {
         assert_eq!(kb.candidate_templates(sig), vec![iri.clone()]);
         assert_eq!(kb.signature_count(), 1);
         assert!(kb.candidate_templates(sig ^ 1).is_empty());
+        // The emptiness pre-check and the candidate cursor agree with
+        // the materialized list.
+        assert!(kb.any_candidate_admitting(sig, &[], 1.0));
+        assert!(!kb.any_candidate_admitting(sig ^ 1, &[], 1.0));
+        assert_eq!(
+            kb.next_candidate_admitting(sig, &[], 1.0, None),
+            Some(iri.clone())
+        );
+        assert_eq!(kb.next_candidate_admitting(sig, &[], 1.0, Some(&iri)), None);
 
         // Import rebuilds the index from triples.
         let dump = kb.export();

@@ -239,8 +239,12 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
             let checks = segment_card_checks(qgm, segment.root);
             let signature =
                 galo_qgm::shape_signature(segment.join_count, checks.iter().map(|&(ty, _)| ty));
-            let candidates = kb.candidate_templates_admitting(signature, &checks, cfg.range_margin);
-            if candidates.is_empty() {
+            // The first cursor pull doubles as the emptiness pre-check:
+            // no admitted candidate means the segment is pruned before
+            // any probe is compiled.
+            let mut cursor =
+                kb.next_candidate_admitting(signature, &checks, cfg.range_margin, None);
+            if cursor.is_none() {
                 report.probes_pruned += 1;
                 continue;
             }
@@ -253,30 +257,33 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
                 continue;
             }
             let prepared = galo_rdf::prepare_seeded(st, &probe.query, &seed_vars);
-            for iri in &candidates {
-                let Some(id) = st.term_id(&Term::iri(iri.as_str())) else {
-                    continue;
-                };
-                report.probes_executed += 1;
-                let solutions = galo_rdf::evaluate_prepared(st, &prepared, &[id]);
-                if solutions.is_empty() {
-                    continue;
-                }
-                if let Some((_, labels)) = winning_solution(&solutions, &probe.scan_vars) {
-                    if let Some(rewrites) = crate::kb::guideline_of_in(st, iri).and_then(|g| {
-                        instantiate_match(
-                            g,
-                            iri,
-                            &labels,
-                            &probe.scan_vars,
-                            qgm.pop(segment.root).op_id,
-                        )
-                    }) {
-                        report.rewrites.extend(rewrites);
-                        claimed.extend(seg_pops.iter().copied());
+            let segment_op_id = qgm.pop(segment.root).op_id;
+            // Candidates are pulled one at a time through the signature
+            // index's cursor (ascending IRI order): no per-segment owned
+            // candidate list, and the index lock is released between
+            // lookups so index readers (diagnostics, candidate queries)
+            // never queue behind a probe evaluation. Evaluation stops at
+            // the first candidate that yields solutions.
+            let mut matched: Option<Vec<MatchedRewrite>> = None;
+            while let Some(iri) = cursor {
+                if let Some(id) = st.term_id(&Term::iri(iri.as_str())) {
+                    report.probes_executed += 1;
+                    let solutions = galo_rdf::evaluate_prepared(st, &prepared, &[id]);
+                    if !solutions.is_empty() {
+                        if let Some((_, labels)) = winning_solution(&solutions, &probe.scan_vars) {
+                            matched = crate::kb::guideline_of_in(st, &iri).and_then(|g| {
+                                instantiate_match(g, &iri, &labels, &probe.scan_vars, segment_op_id)
+                            });
+                        }
+                        break; // first matching candidate decides the segment
                     }
                 }
-                break; // first matching candidate decides the segment
+                cursor =
+                    kb.next_candidate_admitting(signature, &checks, cfg.range_margin, Some(&iri));
+            }
+            if let Some(rewrites) = matched {
+                report.rewrites.extend(rewrites);
+                claimed.extend(seg_pops.iter().copied());
             }
         }
     });

@@ -37,9 +37,11 @@
 //! module docs for the on-disk formats). A sharded backend only has to
 //! implement the same contract to drop in.
 
+mod fnv;
 pub mod ntriples;
 pub mod persist;
 pub mod server;
+pub mod shard;
 pub mod sparql;
 pub mod store;
 pub mod term;
@@ -47,6 +49,7 @@ pub mod term;
 pub use ntriples::{from_ntriples, load_ntriples, parse_ntriples, to_ntriples, NtParseError, Quad};
 pub use persist::{DurableOptions, DurableStore, ScratchDir};
 pub use server::{FusekiLite, Probe, ServerError};
+pub use shard::{HashRouter, ShardRouter, ShardStats, ShardedStore, TemplateRouter};
 pub use sparql::{
     apply_update, constants_interned, evaluate, evaluate_prepared, evaluate_seeded, parse_select,
     parse_update, prepare_seeded, projected_vars, CmpOp, Expr, PathPattern, PreparedQuery,

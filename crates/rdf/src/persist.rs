@@ -23,12 +23,21 @@
 //!
 //! * **Log records** are single lines: `+ <s> <p> <o> .` (default-graph
 //!   insert), `- <s> <p> <o> .` (remove), the same with a fourth graph
-//!   term for named-graph tagging (N-Quads), and `* clear`. A record is
+//!   term for named-graph tagging (N-Quads), and `* clear`. A version-2
+//!   log (first line `# galo-wal v2`) additionally suffixes every record
+//!   with ` #<fnv64>` — a per-record checksum over the record body, so
+//!   replay rejects in-place corruption, not just truncation; logs
+//!   without the header replay under the original v1 rules. A record is
 //!   *committed* once its terminating newline reaches the file; replay
-//!   stops at the first torn or unparsable trailing record and
-//!   [`DurableStore::open`] truncates the log back to the committed
-//!   prefix — a crash mid-write loses at most the un-terminated record,
-//!   never an acknowledged one.
+//!   stops at the first torn, unparsable or checksum-failing trailing
+//!   record and [`DurableStore::open`] truncates the log back to the
+//!   committed prefix — a crash mid-write loses at most the
+//!   un-terminated record, never an acknowledged one.
+//! * **Group commit** — each record is normally flushed to the OS as it
+//!   is journaled; inside a [`TripleStore::begin_batch`] /
+//!   [`TripleStore::end_batch`] bracket (one `FusekiLite` write
+//!   transaction) records are buffered and flushed once at batch end, so
+//!   a template insert pays one flush instead of ~19.
 //! * **Snapshots** are written to a temporary file, fsynced, then
 //!   atomically renamed, and carry an FNV-1a checksum over their whole
 //!   body; a snapshot that fails validation is quarantined (renamed
@@ -54,6 +63,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
+use crate::fnv::fnv1a;
 use crate::ntriples::parse_ntriples;
 use crate::store::{IndexedStore, Triple, TripleStore};
 use crate::term::{Term, TermId};
@@ -65,13 +75,22 @@ const SNAPSHOT_SUFFIX: &str = ".galo";
 const WAL_PREFIX: &str = "wal-";
 const WAL_SUFFIX: &str = ".log";
 
+/// First line of a version-2 write-ahead log. A v2 record line carries a
+/// trailing ` #<fnv64 hex>` checksum over the record body, so replay
+/// detects in-place corruption (a flipped byte in a literal still parses
+/// under v1 rules — v2 rejects it). Logs without the header are v1 and
+/// replay with the original newline-plus-parse validation, so stores
+/// written by older builds keep recovering.
+const WAL_V2_HEADER: &str = "# galo-wal v2";
+
 /// Tuning knobs for a [`DurableStore`].
 #[derive(Debug, Clone, Default)]
 pub struct DurableOptions {
-    /// `fsync` the log after every record. Off by default: each record is
-    /// still flushed to the OS (surviving process death, the failure mode
-    /// the tests simulate); fsync additionally survives power loss at a
-    /// heavy per-write cost.
+    /// `fsync` the log after every commit — every record, or every batch
+    /// under group commit. Off by default: each commit is still flushed
+    /// to the OS (surviving process death, the failure mode the tests
+    /// simulate); fsync additionally survives power loss at a heavy
+    /// per-write cost.
     pub fsync_each_record: bool,
     /// Automatically [`compact`](TripleStore::compact) once this many
     /// records accumulate in the current log. `None` (the default) leaves
@@ -95,6 +114,16 @@ pub struct DurableStore {
     wal_records: u64,
     generation: u64,
     options: DurableOptions,
+    /// The active log is version 2 (checksummed records). Appending to a
+    /// recovered v1 log keeps writing v1 records — a log file never mixes
+    /// versions; rotation upgrades.
+    wal_crc: bool,
+    /// Inside a [`TripleStore::begin_batch`] group commit: journal writes
+    /// are buffered and flushed once at `end_batch`.
+    in_batch: bool,
+    /// Records were journaled since the batch began (so `end_batch` knows
+    /// whether a flush is owed).
+    batch_dirty: bool,
 }
 
 /// One replayable log record.
@@ -163,16 +192,17 @@ impl DurableStore {
         let mut generation = base_gen;
         let mut wal_bytes = 0u64;
         let mut wal_records = 0u64;
+        let mut wal_crc = false;
         for (gen, path) in &wals {
             if *gen < base_gen {
                 continue;
             }
             let newest = *gen == wals.last().expect("non-empty").0;
-            let (committed_bytes, records) = replay_wal(&mut inner, path)?;
+            let (committed_bytes, records, v2) = replay_wal(&mut inner, path)?;
+            let on_disk = fs::metadata(path)?.len();
             if newest {
                 // Drop the torn tail so the append point is a committed
                 // record boundary.
-                let on_disk = fs::metadata(path)?.len();
                 if on_disk > committed_bytes {
                     let f = OpenOptions::new().write(true).open(path)?;
                     f.set_len(committed_bytes)?;
@@ -180,6 +210,26 @@ impl DurableStore {
                 }
                 wal_bytes = committed_bytes;
                 wal_records = records;
+                wal_crc = v2;
+            } else if on_disk > committed_bytes {
+                // Only the *newest* log may legitimately end in a torn
+                // record (a crash mid-append); an older log was rotated
+                // after a flush, so a bad record mid-chain is in-place
+                // corruption. Stopping there and still replaying later
+                // generations would silently drop a slice of acknowledged
+                // history — refuse instead.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "durable store at {}: corrupt record in non-newest log {} \
+                         ({} of {} bytes replayable) — recovery would skip \
+                         acknowledged history",
+                        dir.display(),
+                        path.display(),
+                        committed_bytes,
+                        on_disk,
+                    ),
+                ));
             }
             generation = generation.max(*gen);
         }
@@ -187,7 +237,7 @@ impl DurableStore {
             .create(true)
             .append(true)
             .open(wal_file(&dir, generation))?;
-        Ok(DurableStore {
+        let mut store = DurableStore {
             inner,
             dir,
             wal: BufWriter::new(wal),
@@ -195,7 +245,27 @@ impl DurableStore {
             wal_records,
             generation,
             options,
-        })
+            wal_crc,
+            in_batch: false,
+            batch_dirty: false,
+        };
+        if store.wal_bytes == 0 {
+            // A fresh (or fully-truncated) log starts at version 2; a
+            // recovered v1 log with committed records keeps appending v1
+            // records so one file never mixes formats.
+            store.init_wal_header()?;
+        }
+        Ok(store)
+    }
+
+    /// Start a fresh log at version 2: write and flush the header line.
+    fn init_wal_header(&mut self) -> std::io::Result<()> {
+        let line = format!("{WAL_V2_HEADER}\n");
+        self.wal.write_all(line.as_bytes())?;
+        self.wal.flush()?;
+        self.wal_bytes = line.len() as u64;
+        self.wal_crc = true;
+        Ok(())
     }
 
     /// The store's directory on disk.
@@ -224,22 +294,25 @@ impl DurableStore {
         wal_file(&self.dir, self.generation)
     }
 
-    /// Journal one record, honoring the configured sync policy. Fail-stop
-    /// on I/O error: the mutation has not been applied yet, so panicking
-    /// here never acknowledges a write the log lost.
+    /// Journal one record, honoring the configured sync policy — unless a
+    /// group-commit batch is open, in which case the flush is deferred to
+    /// [`TripleStore::end_batch`]. Fail-stop on I/O error: the mutation
+    /// has not been applied yet, so panicking here never acknowledges a
+    /// write the log lost.
     fn journal(&mut self, record: &Record) {
-        let line = render_record(record);
-        let res = self
-            .wal
-            .write_all(line.as_bytes())
-            .and_then(|()| self.wal.flush())
-            .and_then(|()| {
-                if self.options.fsync_each_record {
-                    self.wal.get_ref().sync_data()
-                } else {
-                    Ok(())
-                }
-            });
+        let line = if self.wal_crc {
+            render_record_v2(record)
+        } else {
+            render_record(record)
+        };
+        let res = self.wal.write_all(line.as_bytes()).and_then(|()| {
+            if self.in_batch {
+                self.batch_dirty = true;
+                Ok(())
+            } else {
+                self.flush_wal()
+            }
+        });
         if let Err(e) = res {
             panic!(
                 "durable store failed to journal to {:?}: {e}",
@@ -248,6 +321,15 @@ impl DurableStore {
         }
         self.wal_bytes += line.len() as u64;
         self.wal_records += 1;
+    }
+
+    /// Flush buffered log records to the OS (plus fsync when configured).
+    fn flush_wal(&mut self) -> std::io::Result<()> {
+        self.wal.flush()?;
+        if self.options.fsync_each_record {
+            self.wal.get_ref().sync_data()?;
+        }
+        Ok(())
     }
 
     fn maybe_auto_compact(&mut self) {
@@ -302,15 +384,43 @@ fn numbered_files(dir: &Path, prefix: &str, suffix: &str) -> std::io::Result<Vec
     Ok(out)
 }
 
-/// Serialize a record as one committed log line.
-fn render_record(record: &Record) -> String {
+/// Serialize a record body (no terminating newline, no checksum).
+fn render_body(record: &Record) -> String {
     match record {
-        Record::Insert(s, p, o, None) => format!("+ {s} {p} {o} .\n"),
-        Record::Insert(s, p, o, Some(g)) => format!("+ {s} {p} {o} {g} .\n"),
-        Record::Remove(s, p, o, None) => format!("- {s} {p} {o} .\n"),
-        Record::Remove(s, p, o, Some(g)) => format!("- {s} {p} {o} {g} .\n"),
-        Record::Clear => "* clear\n".to_string(),
+        Record::Insert(s, p, o, None) => format!("+ {s} {p} {o} ."),
+        Record::Insert(s, p, o, Some(g)) => format!("+ {s} {p} {o} {g} ."),
+        Record::Remove(s, p, o, None) => format!("- {s} {p} {o} ."),
+        Record::Remove(s, p, o, Some(g)) => format!("- {s} {p} {o} {g} ."),
+        Record::Clear => "* clear".to_string(),
     }
+}
+
+/// Serialize a record as one committed v1 log line.
+fn render_record(record: &Record) -> String {
+    format!("{}\n", render_body(record))
+}
+
+/// Serialize a record as one committed v2 log line: body plus a trailing
+/// ` #<fnv64>` checksum over the body bytes.
+fn render_record_v2(record: &Record) -> String {
+    let body = render_body(record);
+    let sum = fnv1a(body.as_bytes());
+    format!("{body} #{sum:016x}\n")
+}
+
+/// Parse one committed v2 log line: split off the trailing checksum,
+/// verify it over the body, then parse the body as a v1 record. `None`
+/// marks a torn, malformed, or corrupted record.
+fn parse_record_v2(line: &str) -> Option<Record> {
+    let (body, sum) = line.rsplit_once(" #")?;
+    if sum.len() != 16 {
+        return None;
+    }
+    let stored = u64::from_str_radix(sum, 16).ok()?;
+    if fnv1a(body.as_bytes()) != stored {
+        return None;
+    }
+    parse_record(body)
 }
 
 /// Parse one committed log line; `None` marks an invalid record (replay
@@ -363,25 +473,35 @@ fn apply_record(inner: &mut IndexedStore, record: Record) {
     }
 }
 
-/// Replay a log into `inner`. Returns `(committed_bytes, records)` — the
-/// byte length of the valid record prefix and how many records it holds.
-/// A record only counts as committed when its line is newline-terminated
-/// *and* parses; the first violation ends the replay.
-fn replay_wal(inner: &mut IndexedStore, path: &Path) -> std::io::Result<(u64, u64)> {
+/// Replay a log into `inner`. Returns `(committed_bytes, records, v2)` —
+/// the byte length of the valid record prefix, how many records it holds,
+/// and whether the log carries the version-2 header. A record only counts
+/// as committed when its line is newline-terminated *and* parses (*and*,
+/// in a v2 log, its checksum verifies); the first violation ends the
+/// replay. The v2 header line counts toward the committed bytes but not
+/// toward the record count.
+fn replay_wal(inner: &mut IndexedStore, path: &Path) -> std::io::Result<(u64, u64, bool)> {
     let bytes = match fs::read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, 0, false)),
         Err(e) => return Err(e),
     };
-    let mut committed = 0u64;
+    let header = format!("{WAL_V2_HEADER}\n");
+    let v2 = bytes.starts_with(header.as_bytes());
+    let mut start = if v2 { header.len() } else { 0 };
+    let mut committed = start as u64;
     let mut records = 0u64;
-    let mut start = 0usize;
     while let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') {
         let end = start + nl;
         let Ok(line) = std::str::from_utf8(&bytes[start..end]) else {
             break;
         };
-        let Some(record) = parse_record(line) else {
+        let record = if v2 {
+            parse_record_v2(line)
+        } else {
+            parse_record(line)
+        };
+        let Some(record) = record else {
             break;
         };
         apply_record(inner, record);
@@ -389,20 +509,10 @@ fn replay_wal(inner: &mut IndexedStore, path: &Path) -> std::io::Result<(u64, u6
         committed = start as u64;
         records += 1;
     }
-    Ok((committed, records))
+    Ok((committed, records, v2))
 }
 
 // ------------------------------------------------------------ snapshot --
-
-/// FNV-1a 64, the checksum guarding snapshot bodies.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -679,6 +789,35 @@ impl TripleStore for DurableStore {
         self.inner.scan_in(graph, s, p, o)
     }
 
+    fn graph_ids(&self) -> Vec<TermId> {
+        self.inner.graph_ids()
+    }
+
+    /// Open a group-commit batch: subsequent records are buffered and
+    /// flushed once at [`end_batch`](TripleStore::end_batch). Not
+    /// reentrant — one bracket per write transaction.
+    fn begin_batch(&mut self) {
+        self.in_batch = true;
+    }
+
+    /// Close the group-commit batch, flushing every record journaled
+    /// inside it in one go. Fail-stop on flush error: the batch's
+    /// mutations were already applied, so a store that cannot commit
+    /// them must not keep serving.
+    fn end_batch(&mut self) {
+        self.in_batch = false;
+        if !self.batch_dirty {
+            return;
+        }
+        self.batch_dirty = false;
+        if let Err(e) = self.flush_wal() {
+            panic!(
+                "durable store failed to commit batch to {:?}: {e}",
+                self.wal_path()
+            );
+        }
+    }
+
     /// Fold the log into a snapshot: open a fresh `wal-<g+1>`, write
     /// `snapshot-<g+1>` (temp file, fsync, atomic rename), rotate, and
     /// prune generations older than the newest *remaining older*
@@ -690,12 +829,20 @@ impl TripleStore for DurableStore {
     /// generation's log, and no snapshot exists whose generation would
     /// make recovery skip that log.
     fn compact(&mut self) -> std::io::Result<()> {
+        // A group-commit batch may be open: push its buffered records to
+        // the OS before rotating, or the old log could fall short of the
+        // snapshot the fallback chain pairs it with.
+        self.flush_wal()?;
         let next = self.generation + 1;
         let bytes = encode_snapshot(&self.inner);
         let wal = OpenOptions::new()
             .create(true)
             .append(true)
             .open(wal_file(&self.dir, next))?;
+        let mut new_wal = BufWriter::new(wal);
+        let header = format!("{WAL_V2_HEADER}\n");
+        new_wal.write_all(header.as_bytes())?;
+        new_wal.flush()?;
         let tmp = self.dir.join(format!(".snapshot-{next:010}.tmp"));
         {
             let mut f = File::create(&tmp)?;
@@ -703,9 +850,10 @@ impl TripleStore for DurableStore {
             f.sync_all()?;
         }
         fs::rename(&tmp, snapshot_file(&self.dir, next))?;
-        self.wal = BufWriter::new(wal);
-        self.wal_bytes = 0;
+        self.wal = new_wal;
+        self.wal_bytes = header.len() as u64;
         self.wal_records = 0;
+        self.wal_crc = true;
         self.generation = next;
         // The fallback floor: the newest snapshot older than `next` that
         // is still on disk (corrupt ones were quarantined at open).
@@ -934,6 +1082,36 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_mid_chain_log_is_an_error_not_a_gap() {
+        // Fallback recovery replays multiple log generations. A bad
+        // record in a NON-newest log must fail the open loudly: stopping
+        // there while still applying later generations would open a
+        // silent gap in the middle of acknowledged history. (Only the
+        // newest log may end torn — that is the crash-mid-append case.)
+        let dir = ScratchDir::new("persist-midchain");
+        {
+            let mut st = DurableStore::open(dir.path()).unwrap();
+            st.insert(iri(1), p("a"), Term::lit("1111"));
+            st.compact().unwrap(); // gen 1: snapshot-1 + wal-1
+            st.insert(iri(2), p("a"), Term::lit("2222")); // lands in wal-1
+            st.compact().unwrap(); // gen 2
+            st.insert(iri(3), p("a"), Term::lit("3333")); // lands in wal-2
+        }
+        // Corrupt the newest snapshot so recovery falls back to
+        // snapshot-1 and must replay wal-1 then wal-2 …
+        fs::write(snapshot_file(dir.path(), 2), b"GALOSNAPgarbage").unwrap();
+        // … and flip a digit inside wal-1's committed record.
+        let wal1 = wal_file(dir.path(), 1);
+        let text = fs::read_to_string(&wal1)
+            .unwrap()
+            .replacen("2222", "2922", 1);
+        fs::write(&wal1, text).unwrap();
+        let err = DurableStore::open(dir.path()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("non-newest"), "{err}");
+    }
+
+    #[test]
     fn torn_tail_is_truncated_not_fatal() {
         let dir = ScratchDir::new("persist-torn");
         let wal_path;
@@ -1042,6 +1220,117 @@ mod tests {
         }
         let st = DurableStore::open(dir.path()).unwrap();
         assert!(st.contains(&iri(1), &p("a"), &nasty));
+    }
+
+    #[test]
+    fn fresh_logs_are_v2_with_per_record_checksums() {
+        let dir = ScratchDir::new("persist-v2");
+        let wal_path;
+        {
+            let mut st = DurableStore::open(dir.path()).unwrap();
+            st.insert(iri(1), p("a"), Term::lit("1"));
+            st.insert(iri(2), p("a"), Term::lit("2"));
+            wal_path = st.wal_path();
+        }
+        let text = fs::read_to_string(&wal_path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(WAL_V2_HEADER));
+        for line in lines {
+            let (_, sum) = line.rsplit_once(" #").expect("checksummed record");
+            assert_eq!(sum.len(), 16, "{line}");
+        }
+        let st = DurableStore::open(dir.path()).unwrap();
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn checksum_rejects_in_place_corruption() {
+        // Flip one digit inside a committed record: the line still parses
+        // as a record, so v1 replay would resurrect a WRONG triple; the
+        // v2 checksum rejects it (and everything after it).
+        let dir = ScratchDir::new("persist-crc");
+        let wal_path;
+        {
+            let mut st = DurableStore::open(dir.path()).unwrap();
+            st.insert(iri(1), p("a"), Term::lit("1111"));
+            st.insert(iri(2), p("a"), Term::lit("2222"));
+            wal_path = st.wal_path();
+        }
+        let text = fs::read_to_string(&wal_path).unwrap();
+        let corrupted = text.replacen("1111", "1911", 1);
+        assert_ne!(text, corrupted, "test must actually corrupt a record");
+        fs::write(&wal_path, corrupted).unwrap();
+        let st = DurableStore::open(dir.path()).unwrap();
+        assert_eq!(st.len(), 0, "corrupted record and its tail are dropped");
+        assert!(!st.contains(&iri(1), &p("a"), &Term::lit("1911")));
+    }
+
+    #[test]
+    fn legacy_v1_logs_replay_and_keep_their_format() {
+        // A log without the v2 header (written by an older build) must
+        // replay under v1 rules, and appends must stay v1 so the file
+        // never mixes formats.
+        let dir = ScratchDir::new("persist-v1-compat");
+        let wal_path = wal_file(dir.path(), 0);
+        let mut legacy = String::new();
+        legacy.push_str(&render_record(&Record::Insert(
+            iri(1),
+            p("a"),
+            Term::lit("1"),
+            None,
+        )));
+        legacy.push_str(&render_record(&Record::Insert(
+            iri(2),
+            p("a"),
+            Term::lit("2"),
+            Some(Term::iri("http://g/w")),
+        )));
+        fs::write(&wal_path, &legacy).unwrap();
+        {
+            let mut st = DurableStore::open(dir.path()).unwrap();
+            assert_eq!(st.len(), 1);
+            assert_eq!(st.graph_names().len(), 1);
+            st.insert(iri(3), p("a"), Term::lit("3"));
+        }
+        let text = fs::read_to_string(&wal_path).unwrap();
+        assert!(
+            text.lines().all(|l| l.rsplit_once(" #").is_none()),
+            "v1 log must not grow checksummed records: {text}"
+        );
+        let st = DurableStore::open(dir.path()).unwrap();
+        assert_eq!(st.len(), 2);
+        // Compaction rotates onto a fresh v2 log.
+        let mut st = st;
+        st.compact().unwrap();
+        st.insert(iri(4), p("a"), Term::lit("4"));
+        let rotated = fs::read_to_string(st.wal_path()).unwrap();
+        assert!(rotated.starts_with(WAL_V2_HEADER));
+        drop(st);
+        assert_eq!(DurableStore::open(dir.path()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn group_commit_flushes_once_per_batch() {
+        let dir = ScratchDir::new("persist-batch");
+        let wal_path;
+        {
+            let mut st = DurableStore::open(dir.path()).unwrap();
+            wal_path = st.wal_path();
+            st.begin_batch();
+            for i in 0..10u32 {
+                st.insert(iri(i), p("a"), Term::num(i as f64));
+            }
+            // Buffered: nothing past the header is on disk yet (the
+            // records are far below BufWriter's spill threshold).
+            assert_eq!(
+                fs::metadata(&wal_path).unwrap().len(),
+                (WAL_V2_HEADER.len() + 1) as u64
+            );
+            st.end_batch();
+            assert_eq!(fs::metadata(&wal_path).unwrap().len(), st.wal_bytes());
+        }
+        let st = DurableStore::open(dir.path()).unwrap();
+        assert_eq!(st.len(), 10, "every batched record was committed");
     }
 
     #[test]

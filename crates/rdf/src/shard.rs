@@ -1,0 +1,1640 @@
+//! Sharded triple storage: [`ShardedStore`], a [`TripleStore`] over N
+//! inner stores with per-shard locking.
+//!
+//! The knowledge base is a shared service: every optimized query probes
+//! it online while off-peak learning runs append to it. The single-store
+//! backends serialize all of that behind `FusekiLite`'s one `RwLock`;
+//! [`ShardedStore`] partitions the default graph across N inner stores —
+//! each behind its own lock — so writes to *different* shards proceed
+//! concurrently, batched probes are served by parallel workers over one
+//! consistent read session, and recovery/compaction of a durable store
+//! fan out across shard directories.
+//!
+//! # Architecture
+//!
+//! * **Placement** is a pluggable [`ShardRouter`] policy, consulted once
+//!   per mutation. The default [`TemplateRouter`] keys template-shaped
+//!   subjects (`<ns><template-id>` and `<ns><template-id>/pop/<k>`) by
+//!   their template id, so a whole problem-pattern template — operator
+//!   nodes, stream edges, guideline, workload tag — lives on one shard;
+//!   anything else falls back to a subject hash. Placement is a
+//!   *performance* policy only: reads never trust it.
+//! * **Reads fan out.** `scan`/`count`/`scan_in`/`graph_names` visit
+//!   every shard in index order and merge, so result order is
+//!   deterministic for a given content. A shard that has never interned
+//!   one of a pattern's bound terms is rejected by a single map lookup,
+//!   so fan-out overhead on keyed probes stays near zero.
+//! * **Terms are interned twice.** The sharded store owns a
+//!   stripe-locked, lock-free-read shared interner issuing the global
+//!   [`TermId`]s every caller sees; each shard's inner store keeps its
+//!   own interner (a durable shard journals *terms*, and its snapshots
+//!   must stay self-contained), and the shard state carries the
+//!   global↔local id translation. On durable reopen the translation is
+//!   rebuilt from the recovered triples, shards in parallel.
+//! * **Sessions.** [`ShardedStore::read_session`] /
+//!   [`write_session`](ShardedStore::write_session) take all per-shard
+//!   locks in index order and expose the store as one `TripleStore`, so
+//!   the SPARQL evaluator and the matching engine run against a stable
+//!   view; the concurrent write path ([`insert_terms_batch`] and
+//!   friends) locks only the shards a batch actually routes to.
+//!
+//! # On-disk layout (durable sharding)
+//!
+//! ```text
+//! kb.galo/
+//!   sharded.meta     shard count + router name (validated on reopen)
+//!   shard-0000/      one DurableStore directory per shard
+//!     snapshot-…
+//!     wal-…
+//!   shard-0001/
+//!   …
+//! ```
+//!
+//! [`insert_terms_batch`]: ShardedStore::insert_terms_batch
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::OnceLock;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::fnv::{fnv1a, fnv1a_with, FNV_OFFSET};
+use crate::persist::{DurableOptions, DurableStore};
+use crate::store::{IndexedStore, Triple, TripleStore};
+use crate::term::{Term, TermId};
+
+// ------------------------------------------------------ shared interner --
+
+/// FNV-1a 64 over a term's tag and text (deterministic across runs, which
+/// routing and striping both require — `std`'s hasher is seeded).
+fn term_hash(term: &Term) -> u64 {
+    let (tag, text): (u8, &str) = match term {
+        Term::Iri(s) => (0, s),
+        Term::Literal(l) => (1, &l.lexical),
+        Term::Blank(b) => (2, b),
+    };
+    fnv1a_with(fnv1a(&[tag]), text.as_bytes())
+}
+
+/// FNV-1a hasher for the hot-path maps: the id-translation tables are
+/// keyed by already-well-distributed `u32` ids and the interner stripes
+/// by short strings — SipHash's DoS hardening buys nothing here and
+/// costs on every probe scan.
+#[derive(Default, Clone)]
+struct FnvState(u64);
+
+impl std::hash::Hasher for FnvState {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let seed = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        self.0 = fnv1a_with(seed, bytes);
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<FnvState>;
+
+/// Interner stripes: independent locks, so concurrent writers interning
+/// different terms rarely contend.
+const STRIPES: u32 = 8;
+/// First term-table chunk size; chunk `c` holds `CHUNK0 << c` terms.
+const CHUNK0: usize = 256;
+/// 256 · (2²⁴ − 1) slots ≈ 4.3 B — covers the full `u32` id space.
+const MAX_CHUNKS: usize = 24;
+
+/// Append-only term table with address-stable slots: resolving never
+/// takes a lock. Slots live in geometrically-growing boxed chunks, so a
+/// written `Term` never moves; `OnceLock` publication makes the read
+/// race-free against the (stripe-lock-serialized) writer.
+struct TermChunks {
+    chunks: [OnceLock<Box<[OnceLock<Term>]>>; MAX_CHUNKS],
+}
+
+impl TermChunks {
+    fn new() -> Self {
+        TermChunks {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+        }
+    }
+
+    /// `(chunk, offset)` of a dense index: chunk `c` starts at
+    /// `CHUNK0·(2^c − 1)` and holds `CHUNK0·2^c` slots.
+    fn locate(index: usize) -> (usize, usize) {
+        let m = index / CHUNK0 + 1;
+        let chunk = (usize::BITS - 1 - m.leading_zeros()) as usize;
+        (chunk, index - CHUNK0 * ((1usize << chunk) - 1))
+    }
+
+    fn get(&self, index: usize) -> Option<&Term> {
+        let (chunk, offset) = Self::locate(index);
+        self.chunks.get(chunk)?.get()?.get(offset)?.get()
+    }
+
+    fn set(&self, index: usize, term: Term) {
+        let (chunk, offset) = Self::locate(index);
+        assert!(chunk < MAX_CHUNKS, "sharded interner capacity exceeded");
+        let slots = self.chunks[chunk]
+            .get_or_init(|| (0..(CHUNK0 << chunk)).map(|_| OnceLock::new()).collect());
+        slots[offset]
+            .set(term)
+            .expect("interner slot is written exactly once");
+    }
+}
+
+impl fmt::Debug for TermChunks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let chunks = self.chunks.iter().filter(|c| c.get().is_some()).count();
+        write!(f, "TermChunks({chunks} chunks)")
+    }
+}
+
+#[derive(Debug)]
+struct Stripe {
+    lookup: RwLock<HashMap<Term, TermId, FnvBuild>>,
+    terms: TermChunks,
+}
+
+/// The sharded store's global interner: striped write locks, lock-free
+/// resolution. Ids interleave stripes (`id = index·STRIPES + stripe`), so
+/// they are dense-ish but **not** contiguous — nothing in the
+/// [`TripleStore`] contract requires contiguity.
+pub(crate) struct SharedInterner {
+    stripes: Vec<Stripe>,
+}
+
+impl SharedInterner {
+    fn new() -> Self {
+        SharedInterner {
+            stripes: (0..STRIPES)
+                .map(|_| Stripe {
+                    lookup: RwLock::new(HashMap::default()),
+                    terms: TermChunks::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn stripe_of(term: &Term) -> usize {
+        (term_hash(term) % STRIPES as u64) as usize
+    }
+
+    pub(crate) fn get(&self, term: &Term) -> Option<TermId> {
+        self.stripes[Self::stripe_of(term)]
+            .lookup
+            .read()
+            .get(term)
+            .copied()
+    }
+
+    /// Intern by reference: the term is cloned only on first sighting.
+    pub(crate) fn intern(&self, term: &Term) -> TermId {
+        let si = Self::stripe_of(term);
+        let stripe = &self.stripes[si];
+        if let Some(&id) = stripe.lookup.read().get(term) {
+            return id;
+        }
+        let mut lookup = stripe.lookup.write();
+        if let Some(&id) = lookup.get(term) {
+            return id;
+        }
+        let index = lookup.len();
+        let raw = index as u64 * STRIPES as u64 + si as u64;
+        let id = TermId(u32::try_from(raw).expect("interner id space exhausted"));
+        stripe.terms.set(index, term.clone());
+        lookup.insert(term.clone(), id);
+        id
+    }
+
+    pub(crate) fn resolve(&self, id: TermId) -> &Term {
+        let si = (id.0 % STRIPES) as usize;
+        let index = (id.0 / STRIPES) as usize;
+        self.stripes[si]
+            .terms
+            .get(index)
+            .expect("resolve of an id this interner never issued")
+    }
+
+    fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lookup.read().len()).sum()
+    }
+}
+
+impl fmt::Debug for SharedInterner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedInterner({} terms)", self.len())
+    }
+}
+
+// --------------------------------------------------------------- router --
+
+/// Placement policy: which shard a triple is written to.
+///
+/// Routing must be **deterministic and stable across process runs** — a
+/// durable sharded store persists its placement, and removes are routed
+/// the same way inserts were. It is consulted with the triple's resolved
+/// terms; named-graph tags route by the same rule (their subject). Reads
+/// never depend on the router (they fan out), so a router only shapes
+/// locality and write balance, never visibility.
+pub trait ShardRouter: fmt::Debug + Send + Sync {
+    /// Stable identifier recorded in `sharded.meta` and validated on
+    /// durable reopen, so a store is never silently opened under a
+    /// different placement policy.
+    fn name(&self) -> String;
+
+    /// Shard index in `0..shards` for a triple.
+    fn route(&self, shards: usize, s: &Term, p: &Term, o: &Term) -> usize;
+}
+
+/// The default router: template-affine placement.
+///
+/// Subjects under the knowledge base's template namespace —
+/// `<ns><template-id>` and `<ns><template-id>/pop/<k>` — are keyed by the
+/// template id alone, so every triple of one learned template (operator
+/// properties, stream edges, guideline document, workload tag) lands on
+/// the same shard and a matching probe's keyed lookups miss all other
+/// shards at translation time. Everything else hashes the whole subject.
+#[derive(Debug, Clone)]
+pub struct TemplateRouter {
+    /// IRI prefix of template resources (the GALO KB default).
+    pub template_ns: String,
+}
+
+impl Default for TemplateRouter {
+    fn default() -> Self {
+        TemplateRouter {
+            template_ns: "http://galo/kb/template/".to_string(),
+        }
+    }
+}
+
+impl ShardRouter for TemplateRouter {
+    fn name(&self) -> String {
+        format!("template:{}", self.template_ns)
+    }
+
+    fn route(&self, shards: usize, s: &Term, _p: &Term, _o: &Term) -> usize {
+        if let Some(rest) = s
+            .as_iri()
+            .and_then(|iri| iri.strip_prefix(&self.template_ns))
+        {
+            let id = rest.split('/').next().unwrap_or(rest);
+            return (fnv1a(id.as_bytes()) % shards as u64) as usize;
+        }
+        (term_hash(s) % shards as u64) as usize
+    }
+}
+
+/// Plain subject-hash placement (no namespace affinity).
+#[derive(Debug, Clone, Default)]
+pub struct HashRouter;
+
+impl ShardRouter for HashRouter {
+    fn name(&self) -> String {
+        "hash".to_string()
+    }
+
+    fn route(&self, shards: usize, s: &Term, _p: &Term, _o: &Term) -> usize {
+        (term_hash(s) % shards as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------- shard state --
+
+/// One shard: its inner store plus the global↔local id translation.
+///
+/// Invariant: every local id that appears in any of the inner store's
+/// triples (default or named graph) is mapped in `to_global`; every
+/// global id this shard has ever stored is mapped in `to_local`.
+#[derive(Debug)]
+struct ShardState {
+    store: Box<dyn TripleStore>,
+    /// Global id → shard-local id.
+    to_local: HashMap<TermId, TermId, FnvBuild>,
+    /// Shard-local id (dense) → global id; `u32::MAX` marks a local term
+    /// that no stored triple references (e.g. snapshot-preserved unused
+    /// interned terms).
+    to_global: Vec<TermId>,
+}
+
+const UNMAPPED: TermId = TermId(u32::MAX);
+
+impl ShardState {
+    fn fresh(store: Box<dyn TripleStore>) -> Self {
+        ShardState {
+            store,
+            to_local: HashMap::default(),
+            to_global: Vec::new(),
+        }
+    }
+
+    fn map_pair(&mut self, global: TermId, local: TermId) {
+        let idx = local.0 as usize;
+        if idx >= self.to_global.len() {
+            self.to_global.resize(idx + 1, UNMAPPED);
+        }
+        self.to_global[idx] = global;
+        self.to_local.insert(global, local);
+    }
+
+    fn local(&self, global: TermId) -> Option<TermId> {
+        self.to_local.get(&global).copied()
+    }
+
+    fn global(&self, local: TermId) -> TermId {
+        let g = self.to_global[local.0 as usize];
+        debug_assert_ne!(g, UNMAPPED, "scanned local id must be mapped");
+        g
+    }
+
+    /// Local id for a global term, interning it into the shard store on
+    /// first sighting.
+    fn ensure_local(&mut self, global: TermId, interner: &SharedInterner) -> TermId {
+        if let Some(l) = self.local(global) {
+            return l;
+        }
+        let local = self.store.intern(interner.resolve(global).clone());
+        self.map_pair(global, local);
+        local
+    }
+
+    fn globalize(&self, (s, p, o): Triple) -> Triple {
+        (self.global(s), self.global(p), self.global(o))
+    }
+
+    /// Translate a fully-bound global triple; `None` when any term was
+    /// never seen by this shard (so the triple cannot be stored here).
+    fn localize(&self, (s, p, o): Triple) -> Option<Triple> {
+        Some((self.local(s)?, self.local(p)?, self.local(o)?))
+    }
+
+    fn insert_global(&mut self, t: Triple, interner: &SharedInterner) -> bool {
+        let lt = (
+            self.ensure_local(t.0, interner),
+            self.ensure_local(t.1, interner),
+            self.ensure_local(t.2, interner),
+        );
+        self.store.insert_ids(lt)
+    }
+
+    fn remove_global(&mut self, t: Triple) -> bool {
+        match self.localize(t) {
+            Some(lt) => self.store.remove_ids(lt),
+            None => false,
+        }
+    }
+
+    fn insert_in_global(&mut self, graph: TermId, t: Triple, interner: &SharedInterner) -> bool {
+        let g = self.ensure_local(graph, interner);
+        let lt = (
+            self.ensure_local(t.0, interner),
+            self.ensure_local(t.1, interner),
+            self.ensure_local(t.2, interner),
+        );
+        self.store.insert_ids_in(g, lt)
+    }
+
+    fn remove_in_global(&mut self, graph: TermId, t: Triple) -> bool {
+        match (self.local(graph), self.localize(t)) {
+            (Some(g), Some(lt)) => self.store.remove_ids_in(g, lt),
+            _ => false,
+        }
+    }
+
+    /// Translate a pattern's bound positions to local ids; a miss means
+    /// the pattern matches nothing in this shard.
+    fn localize_pattern(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Option<(Option<TermId>, Option<TermId>, Option<TermId>)> {
+        let lift = |g: Option<TermId>| -> Option<Option<TermId>> {
+            match g {
+                Some(g) => self.local(g).map(Some),
+                None => Some(None),
+            }
+        };
+        Some((lift(s)?, lift(p)?, lift(o)?))
+    }
+
+    fn scan_global(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
+        match self.localize_pattern(s, p, o) {
+            Some((ls, lp, lo)) => self
+                .store
+                .scan(ls, lp, lo)
+                .into_iter()
+                .map(|t| self.globalize(t))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn count_global(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        match self.localize_pattern(s, p, o) {
+            Some((ls, lp, lo)) => self.store.count(ls, lp, lo),
+            None => 0,
+        }
+    }
+
+    fn scan_in_global(
+        &self,
+        graph: TermId,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        let Some(g) = self.local(graph) else {
+            return Vec::new();
+        };
+        match self.localize_pattern(s, p, o) {
+            Some((ls, lp, lo)) => self
+                .store
+                .scan_in(g, ls, lp, lo)
+                .into_iter()
+                .map(|t| self.globalize(t))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn graph_ids_global(&self) -> Vec<TermId> {
+        self.store
+            .graph_ids()
+            .into_iter()
+            .map(|g| self.global(g))
+            .collect()
+    }
+
+    /// Rebuild the id translation from the inner store's recovered
+    /// triples (durable reopen: shard-local ids are fresh).
+    fn rebuild_translation(&mut self, interner: &SharedInterner) {
+        let map_local = |state: &mut ShardState, l: TermId| {
+            let idx = l.0 as usize;
+            if idx < state.to_global.len() && state.to_global[idx] != UNMAPPED {
+                return;
+            }
+            let g = interner.intern(state.store.resolve(l));
+            state.map_pair(g, l);
+        };
+        for (s, p, o) in self.store.scan(None, None, None) {
+            for id in [s, p, o] {
+                map_local(self, id);
+            }
+        }
+        for g in self.store.graph_ids() {
+            map_local(self, g);
+            for (s, p, o) in self.store.scan_in(g, None, None, None) {
+                for id in [s, p, o] {
+                    map_local(self, id);
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- fan-out reads --
+
+fn fan_scan<'g>(
+    states: impl Iterator<Item = &'g ShardState>,
+    s: Option<TermId>,
+    p: Option<TermId>,
+    o: Option<TermId>,
+) -> Vec<Triple> {
+    // Shards are visited in index order and each shard's results are
+    // deterministic, so the merged order is deterministic for a given
+    // store content — no re-sort needed on the probe hot path.
+    let mut out = Vec::new();
+    for state in states {
+        out.extend(state.scan_global(s, p, o));
+    }
+    out
+}
+
+fn fan_count<'g>(
+    states: impl Iterator<Item = &'g ShardState>,
+    s: Option<TermId>,
+    p: Option<TermId>,
+    o: Option<TermId>,
+) -> usize {
+    states.map(|state| state.count_global(s, p, o)).sum()
+}
+
+fn fan_scan_in<'g>(
+    states: impl Iterator<Item = &'g ShardState>,
+    graph: TermId,
+    s: Option<TermId>,
+    p: Option<TermId>,
+    o: Option<TermId>,
+) -> Vec<Triple> {
+    let mut out = Vec::new();
+    for state in states {
+        out.extend(state.scan_in_global(graph, s, p, o));
+    }
+    out
+}
+
+/// Non-empty named graphs across shards: `(name, global id)` pairs,
+/// deduplicated (a graph may have tags on several shards) and sorted by
+/// name for a deterministic enumeration order. Dedup happens at the id
+/// level — global ids are unique per term — so each unique graph is
+/// resolved and cloned once, not once per shard.
+fn fan_graphs<'g>(
+    states: impl Iterator<Item = &'g ShardState>,
+    interner: &SharedInterner,
+) -> Vec<(Term, TermId)> {
+    let mut ids: BTreeSet<TermId> = BTreeSet::new();
+    for state in states {
+        ids.extend(state.graph_ids_global());
+    }
+    let mut graphs: Vec<(Term, TermId)> = ids
+        .into_iter()
+        .map(|g| (interner.resolve(g).clone(), g))
+        .collect();
+    graphs.sort();
+    graphs
+}
+
+// -------------------------------------------------------------- the store --
+
+/// Per-shard size summary (see [`ShardedStore::shard_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Default-graph triples stored on the shard.
+    pub triples: usize,
+    /// Non-empty named graphs with tags on the shard.
+    pub graphs: usize,
+}
+
+const META_FILE: &str = "sharded.meta";
+const META_MAGIC: &str = "galo-sharded v1";
+
+/// A sharded [`TripleStore`]: N inner stores behind per-shard locks.
+///
+/// Implements the full `TripleStore` contract (so it drops into
+/// `FusekiLite::with_backend` / `KnowledgeBase::with_backend` like any
+/// other backend), and additionally exposes the concurrent `&self` API
+/// the sharded `FusekiLite` paths use: [`insert_terms_batch`] /
+/// [`remove_terms_batch`] / [`insert_terms_batch_in`] lock only the
+/// shards a batch routes to, and [`read_session`] / [`write_session`]
+/// provide whole-store transactions.
+///
+/// [`insert_terms_batch`]: Self::insert_terms_batch
+/// [`remove_terms_batch`]: Self::remove_terms_batch
+/// [`insert_terms_batch_in`]: Self::insert_terms_batch_in
+/// [`read_session`]: Self::read_session
+/// [`write_session`]: Self::write_session
+pub struct ShardedStore {
+    interner: SharedInterner,
+    router: Box<dyn ShardRouter>,
+    shards: Vec<RwLock<ShardState>>,
+}
+
+impl fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("router", &self.router)
+            .field("interner", &self.interner)
+            .finish()
+    }
+}
+
+impl ShardedStore {
+    /// An in-memory sharded store over `shards` [`IndexedStore`]s with
+    /// the default [`TemplateRouter`].
+    pub fn new(shards: usize) -> Self {
+        Self::with_router(shards, Box::<TemplateRouter>::default())
+    }
+
+    /// [`new`](Self::new) with an explicit routing policy.
+    pub fn with_router(shards: usize, router: Box<dyn ShardRouter>) -> Self {
+        assert!(shards >= 1, "a sharded store needs at least one shard");
+        ShardedStore {
+            interner: SharedInterner::new(),
+            router,
+            shards: (0..shards)
+                .map(|_| RwLock::new(ShardState::fresh(Box::<IndexedStore>::default())))
+                .collect(),
+        }
+    }
+
+    /// Open (or create) a durable sharded store: one
+    /// [`DurableStore`] WAL+snapshot directory per shard under `dir`,
+    /// recovered in parallel, with the default router and options.
+    pub fn open_durable(dir: impl AsRef<Path>, shards: usize) -> io::Result<Self> {
+        Self::open_durable_with(
+            dir,
+            shards,
+            DurableOptions::default(),
+            Box::<TemplateRouter>::default(),
+        )
+    }
+
+    /// [`open_durable`](Self::open_durable) with explicit per-shard
+    /// [`DurableOptions`] and router. The shard count and router name are
+    /// persisted in `sharded.meta` on first open and validated on every
+    /// later one: reopening under a different partitioning would strand
+    /// triples on shards their router no longer routes to, so a mismatch
+    /// is a loud error, never silent misplacement.
+    pub fn open_durable_with(
+        dir: impl AsRef<Path>,
+        shards: usize,
+        options: DurableOptions,
+        router: Box<dyn ShardRouter>,
+    ) -> io::Result<Self> {
+        assert!(shards >= 1, "a sharded store needs at least one shard");
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let meta_path = dir.join(META_FILE);
+        match fs::read_to_string(&meta_path) {
+            Ok(meta) => validate_meta(&meta, shards, router.as_ref(), dir)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // Same write discipline as snapshots (temp + fsync +
+                // atomic rename): a crash mid-write must not leave a
+                // truncated meta file that bricks an otherwise fully
+                // recoverable store.
+                let tmp = dir.join(".sharded.meta.tmp");
+                {
+                    use std::io::Write;
+                    let mut f = fs::File::create(&tmp)?;
+                    f.write_all(
+                        format!("{META_MAGIC}\nshards {shards}\nrouter {}\n", router.name())
+                            .as_bytes(),
+                    )?;
+                    f.sync_all()?;
+                }
+                fs::rename(&tmp, &meta_path)?;
+            }
+            Err(e) => return Err(e),
+        }
+        let interner = SharedInterner::new();
+        // Recover every shard in parallel: open (snapshot load + log
+        // replay) and global-id translation rebuild are per-shard work;
+        // the shared interner is internally synchronized.
+        let states = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|k| {
+                    let shard_dir = dir.join(format!("shard-{k:04}"));
+                    let options = options.clone();
+                    let interner = &interner;
+                    scope.spawn(move || -> io::Result<ShardState> {
+                        let store = DurableStore::open_with(shard_dir, options)?;
+                        let mut state = ShardState::fresh(Box::new(store));
+                        state.rebuild_translation(interner);
+                        Ok(state)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard recovery must not panic"))
+                .collect::<io::Result<Vec<_>>>()
+        })?;
+        Ok(ShardedStore {
+            interner,
+            router,
+            shards: states.into_iter().map(RwLock::new).collect(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard triple and named-graph counts (placement diagnostics).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, lock)| {
+                let state = lock.read();
+                ShardStats {
+                    shard,
+                    triples: state.store.len(),
+                    graphs: state.store.graph_ids().len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Route an interned triple through the placement policy.
+    fn route_global(&self, t: Triple) -> usize {
+        self.router.route(
+            self.shards.len(),
+            self.interner.resolve(t.0),
+            self.interner.resolve(t.1),
+            self.interner.resolve(t.2),
+        )
+    }
+
+    /// Take read locks on every shard, in index order, and expose the
+    /// store as one consistent [`TripleStore`] view. Concurrent read
+    /// sessions coexist; writers wait.
+    pub fn read_session(&self) -> ShardedReadSession<'_> {
+        ShardedReadSession {
+            owner: self,
+            guards: self.shards.iter().map(|s| s.read()).collect(),
+        }
+    }
+
+    /// Take write locks on every shard (a whole-store transaction, used
+    /// for `import`/`update`-style exclusive rewrites).
+    pub fn write_session(&self) -> ShardedWriteSession<'_> {
+        ShardedWriteSession {
+            owner: self,
+            guards: self.shards.iter().map(|s| s.write()).collect(),
+        }
+    }
+
+    /// Insert a batch of term triples, locking **only the shards the
+    /// batch routes to** — concurrent writers whose batches land on
+    /// different shards proceed in parallel. Each touched shard gets one
+    /// group-commit bracket (one journal flush per shard per batch on a
+    /// durable backend). Returns how many triples were new.
+    pub fn insert_terms_batch(
+        &self,
+        triples: impl IntoIterator<Item = (Term, Term, Term)>,
+    ) -> usize {
+        let mut routed: Vec<Vec<Triple>> = vec![Vec::new(); self.shards.len()];
+        for (s, p, o) in triples {
+            let k = self.router.route(self.shards.len(), &s, &p, &o);
+            routed[k].push((
+                self.interner.intern(&s),
+                self.interner.intern(&p),
+                self.interner.intern(&o),
+            ));
+        }
+        let mut added = 0;
+        for (k, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[k].write();
+            shard.store.begin_batch();
+            for t in batch {
+                if shard.insert_global(t, &self.interner) {
+                    added += 1;
+                }
+            }
+            shard.store.end_batch();
+        }
+        added
+    }
+
+    /// Batched named-graph tagging, routed like
+    /// [`insert_terms_batch`](Self::insert_terms_batch) (by subject, so a
+    /// template's tag lives with its triples).
+    pub fn insert_terms_batch_in(
+        &self,
+        graph: Term,
+        triples: impl IntoIterator<Item = (Term, Term, Term)>,
+    ) -> usize {
+        let g = self.interner.intern(&graph);
+        let mut routed: Vec<Vec<Triple>> = vec![Vec::new(); self.shards.len()];
+        for (s, p, o) in triples {
+            let k = self.router.route(self.shards.len(), &s, &p, &o);
+            routed[k].push((
+                self.interner.intern(&s),
+                self.interner.intern(&p),
+                self.interner.intern(&o),
+            ));
+        }
+        let mut added = 0;
+        for (k, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[k].write();
+            shard.store.begin_batch();
+            for t in batch {
+                if shard.insert_in_global(g, t, &self.interner) {
+                    added += 1;
+                }
+            }
+            shard.store.end_batch();
+        }
+        added
+    }
+
+    /// Batched removal, locking only the routed shards. Returns how many
+    /// triples were present.
+    pub fn remove_terms_batch(
+        &self,
+        triples: impl IntoIterator<Item = (Term, Term, Term)>,
+    ) -> usize {
+        let mut routed: Vec<Vec<Triple>> = vec![Vec::new(); self.shards.len()];
+        for (s, p, o) in triples {
+            let ids = (
+                self.interner.get(&s),
+                self.interner.get(&p),
+                self.interner.get(&o),
+            );
+            let (Some(si), Some(pi), Some(oi)) = ids else {
+                continue; // a never-interned term cannot be stored
+            };
+            let k = self.router.route(self.shards.len(), &s, &p, &o);
+            routed[k].push((si, pi, oi));
+        }
+        let mut removed = 0;
+        for (k, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[k].write();
+            shard.store.begin_batch();
+            for t in batch {
+                if shard.remove_global(t) {
+                    removed += 1;
+                }
+            }
+            shard.store.end_batch();
+        }
+        removed
+    }
+
+    /// Checkpoint every shard, fanned out across threads (each shard's
+    /// snapshot write + log rotation is independent I/O). First error
+    /// wins; other shards still finish their compaction.
+    pub fn compact_all(&self) -> io::Result<()> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard.write().store.compact()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard compaction must not panic"))
+                .collect::<io::Result<Vec<()>>>()
+        })?;
+        Ok(())
+    }
+
+    /// Momentary all-shard read guards for the per-call trait reads.
+    fn guards(&self) -> Vec<RwLockReadGuard<'_, ShardState>> {
+        self.shards.iter().map(|s| s.read()).collect()
+    }
+}
+
+/// Validate a `sharded.meta` file against the requested configuration.
+fn validate_meta(
+    meta: &str,
+    shards: usize,
+    router: &dyn ShardRouter,
+    dir: &Path,
+) -> io::Result<()> {
+    let err = |detail: String| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("sharded store at {}: {detail}", dir.display()),
+        )
+    };
+    let mut lines = meta.lines();
+    if lines.next() != Some(META_MAGIC) {
+        return Err(err("unrecognized meta header".to_string()));
+    }
+    let mut stored_shards = None;
+    let mut stored_router = None;
+    for line in lines {
+        if let Some(n) = line.strip_prefix("shards ") {
+            stored_shards = n.trim().parse::<usize>().ok();
+        } else if let Some(r) = line.strip_prefix("router ") {
+            stored_router = Some(r.trim().to_string());
+        }
+    }
+    let stored = stored_shards.ok_or_else(|| err("meta file lacks a shard count".into()))?;
+    if stored != shards {
+        return Err(err(format!(
+            "created with {stored} shard(s) but opened with {shards} — \
+             placement would silently miss existing triples"
+        )));
+    }
+    let stored_router = stored_router.ok_or_else(|| err("meta file lacks a router name".into()))?;
+    if stored_router != router.name() {
+        return Err(err(format!(
+            "created with router '{stored_router}' but opened with '{}'",
+            router.name()
+        )));
+    }
+    Ok(())
+}
+
+impl TripleStore for ShardedStore {
+    fn intern(&mut self, term: Term) -> TermId {
+        self.interner.intern(&term)
+    }
+
+    fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    fn resolve(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    fn insert_ids(&mut self, t: Triple) -> bool {
+        let k = self.route_global(t);
+        self.shards[k].write().insert_global(t, &self.interner)
+    }
+
+    fn remove_ids(&mut self, t: Triple) -> bool {
+        let k = self.route_global(t);
+        self.shards[k].write().remove_global(t)
+    }
+
+    fn clear(&mut self) {
+        for shard in &self.shards {
+            shard.write().store.clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().store.len()).sum()
+    }
+
+    fn scan(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
+        let guards = self.guards();
+        fan_scan(guards.iter().map(|g| &**g), s, p, o)
+    }
+
+    fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        let guards = self.guards();
+        fan_count(guards.iter().map(|g| &**g), s, p, o)
+    }
+
+    fn graph_names(&self) -> Vec<Term> {
+        let guards = self.guards();
+        fan_graphs(guards.iter().map(|g| &**g), &self.interner)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect()
+    }
+
+    fn graph_ids(&self) -> Vec<TermId> {
+        let guards = self.guards();
+        fan_graphs(guards.iter().map(|g| &**g), &self.interner)
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect()
+    }
+
+    fn insert_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
+        let k = self.route_global(t);
+        self.shards[k]
+            .write()
+            .insert_in_global(graph, t, &self.interner)
+    }
+
+    fn remove_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
+        let k = self.route_global(t);
+        self.shards[k].write().remove_in_global(graph, t)
+    }
+
+    fn scan_in(
+        &self,
+        graph: TermId,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        let guards = self.guards();
+        fan_scan_in(guards.iter().map(|g| &**g), graph, s, p, o)
+    }
+
+    fn compact(&mut self) -> io::Result<()> {
+        self.compact_all()
+    }
+
+    fn begin_batch(&mut self) {
+        for shard in &self.shards {
+            shard.write().store.begin_batch();
+        }
+    }
+
+    fn end_batch(&mut self) {
+        for shard in &self.shards {
+            shard.write().store.end_batch();
+        }
+    }
+}
+
+// -------------------------------------------------------------- sessions --
+
+/// All-shard read transaction: holds every shard's read lock (taken in
+/// index order) so [`view`](Self::view) exposes a stable, consistent
+/// [`TripleStore`] over the whole store — the matching engine evaluates
+/// a whole plan's probes under one. Concurrent read sessions coexist;
+/// writers wait. The lock guards live here and the `TripleStore` lives
+/// in the borrowed [`ShardedView`], which is `Send + Sync` (plain
+/// references), so parallel probe workers can share one session.
+pub struct ShardedReadSession<'a> {
+    owner: &'a ShardedStore,
+    guards: Vec<RwLockReadGuard<'a, ShardState>>,
+}
+
+impl fmt::Debug for ShardedReadSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardedReadSession({} shards)", self.guards.len())
+    }
+}
+
+impl ShardedReadSession<'_> {
+    /// The session's `TripleStore` view.
+    pub fn view(&self) -> ShardedView<'_> {
+        ShardedView {
+            owner: self.owner,
+            states: self.guards.iter().map(|g| &**g).collect(),
+        }
+    }
+}
+
+/// Read-only `TripleStore` over a [`ShardedReadSession`]'s locked
+/// shards. Mutating methods panic — callers only ever see it behind
+/// `&dyn TripleStore`, so they are unreachable from the public API.
+/// Interning is *not* a store mutation (ids must merely stay stable) and
+/// works.
+pub struct ShardedView<'a> {
+    owner: &'a ShardedStore,
+    states: Vec<&'a ShardState>,
+}
+
+impl fmt::Debug for ShardedView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardedView({} shards)", self.states.len())
+    }
+}
+
+impl TripleStore for ShardedView<'_> {
+    fn intern(&mut self, term: Term) -> TermId {
+        self.owner.interner.intern(&term)
+    }
+
+    fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.owner.interner.get(term)
+    }
+
+    fn resolve(&self, id: TermId) -> &Term {
+        self.owner.interner.resolve(id)
+    }
+
+    fn insert_ids(&mut self, _t: Triple) -> bool {
+        panic!("ShardedView is read-only");
+    }
+
+    fn remove_ids(&mut self, _t: Triple) -> bool {
+        panic!("ShardedView is read-only");
+    }
+
+    fn clear(&mut self) {
+        panic!("ShardedView is read-only");
+    }
+
+    fn len(&self) -> usize {
+        self.states.iter().map(|s| s.store.len()).sum()
+    }
+
+    fn scan(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
+        fan_scan(self.states.iter().copied(), s, p, o)
+    }
+
+    fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        fan_count(self.states.iter().copied(), s, p, o)
+    }
+
+    fn graph_names(&self) -> Vec<Term> {
+        fan_graphs(self.states.iter().copied(), &self.owner.interner)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect()
+    }
+
+    fn graph_ids(&self) -> Vec<TermId> {
+        fan_graphs(self.states.iter().copied(), &self.owner.interner)
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect()
+    }
+
+    fn insert_ids_in(&mut self, _graph: TermId, _t: Triple) -> bool {
+        panic!("ShardedView is read-only");
+    }
+
+    fn remove_ids_in(&mut self, _graph: TermId, _t: Triple) -> bool {
+        panic!("ShardedView is read-only");
+    }
+
+    fn scan_in(
+        &self,
+        graph: TermId,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        fan_scan_in(self.states.iter().copied(), graph, s, p, o)
+    }
+
+    fn compact(&mut self) -> io::Result<()> {
+        panic!("ShardedView is read-only");
+    }
+}
+
+/// All-shard write transaction: exclusive access for `import`/`update`-
+/// style rewrites that must appear atomic to readers. As with reads, the
+/// guards live in the session and the `TripleStore` in the borrowed
+/// [`ShardedViewMut`].
+pub struct ShardedWriteSession<'a> {
+    owner: &'a ShardedStore,
+    guards: Vec<RwLockWriteGuard<'a, ShardState>>,
+}
+
+impl fmt::Debug for ShardedWriteSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardedWriteSession({} shards)", self.guards.len())
+    }
+}
+
+impl ShardedWriteSession<'_> {
+    /// The session's exclusive `TripleStore` view.
+    pub fn view_mut(&mut self) -> ShardedViewMut<'_> {
+        ShardedViewMut {
+            owner: self.owner,
+            states: self.guards.iter_mut().map(|g| &mut **g).collect(),
+        }
+    }
+}
+
+/// Exclusive `TripleStore` over a [`ShardedWriteSession`]'s locked
+/// shards; mutations route through the owner's [`ShardRouter`] exactly
+/// like the concurrent batch path.
+pub struct ShardedViewMut<'a> {
+    owner: &'a ShardedStore,
+    states: Vec<&'a mut ShardState>,
+}
+
+impl fmt::Debug for ShardedViewMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardedViewMut({} shards)", self.states.len())
+    }
+}
+
+impl ShardedViewMut<'_> {
+    fn route(&self, t: Triple) -> usize {
+        self.owner.route_global(t)
+    }
+}
+
+impl TripleStore for ShardedViewMut<'_> {
+    fn intern(&mut self, term: Term) -> TermId {
+        self.owner.interner.intern(&term)
+    }
+
+    fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.owner.interner.get(term)
+    }
+
+    fn resolve(&self, id: TermId) -> &Term {
+        self.owner.interner.resolve(id)
+    }
+
+    fn insert_ids(&mut self, t: Triple) -> bool {
+        let k = self.route(t);
+        self.states[k].insert_global(t, &self.owner.interner)
+    }
+
+    fn remove_ids(&mut self, t: Triple) -> bool {
+        let k = self.route(t);
+        self.states[k].remove_global(t)
+    }
+
+    fn clear(&mut self) {
+        for state in &mut self.states {
+            state.store.clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.states.iter().map(|s| s.store.len()).sum()
+    }
+
+    fn scan(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
+        fan_scan(self.states.iter().map(|s| &**s), s, p, o)
+    }
+
+    fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        fan_count(self.states.iter().map(|s| &**s), s, p, o)
+    }
+
+    fn graph_names(&self) -> Vec<Term> {
+        fan_graphs(self.states.iter().map(|s| &**s), &self.owner.interner)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect()
+    }
+
+    fn graph_ids(&self) -> Vec<TermId> {
+        fan_graphs(self.states.iter().map(|s| &**s), &self.owner.interner)
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect()
+    }
+
+    fn insert_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
+        let k = self.route(t);
+        self.states[k].insert_in_global(graph, t, &self.owner.interner)
+    }
+
+    fn remove_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
+        let k = self.route(t);
+        self.states[k].remove_in_global(graph, t)
+    }
+
+    fn scan_in(
+        &self,
+        graph: TermId,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        fan_scan_in(self.states.iter().map(|s| &**s), graph, s, p, o)
+    }
+
+    fn compact(&mut self) -> io::Result<()> {
+        for state in &mut self.states {
+            state.store.compact()?;
+        }
+        Ok(())
+    }
+
+    fn begin_batch(&mut self) {
+        for state in &mut self.states {
+            state.store.begin_batch();
+        }
+    }
+
+    fn end_batch(&mut self) {
+        for state in &mut self.states {
+            state.store.end_batch();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::ScratchDir;
+    use crate::store::ScanStore;
+    use std::collections::BTreeSet;
+
+    fn tpl_iri(id: u32) -> Term {
+        Term::iri(format!("http://galo/kb/template/{id:016x}"))
+    }
+
+    fn pop_iri(id: u32, op: u32) -> Term {
+        Term::iri(format!("http://galo/kb/template/{id:016x}/pop/{op}"))
+    }
+
+    fn prop(name: &str) -> Term {
+        Term::iri(format!("http://galo/qep/property/{name}"))
+    }
+
+    /// ~6 template-shaped triples plus one workload tag.
+    fn template_triples(id: u32) -> Vec<(Term, Term, Term)> {
+        let tnode = tpl_iri(id);
+        let mut out = vec![(tnode.clone(), prop("hasJoinCount"), Term::num(1.0))];
+        for op in 0..2u32 {
+            let me = pop_iri(id, op);
+            out.push((me.clone(), prop("inTemplate"), tnode.clone()));
+            out.push((me.clone(), prop("hasPopType"), Term::lit("NLJOIN")));
+            out.push((me, prop("hasLowerCardinality"), Term::num(op as f64)));
+        }
+        out
+    }
+
+    #[test]
+    fn template_router_colocates_whole_templates() {
+        let store = ShardedStore::new(4);
+        for id in 0..32u32 {
+            store.insert_terms_batch(template_triples(id));
+            store.insert_terms_batch_in(
+                Term::iri("http://galo/kb/graph/workload/w"),
+                [(tpl_iri(id), prop("hasProblemFingerprint"), Term::lit("fp"))],
+            );
+        }
+        // Every template's triples and its tag live on exactly one shard.
+        for id in 0..32u32 {
+            let expected = {
+                let s = tpl_iri(id);
+                let p = prop("x");
+                store.router.route(4, &s, &p, &p)
+            };
+            let tid = store.interner.get(&tpl_iri(id)).expect("interned");
+            for (k, shard) in store.shards.iter().enumerate() {
+                let state = shard.read();
+                let here = state.count_global(None, None, Some(tid));
+                if k == expected {
+                    assert!(here > 0, "template {id} missing from its shard");
+                } else {
+                    assert_eq!(here, 0, "template {id} leaked to shard {k}");
+                }
+            }
+        }
+        // With 32 templates over 4 shards, no shard is empty.
+        let stats = store.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert!(stats.iter().all(|s| s.triples > 0), "{stats:?}");
+        assert_eq!(
+            stats.iter().map(|s| s.triples).sum::<usize>(),
+            store.shards.iter().map(|s| s.read().store.len()).sum()
+        );
+    }
+
+    #[test]
+    fn sharded_store_answers_all_patterns_like_scan_reference() {
+        let mut sharded = ShardedStore::new(3);
+        let mut reference = ScanStore::new();
+        for id in 0..8u32 {
+            for (s, p, o) in template_triples(id) {
+                sharded.insert(s.clone(), p.clone(), o.clone());
+                reference.insert(s, p, o);
+            }
+        }
+        assert_eq!(sharded.len(), reference.len());
+        let image = |st: &dyn TripleStore| -> BTreeSet<(Term, Term, Term)> {
+            st.iter_terms()
+                .map(|(s, p, o)| (s.clone(), p.clone(), o.clone()))
+                .collect()
+        };
+        assert_eq!(image(&sharded), image(&reference));
+        // Bound-pattern checks through the trait.
+        let p = sharded.term_id(&prop("inTemplate")).unwrap();
+        assert_eq!(sharded.scan(None, Some(p), None).len(), 16);
+        assert_eq!(sharded.count(None, Some(p), None), 16);
+        let s = sharded.term_id(&pop_iri(3, 0)).unwrap();
+        assert_eq!(sharded.scan(Some(s), None, None).len(), 3);
+        let o = sharded.term_id(&tpl_iri(3)).unwrap();
+        assert_eq!(sharded.count(Some(s), Some(p), Some(o)), 1);
+        assert!(sharded.remove(&pop_iri(3, 0), &prop("inTemplate"), &tpl_iri(3)));
+        assert_eq!(sharded.count(Some(s), Some(p), Some(o)), 0);
+    }
+
+    #[test]
+    fn named_graphs_union_and_dedupe_across_shards() {
+        let store = ShardedStore::new(4);
+        let g = Term::iri("http://galo/kb/graph/workload/w");
+        // Tags whose subjects route to different shards, same graph.
+        for id in 0..16u32 {
+            store.insert_terms_batch_in(
+                g.clone(),
+                [(tpl_iri(id), prop("hasProblemFingerprint"), Term::lit("fp"))],
+            );
+        }
+        let session = store.read_session();
+        let view = session.view();
+        assert_eq!(view.graph_names(), vec![g.clone()]);
+        assert_eq!(view.graph_ids().len(), 1);
+        let gid = view.term_id(&g).unwrap();
+        assert_eq!(view.scan_in(gid, None, None, None).len(), 16);
+        // Default graph stays empty (tags are disjoint).
+        assert_eq!(view.len(), 0);
+    }
+
+    #[test]
+    fn write_session_routes_like_the_concurrent_path() {
+        let store = ShardedStore::new(4);
+        {
+            let mut session = store.write_session();
+            let mut view = session.view_mut();
+            for id in 0..8u32 {
+                for (s, p, o) in template_triples(id) {
+                    view.insert(s, p, o);
+                }
+            }
+        }
+        // Same content via the batched path lands identically.
+        let other = ShardedStore::new(4);
+        for id in 0..8u32 {
+            other.insert_terms_batch(template_triples(id));
+        }
+        assert_eq!(
+            store.shard_stats().iter().map(|s| s.triples).sum::<usize>(),
+            other.shard_stats().iter().map(|s| s.triples).sum::<usize>(),
+        );
+        for (a, b) in store.shard_stats().iter().zip(other.shard_stats().iter()) {
+            assert_eq!(a, b, "placement must be deterministic");
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_lose_nothing() {
+        // 4 writer threads inserting disjoint template sets through the
+        // concurrent path while 2 readers scan; afterwards the store
+        // must equal a sequentially-built ScanStore oracle.
+        let store = ShardedStore::new(4);
+        let writers = 4u32;
+        let per_writer = 25u32;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        let id = w * per_writer + i;
+                        store.insert_terms_batch(template_triples(id));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut last = 0usize;
+                    for _ in 0..50 {
+                        let session = store.read_session();
+                        let now = session.view().len();
+                        assert!(now >= last, "triple count must grow monotonically");
+                        last = now;
+                        drop(session);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        let mut oracle = ScanStore::new();
+        for id in 0..writers * per_writer {
+            for (s, p, o) in template_triples(id) {
+                oracle.insert(s, p, o);
+            }
+        }
+        assert_eq!(store.len(), oracle.len(), "no lost updates");
+        let image = |st: &dyn TripleStore| -> BTreeSet<(Term, Term, Term)> {
+            st.iter_terms()
+                .map(|(s, p, o)| (s.clone(), p.clone(), o.clone()))
+                .collect()
+        };
+        let session = store.read_session();
+        let view = session.view();
+        assert_eq!(image(&view), image(&oracle));
+    }
+
+    #[test]
+    fn durable_shards_persist_and_recover() {
+        let dir = ScratchDir::new("shard-durable");
+        let before;
+        {
+            let store = ShardedStore::open_durable(dir.path(), 4).unwrap();
+            for id in 0..16u32 {
+                store.insert_terms_batch(template_triples(id));
+                store.insert_terms_batch_in(
+                    Term::iri("http://galo/kb/graph/workload/w"),
+                    [(tpl_iri(id), prop("hasProblemFingerprint"), Term::lit("fp"))],
+                );
+            }
+            before = store.shard_stats();
+            store.compact_all().unwrap();
+        }
+        let store = ShardedStore::open_durable(dir.path(), 4).unwrap();
+        assert_eq!(store.shard_stats(), before, "per-shard recovery is exact");
+        let session = store.read_session();
+        let view = session.view();
+        let p = view.term_id(&prop("inTemplate")).unwrap();
+        assert_eq!(view.scan(None, Some(p), None).len(), 32);
+        assert_eq!(view.graph_names().len(), 1);
+    }
+
+    #[test]
+    fn torn_wal_on_one_shard_recovers_other_shards_fully() {
+        let dir = ScratchDir::new("shard-torn");
+        let stats_before;
+        {
+            let store = ShardedStore::open_durable(dir.path(), 4).unwrap();
+            for id in 0..16u32 {
+                store.insert_terms_batch(template_triples(id));
+            }
+            stats_before = store.shard_stats();
+        }
+        // Tear the newest WAL of shard 2 mid-record.
+        let shard_dir = dir.path().join("shard-0002");
+        let mut wals: Vec<_> = fs::read_dir(&shard_dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-"))
+            })
+            .collect();
+        wals.sort();
+        let wal = wals.pop().expect("shard 2 has a wal");
+        let len = fs::metadata(&wal).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(len - 9).unwrap();
+        drop(f);
+        let store = ShardedStore::open_durable(dir.path(), 4).unwrap();
+        let stats_after = store.shard_stats();
+        for (b, a) in stats_before.iter().zip(stats_after.iter()) {
+            if b.shard == 2 {
+                assert!(
+                    a.triples < b.triples,
+                    "shard 2 must have dropped its torn tail"
+                );
+                assert!(a.triples > 0, "committed prefix survives");
+            } else {
+                assert_eq!(a, b, "untouched shards recover fully");
+            }
+        }
+    }
+
+    #[test]
+    fn reopening_with_wrong_partitioning_is_a_loud_error() {
+        let dir = ScratchDir::new("shard-meta");
+        {
+            let store = ShardedStore::open_durable(dir.path(), 4).unwrap();
+            store.insert_terms_batch(template_triples(1));
+        }
+        let err = ShardedStore::open_durable(dir.path(), 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("4 shard(s)"), "{err}");
+        let err = ShardedStore::open_durable_with(
+            dir.path(),
+            4,
+            DurableOptions::default(),
+            Box::new(HashRouter),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("router"), "{err}");
+        // The matching configuration still opens.
+        assert!(ShardedStore::open_durable(dir.path(), 4).is_ok());
+    }
+
+    #[test]
+    fn single_shard_behaves_like_a_plain_store() {
+        let mut sharded = ShardedStore::new(1);
+        let mut reference = IndexedStore::new();
+        for id in 0..6u32 {
+            for (s, p, o) in template_triples(id) {
+                assert_eq!(
+                    sharded.insert(s.clone(), p.clone(), o.clone()),
+                    reference.insert(s, p, o)
+                );
+            }
+        }
+        assert_eq!(sharded.len(), reference.len());
+        let p = sharded.term_id(&prop("hasPopType")).unwrap();
+        let rp = reference.term_id(&prop("hasPopType")).unwrap();
+        assert_eq!(
+            sharded.scan(None, Some(p), None).len(),
+            reference.scan(None, Some(rp), None).len()
+        );
+    }
+
+    #[test]
+    fn clear_empties_every_shard_but_keeps_ids_valid() {
+        let mut store = ShardedStore::new(3);
+        for id in 0..6u32 {
+            for (s, p, o) in template_triples(id) {
+                store.insert(s, p, o);
+            }
+        }
+        let tid = store.term_id(&tpl_iri(1)).unwrap();
+        store.clear();
+        assert_eq!(store.len(), 0);
+        assert!(store.graph_names().is_empty());
+        assert_eq!(store.term_id(&tpl_iri(1)), Some(tid), "ids survive clear");
+        // The store is reusable after a clear.
+        store.insert_terms_batch(template_triples(1));
+        assert_eq!(store.len(), template_triples(1).len());
+    }
+
+    #[test]
+    fn shared_interner_is_stable_under_concurrent_interning() {
+        let store = ShardedStore::new(2);
+        let ids: Vec<Vec<TermId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let store = &store;
+                    scope.spawn(move || {
+                        (0..200u32)
+                            .map(|i| store.interner.intern(&tpl_iri(i % 50)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every thread saw the same id for the same term.
+        for thread_ids in &ids[1..] {
+            assert_eq!(thread_ids, &ids[0]);
+        }
+        // And resolution round-trips.
+        for (i, &id) in ids[0].iter().enumerate() {
+            assert_eq!(store.interner.resolve(id), &tpl_iri(i as u32 % 50));
+        }
+    }
+}

@@ -94,6 +94,17 @@ pub trait TripleStore: fmt::Debug + Send + Sync {
         o: Option<TermId>,
     ) -> Vec<Triple>;
 
+    /// Interned ids of all non-empty named graphs, in the same order as
+    /// [`graph_names`](Self::graph_names). The sharded backend uses this
+    /// to enumerate a shard's graphs without resolving through the
+    /// shard-local interner.
+    fn graph_ids(&self) -> Vec<TermId> {
+        self.graph_names()
+            .iter()
+            .filter_map(|g| self.term_id(g))
+            .collect()
+    }
+
     // ---- maintenance ----
 
     /// Checkpoint the store's durable state, if it has any. The in-memory
@@ -105,6 +116,19 @@ pub trait TripleStore: fmt::Debug + Send + Sync {
     fn compact(&mut self) -> std::io::Result<()> {
         Ok(())
     }
+
+    /// Hint that a batch of mutations follows. A durable backend may
+    /// defer per-record flushing until [`end_batch`](Self::end_batch)
+    /// (group commit: one flush per batch instead of per record); the
+    /// in-memory backends ignore it. Balanced by `end_batch`; callers
+    /// like `FusekiLite::insert_triples` bracket every write transaction
+    /// with the pair.
+    fn begin_batch(&mut self) {}
+
+    /// End a mutation batch: a durable backend flushes the journal here
+    /// and must fail-stop if the flush fails (writes in the batch were
+    /// already acknowledged to the in-memory image). No-op by default.
+    fn end_batch(&mut self) {}
 
     // ---- provided term-level API ----
 
@@ -186,6 +210,14 @@ impl NamedGraphs {
             .iter()
             .filter(|(_, triples)| !triples.is_empty())
             .map(|(&g, _)| resolve(g))
+            .collect()
+    }
+
+    fn ids(&self) -> Vec<TermId> {
+        self.graphs
+            .iter()
+            .filter(|(_, triples)| !triples.is_empty())
+            .map(|(&g, _)| g)
             .collect()
     }
 
@@ -376,6 +408,10 @@ impl TripleStore for IndexedStore {
         self.named.names(|g| self.interner.resolve(g).clone())
     }
 
+    fn graph_ids(&self) -> Vec<TermId> {
+        self.named.ids()
+    }
+
     fn insert_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
         self.named.insert(graph, t)
     }
@@ -465,6 +501,10 @@ impl TripleStore for ScanStore {
 
     fn graph_names(&self) -> Vec<Term> {
         self.named.names(|g| self.interner.resolve(g).clone())
+    }
+
+    fn graph_ids(&self) -> Vec<TermId> {
+        self.named.ids()
     }
 
     fn insert_ids_in(&mut self, graph: TermId, t: Triple) -> bool {
