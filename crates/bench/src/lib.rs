@@ -379,6 +379,27 @@ pub fn problem_queries() -> Vec<(String, Workload)> {
     ]
 }
 
+/// The TPC-DS problem queries of [`problem_queries`] combined into one
+/// multi-query workload — the learner-cluster scenarios' input: several
+/// independent problem patterns over one database, whose mining space a
+/// cluster of learner machines splits.
+pub fn problem_workload() -> Workload {
+    let mut db = None;
+    let mut queries = Vec::new();
+    for (_, w) in problem_queries() {
+        if w.name != "tpcds" {
+            continue;
+        }
+        db.get_or_insert(w.db);
+        queries.extend(w.queries);
+    }
+    Workload {
+        name: "tpcds".into(),
+        db: db.expect("problem_queries always includes tpcds scenarios"),
+        queries,
+    }
+}
+
 /// Comparative study row: one problem pattern, expert vs GALO.
 #[derive(Debug)]
 pub struct StudyRow {

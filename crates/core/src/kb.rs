@@ -193,18 +193,50 @@ struct IndexedPop {
     cardinality: Range,
 }
 
-/// shape signature -> template IRI -> indexed operator summaries, ordered
+/// One template's signature-index entry: its per-operator summaries plus
+/// the workload dataset it was learned from, so dataset-scoped matching
+/// filters candidates without touching the triple store.
+#[derive(Debug, Clone)]
+struct IndexedTemplate {
+    /// Source workload (the template's first-class dataset; empty when
+    /// the template was stored without one).
+    workload: String,
+    pops: Vec<IndexedPop>,
+}
+
+/// shape signature -> template IRI -> indexed template summary, ordered
 /// so candidate iteration (and therefore match tie-breaking) is
 /// deterministic.
-type SigIndex = HashMap<u64, BTreeMap<String, Vec<IndexedPop>>>;
+type SigIndex = HashMap<u64, BTreeMap<String, IndexedTemplate>>;
 
-/// The cardinality pre-check over one template's indexed operators
-/// (margin already clamped to ≥ 1).
-fn admits(pops: &[IndexedPop], checks: &[(&str, f64)], m: f64) -> bool {
+/// The candidate pre-check over one template's index entry: the dataset
+/// filter plus the cardinality check (margin already clamped to ≥ 1).
+fn admits(tpl: &IndexedTemplate, checks: &[(&str, f64)], m: f64, dataset: Option<&str>) -> bool {
+    if dataset.is_some_and(|d| tpl.workload != d) {
+        return false;
+    }
     checks.iter().all(|&(ty, v)| {
-        pops.iter()
+        tpl.pops
+            .iter()
             .any(|p| p.pop_type == ty && p.cardinality.lo <= v * m && p.cardinality.hi >= v / m)
     })
+}
+
+/// Summary of one workload's first-class dataset (see
+/// [`KnowledgeBase::workload_datasets`]): the templates tagged into the
+/// workload's named graph, their distinct structural shapes, and their
+/// mean learned improvement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Workload name (the named graph suffix under the workload-graph
+    /// namespace).
+    pub workload: String,
+    /// Templates tagged into the dataset.
+    pub templates: usize,
+    /// Distinct structural signatures the dataset's templates cover.
+    pub signatures: usize,
+    /// Mean `hasImprovement` over the dataset's templates, in `[0, 1]`.
+    pub avg_improvement: f64,
 }
 
 /// The knowledge base: an RDF endpoint plus template bookkeeping.
@@ -334,19 +366,22 @@ impl KnowledgeBase {
     }
 
     /// Like [`candidate_templates`](Self::candidate_templates), but also
-    /// applies the cardinality pre-check: a candidate survives only if,
-    /// for every `(pop_type, est_card)` the segment will probe with, the
-    /// template has at least one operator of that type whose cardinality
-    /// range admits the value under `margin`. This is a *necessary*
-    /// condition for a match (every probe binds each segment operator to a
-    /// same-typed template operator and tests exactly this range), so the
-    /// pre-check only removes templates the probe would reject anyway —
-    /// without touching the triple store.
+    /// applies the dataset filter and the cardinality pre-check: a
+    /// candidate survives only if it belongs to the `dataset` workload
+    /// (when one is given; `None` spans every dataset) and, for every
+    /// `(pop_type, est_card)` the segment will probe with, the template
+    /// has at least one operator of that type whose cardinality range
+    /// admits the value under `margin`. The cardinality check is a
+    /// *necessary* condition for a match (every probe binds each segment
+    /// operator to a same-typed template operator and tests exactly this
+    /// range), so the pre-check only removes templates the probe would
+    /// reject anyway — without touching the triple store.
     pub fn candidate_templates_admitting(
         &self,
         signature: u64,
         checks: &[(&str, f64)],
         margin: f64,
+        dataset: Option<&str>,
     ) -> Vec<String> {
         let m = margin.max(1.0);
         self.sig_index
@@ -355,7 +390,7 @@ impl KnowledgeBase {
             .get(&signature)
             .map(|tpls| {
                 tpls.iter()
-                    .filter(|(_, pops)| admits(pops, checks, m))
+                    .filter(|(_, tpl)| admits(tpl, checks, m, dataset))
                     .map(|(iri, _)| iri.clone())
                     .collect()
             })
@@ -376,6 +411,7 @@ impl KnowledgeBase {
         signature: u64,
         checks: &[(&str, f64)],
         margin: f64,
+        dataset: Option<&str>,
         after: Option<&str>,
     ) -> Option<String> {
         use std::ops::Bound;
@@ -387,13 +423,14 @@ impl KnowledgeBase {
             None => Bound::Unbounded,
         };
         tpls.range::<str, _>((lower, Bound::Unbounded))
-            .find(|(_, pops)| admits(pops, checks, m))
+            .find(|(_, tpl)| admits(tpl, checks, m, dataset))
             .map(|(iri, _)| iri.clone())
     }
 
     /// True when at least one stored template shares the signature and
-    /// passes the cardinality pre-check. (The matcher itself uses its
-    /// first [`next_candidate_admitting`](Self::next_candidate_admitting)
+    /// passes the dataset filter and cardinality pre-check. (The matcher
+    /// itself uses its first
+    /// [`next_candidate_admitting`](Self::next_candidate_admitting)
     /// pull as the emptiness test; this is the standalone form for
     /// callers that only need the boolean.)
     pub fn any_candidate_admitting(
@@ -401,8 +438,9 @@ impl KnowledgeBase {
         signature: u64,
         checks: &[(&str, f64)],
         margin: f64,
+        dataset: Option<&str>,
     ) -> bool {
-        self.next_candidate_admitting(signature, checks, margin, None)
+        self.next_candidate_admitting(signature, checks, margin, dataset, None)
             .is_some()
     }
 
@@ -432,10 +470,31 @@ impl KnowledgeBase {
         format!("{z:016x}")
     }
 
-    /// Insert a template, serializing it to RDF.
-    pub fn insert(&self, tpl: &Template) {
+    /// Serialize one template to quads: its RDF triples in the default
+    /// graph plus the tagging quad in its workload's named graph (the
+    /// template's dataset membership).
+    fn template_quads(tpl: &Template, quads: &mut Vec<galo_rdf::Quad>) {
+        let mut triples: Vec<(Term, Term, Term)> = Vec::new();
+        Self::template_triples(tpl, &mut triples);
         let tnode = vocab::template_iri(&tpl.id);
-        let mut triples: Vec<(Term, Term, Term)> = vec![
+        quads.extend(triples.into_iter().map(|(s, p, o)| (s, p, o, None)));
+        // Tag the template into its workload's named graph so
+        // per-workload datasets stay enumerable without a default-graph
+        // scan (cross-workload accounting, Exp-2).
+        if !tpl.source_workload.is_empty() {
+            quads.push((
+                tnode,
+                prop(vocab::HAS_PROBLEM_FINGERPRINT),
+                Term::lit(tpl.fingerprint.clone()),
+                Some(vocab::workload_graph_iri(&tpl.source_workload)),
+            ));
+        }
+    }
+
+    /// One template's default-graph triples.
+    fn template_triples(tpl: &Template, triples: &mut Vec<(Term, Term, Term)>) {
+        let tnode = vocab::template_iri(&tpl.id);
+        triples.extend(vec![
             (
                 tnode.clone(),
                 prop(vocab::HAS_GUIDELINE_XML),
@@ -461,7 +520,7 @@ impl KnowledgeBase {
                 prop(vocab::HAS_JOIN_COUNT),
                 Term::num(tpl.join_count as f64),
             ),
-        ];
+        ]);
         for p in &tpl.pops {
             let me = vocab::template_pop_iri(&tpl.id, p.op_id);
             triples.push((me.clone(), prop(vocab::IN_TEMPLATE), tnode.clone()));
@@ -525,35 +584,53 @@ impl KnowledgeBase {
                 }
             }
         }
-        self.server.insert_triples(triples);
-        // Tag the template into its workload's named graph so per-workload
-        // template sets stay enumerable without a default-graph scan
-        // (cross-workload accounting, Exp-2).
-        if !tpl.source_workload.is_empty() {
-            self.server.insert_triples_in(
-                vocab::workload_graph_iri(&tpl.source_workload),
-                [(
-                    tnode.clone(),
-                    prop(vocab::HAS_PROBLEM_FINGERPRINT),
-                    Term::lit(tpl.fingerprint.clone()),
-                )],
-            );
+    }
+
+    /// Insert a template, serializing it to RDF.
+    pub fn insert(&self, tpl: &Template) {
+        self.insert_batch(std::slice::from_ref(tpl));
+    }
+
+    /// Publish a batch of templates in **one** endpoint transaction — the
+    /// append path a learner machine pushes its mined templates through.
+    /// All of the batch's triples (and per-workload dataset tags) go
+    /// through [`FusekiLite::insert_quads`], so a durable backend flushes
+    /// its journal once per batch and a sharded backend locks only the
+    /// shards the templates route to (template-affine: each template's
+    /// triples land write-local on one shard). The signature index is
+    /// updated under a single write lock.
+    ///
+    /// Publication is idempotent and commutative: re-publishing a
+    /// template is a set-semantics no-op, so concurrent learners can
+    /// publish in any interleaving and reach the same knowledge-base
+    /// image. Returns how many quads were new.
+    pub fn insert_batch(&self, templates: &[Template]) -> usize {
+        let mut quads: Vec<galo_rdf::Quad> = Vec::new();
+        for tpl in templates {
+            Self::template_quads(tpl, &mut quads);
         }
-        self.sig_index
-            .write()
-            .expect("signature index lock")
-            .entry(Self::template_signature(tpl))
-            .or_default()
-            .insert(
-                tnode.str_value().to_string(),
-                tpl.pops
-                    .iter()
-                    .map(|p| IndexedPop {
-                        pop_type: p.pop_type.clone(),
-                        cardinality: p.cardinality,
-                    })
-                    .collect(),
-            );
+        let added = self.server.insert_quads(quads);
+        let mut index = self.sig_index.write().expect("signature index lock");
+        for tpl in templates {
+            index
+                .entry(Self::template_signature(tpl))
+                .or_default()
+                .insert(
+                    vocab::template_iri(&tpl.id).str_value().to_string(),
+                    IndexedTemplate {
+                        workload: tpl.source_workload.clone(),
+                        pops: tpl
+                            .pops
+                            .iter()
+                            .map(|p| IndexedPop {
+                                pop_type: p.pop_type.clone(),
+                                cardinality: p.cardinality,
+                            })
+                            .collect(),
+                    },
+                );
+        }
+        added
     }
 
     /// Retract a template: remove its triples (template node, operator
@@ -614,6 +691,11 @@ impl KnowledgeBase {
             vocab::PROP_NS,
             vocab::HAS_JOIN_COUNT
         );
+        let source_query = format!(
+            "PREFIX p: <{}> SELECT ?t ?w WHERE {{ ?t p:{} ?w . }}",
+            vocab::PROP_NS,
+            vocab::HAS_SOURCE_WORKLOAD
+        );
         let pops_query = format!(
             "PREFIX p: <{}> SELECT ?pop ?t ?ty WHERE {{ ?pop p:{} ?t . ?pop p:{} ?ty . }}",
             vocab::PROP_NS,
@@ -636,6 +718,15 @@ impl KnowledgeBase {
                     continue;
                 };
                 join_counts.insert(t.str_value().to_string(), jc as usize);
+            }
+        }
+        let mut sources: HashMap<String, String> = HashMap::new();
+        if let Ok(rs) = self.server.query(&source_query) {
+            for row in 0..rs.len() {
+                let (Some(t), Some(w)) = (rs.get(row, "t"), rs.get(row, "w")) else {
+                    continue;
+                };
+                sources.insert(t.str_value().to_string(), w.str_value().to_string());
             }
         }
         // A pop whose cardinality bounds are missing (hand-crafted via the
@@ -686,7 +777,11 @@ impl KnowledgeBase {
         for (iri, jc) in join_counts {
             let pops = template_pops.remove(&iri).unwrap_or_default();
             let sig = shape_signature(jc, pops.iter().map(|p| p.pop_type.as_str()));
-            index.entry(sig).or_default().insert(iri, pops);
+            let workload = sources.remove(&iri).unwrap_or_default();
+            index
+                .entry(sig)
+                .or_default()
+                .insert(iri, IndexedTemplate { workload, pops });
         }
         *self.sig_index.write().expect("signature index lock") = index;
     }
@@ -740,6 +835,88 @@ impl KnowledgeBase {
                     .map(str::to_string)
             })
             .collect()
+    }
+
+    /// Per-workload dataset summaries, sorted by workload name — the
+    /// named graphs promoted to first-class datasets. Counts and
+    /// improvements come from the stored triples (the dataset's tag graph
+    /// joined with each template's `hasImprovement`); the distinct-shape
+    /// count comes from the signature index.
+    pub fn workload_datasets(&self) -> Vec<DatasetStats> {
+        let improvement = prop(vocab::HAS_IMPROVEMENT);
+        let mut stats: Vec<DatasetStats> = self.server.with_store(|st| {
+            let imp_id = st.term_id(&improvement);
+            // Graph names come from the already-held view — re-entering
+            // the endpoint here would recursively take the store lock.
+            st.graph_names()
+                .into_iter()
+                .filter_map(|g| {
+                    let workload = g
+                        .as_iri()
+                        .and_then(|iri| iri.strip_prefix(vocab::WORKLOAD_GRAPH_NS))?
+                        .to_string();
+                    let gid = st.term_id(&g).expect("graph name interned");
+                    let mut templates = 0usize;
+                    let mut improvement_sum = 0.0f64;
+                    for (s, _, _) in st.scan_in(gid, None, None, None) {
+                        templates += 1;
+                        let Some(imp) = imp_id else { continue };
+                        if let Some((_, _, v)) =
+                            st.scan(Some(s), Some(imp), None).into_iter().next()
+                        {
+                            if let Some(n) = st.resolve(v).as_literal().and_then(|l| l.as_number())
+                            {
+                                improvement_sum += n;
+                            }
+                        }
+                    }
+                    Some(DatasetStats {
+                        workload,
+                        templates,
+                        signatures: 0,
+                        avg_improvement: if templates == 0 {
+                            0.0
+                        } else {
+                            improvement_sum / templates as f64
+                        },
+                    })
+                })
+                .collect()
+        });
+        let index = self.sig_index.read().expect("signature index lock");
+        for ds in &mut stats {
+            ds.signatures = index
+                .values()
+                .filter(|tpls| tpls.values().any(|t| t.workload == ds.workload))
+                .count();
+        }
+        stats.sort_by(|a, b| a.workload.cmp(&b.workload));
+        stats
+    }
+
+    /// IRIs of the templates in one workload's dataset, ascending — the
+    /// per-dataset template set, enumerated from the named graph without
+    /// a default-graph scan.
+    pub fn dataset_template_iris(&self, workload: &str) -> Vec<String> {
+        let graph = vocab::workload_graph_iri(workload);
+        let mut iris: Vec<String> = self.server.with_store(|st| {
+            let Some(gid) = st.term_id(&graph) else {
+                return Vec::new();
+            };
+            let mut subjects: Vec<galo_rdf::TermId> = st
+                .scan_in(gid, None, None, None)
+                .into_iter()
+                .map(|(s, _, _)| s)
+                .collect();
+            subjects.sort_unstable();
+            subjects.dedup();
+            subjects
+                .into_iter()
+                .map(|s| st.resolve(s).str_value().to_string())
+                .collect()
+        });
+        iris.sort();
+        iris
     }
 
     /// Export as N-Triples (persistence).
@@ -955,13 +1132,16 @@ mod tests {
         assert!(kb.candidate_templates(sig ^ 1).is_empty());
         // The emptiness pre-check and the candidate cursor agree with
         // the materialized list.
-        assert!(kb.any_candidate_admitting(sig, &[], 1.0));
-        assert!(!kb.any_candidate_admitting(sig ^ 1, &[], 1.0));
+        assert!(kb.any_candidate_admitting(sig, &[], 1.0, None));
+        assert!(!kb.any_candidate_admitting(sig ^ 1, &[], 1.0, None));
         assert_eq!(
-            kb.next_candidate_admitting(sig, &[], 1.0, None),
+            kb.next_candidate_admitting(sig, &[], 1.0, None, None),
             Some(iri.clone())
         );
-        assert_eq!(kb.next_candidate_admitting(sig, &[], 1.0, Some(&iri)), None);
+        assert_eq!(
+            kb.next_candidate_admitting(sig, &[], 1.0, None, Some(&iri)),
+            None
+        );
 
         // Import rebuilds the index from triples.
         let dump = kb.export();
@@ -1029,20 +1209,20 @@ mod tests {
             })
             .collect();
         // Exact margin admits only the near template.
-        let admitted = kb.candidate_templates_admitting(sig, &checks, 1.0);
+        let admitted = kb.candidate_templates_admitting(sig, &checks, 1.0, None);
         assert_eq!(
             admitted,
             vec![vocab::template_iri(&near.id).str_value().to_string()]
         );
         // A margin large enough to bridge the displacement admits both.
-        let admitted_wide = kb.candidate_templates_admitting(sig, &checks, 1e13);
+        let admitted_wide = kb.candidate_templates_admitting(sig, &checks, 1e13, None);
         assert_eq!(admitted_wide.len(), 2);
         // The pre-check survives an export/import round-trip (reindex
         // reconstructs the ranges from RDF).
         let kb2 = KnowledgeBase::new();
         kb2.import(&kb.export()).unwrap();
         assert_eq!(
-            kb2.candidate_templates_admitting(sig, &checks, 1.0),
+            kb2.candidate_templates_admitting(sig, &checks, 1.0, None),
             admitted
         );
     }

@@ -128,16 +128,28 @@ impl LearningReport {
     }
 }
 
-/// Learn problem patterns from a workload into the knowledge base.
-pub fn learn_workload(
-    workload: &Workload,
-    kb: &KnowledgeBase,
-    cfg: &LearningConfig,
-) -> LearningReport {
-    let db = &workload.db;
+/// The workload's mining space: the merged unique sub-query list every
+/// learner — in-process thread or simulated cluster machine — works from.
+///
+/// Enumeration is deterministic (queries in workload order, first-seen
+/// structure wins, per-query truncation), so every node of a learner
+/// cluster computes the *same* space independently and the
+/// [`Partitioner`](galo_workloads::Partitioner) can split it
+/// coordination-free by index.
+pub(crate) struct MiningSpace {
+    /// Sub-queries enumerated before structural merging.
+    pub subqueries_total: usize,
+    /// `(owning query index, representative sub-query)`, first-seen order.
+    pub unique: Vec<(usize, Query)>,
+    /// Enumeration wall time attributed to each query, milliseconds.
+    pub enum_ms: Vec<f64>,
+}
 
-    // Phase 1: enumerate and merge sub-queries.
-    let mut unique: Vec<(usize, Query)> = Vec::new(); // (owning query index, subquery)
+/// Phase 1 of learning: enumerate connected sub-queries up to the join
+/// threshold and merge duplicates by [`structure_signature`] (§4.1).
+pub(crate) fn enumerate_mining_space(workload: &Workload, cfg: &LearningConfig) -> MiningSpace {
+    let db = &workload.db;
+    let mut unique: Vec<(usize, Query)> = Vec::new();
     let mut seen: BTreeMap<String, ()> = BTreeMap::new();
     let mut subqueries_total = 0usize;
     let mut enum_ms: Vec<f64> = Vec::with_capacity(workload.queries.len());
@@ -154,6 +166,41 @@ pub fn learn_workload(
         }
         enum_ms.push(t0.elapsed().as_secs_f64() * 1e3);
     }
+    MiningSpace {
+        subqueries_total,
+        unique,
+        enum_ms,
+    }
+}
+
+/// Phase 2 unit: analyze the unique sub-query at mining-space index
+/// `idx`. The RNG is seeded from `(cfg.seed, idx)`, so the analysis — and
+/// the template it may mint, anonymized id included — is a pure function
+/// of the mining-space position. That determinism is what makes the
+/// learner cluster's output provably equal to the sequential engine's:
+/// whichever machine analyzes index `idx` produces byte-identical
+/// triples. Returns the candidate and the simulated machine time (ms).
+pub(crate) fn analyze_at(
+    db: &Database,
+    idx: usize,
+    sub: &Query,
+    cfg: &LearningConfig,
+) -> (Option<CandidateTemplate>, f64) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
+    analyze_subquery(db, sub, cfg, &mut rng)
+}
+
+/// Learn problem patterns from a workload into the knowledge base.
+pub fn learn_workload(
+    workload: &Workload,
+    kb: &KnowledgeBase,
+    cfg: &LearningConfig,
+) -> LearningReport {
+    let db = &workload.db;
+
+    // Phase 1: enumerate and merge sub-queries.
+    let space = enumerate_mining_space(workload, cfg);
+    let unique = &space.unique;
 
     // Phase 2: analyze unique sub-queries in parallel.
     // (unique index, owning query, wall ms, simulated ms, candidate)
@@ -162,7 +209,6 @@ pub fn learn_workload(
     let n_threads = cfg.threads.max(1);
     crossbeam::thread::scope(|scope| {
         for worker in 0..n_threads {
-            let unique = &unique;
             let results = &results;
             scope.spawn(move |_| {
                 for (idx, (qi, sub)) in unique.iter().enumerate() {
@@ -170,9 +216,7 @@ pub fn learn_workload(
                         continue;
                     }
                     let t0 = Instant::now();
-                    let mut rng =
-                        StdRng::seed_from_u64(cfg.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
-                    let (cand, sim_ms) = analyze_subquery(db, sub, cfg, &mut rng);
+                    let (cand, sim_ms) = analyze_at(db, idx, sub, cfg);
                     let ms = t0.elapsed().as_secs_f64() * 1e3;
                     results
                         .lock()
@@ -184,14 +228,20 @@ pub fn learn_workload(
     })
     .expect("learning workers must not panic");
 
-    // Phase 3: deduplicate and insert templates.
+    // Phase 3: publish every mined candidate. Publication is
+    // per-candidate and commutative — template ids are pure functions of
+    // the mining-space index, so the knowledge-base image is independent
+    // of insertion order (structurally distinct sub-queries occasionally
+    // abstract to identical-content templates under different ids; the
+    // matcher's min-IRI tie-break keeps those duplicates harmless). This
+    // is the same contract the distributed learner cluster publishes
+    // under, which is what makes the two paths set-equal.
     let mut report = LearningReport {
-        subqueries_total,
+        subqueries_total: space.subqueries_total,
         subqueries_unique: unique.len(),
         ..Default::default()
     };
-    let mut per_query: Vec<f64> = enum_ms;
-    let mut inserted: BTreeMap<(String, String), ()> = BTreeMap::new();
+    let mut per_query: Vec<f64> = space.enum_ms;
     let mut results = results.into_inner().expect("no poisoned lock");
     // Deterministic order regardless of worker scheduling.
     results.sort_by_key(|r| r.0);
@@ -200,13 +250,6 @@ pub fn learn_workload(
         report.per_subquery_ms.push(ms);
         report.simulated_machine_ms += sim_ms;
         let Some(cand) = cand else { continue };
-        let key = (
-            cand.template.fingerprint.clone(),
-            cand.template.guideline.to_xml(),
-        );
-        if inserted.insert(key, ()).is_some() {
-            continue;
-        }
         kb.insert(&cand.template);
         report.learned.push(LearnedTemplate {
             template_id: cand.template.id.clone(),
@@ -230,9 +273,9 @@ pub fn learn_workload(
     report
 }
 
-struct CandidateTemplate {
-    template: Template,
-    subquery_name: String,
+pub(crate) struct CandidateTemplate {
+    pub(crate) template: Template,
+    pub(crate) subquery_name: String,
 }
 
 /// Analyze one sub-query: benchmark the optimizer's plan against random

@@ -50,6 +50,7 @@
 //! assert!(outcome.improved());
 //! ```
 
+pub mod cluster;
 pub mod diagnostics;
 pub mod expert;
 pub mod galo;
@@ -60,12 +61,17 @@ pub mod ranking;
 pub mod transform;
 pub mod vocab;
 
+pub use cluster::{
+    learn_workload_cluster, ClusterConfig, ClusterReport, LearnerNode, MinedSlice, NodeReport,
+};
 pub use diagnostics::{
     diagnose, evolution_report, render_evolution_report, Diagnosis, NearMiss, RewriteClass, Suspect,
 };
 pub use expert::{expert_diagnose, ExpertConfig, ExpertOutcome};
 pub use galo::{Galo, QueryReoptResult, WorkloadReoptReport};
-pub use kb::{abstract_plan, KnowledgeBase, Range, Template, TemplatePop, TemplateScan};
+pub use kb::{
+    abstract_plan, DatasetStats, KnowledgeBase, Range, Template, TemplatePop, TemplateScan,
+};
 pub use learning::{learn_workload, LearnedTemplate, LearningConfig, LearningReport};
 pub use matching::{
     match_plan, match_plan_text, reoptimize_query, MatchConfig, MatchReport, MatchedRewrite,

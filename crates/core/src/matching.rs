@@ -65,6 +65,13 @@ pub struct MatchConfig {
     /// (Exp-2), letting patterns learned on one schema's statistics match
     /// queries over another.
     pub range_margin: f64,
+    /// Restrict matching to the templates of one workload's first-class
+    /// dataset (by source-workload name). `None` — the default — matches
+    /// against every dataset in the knowledge base; `Some(w)` makes the
+    /// shared KB behave like workload `w`'s private KB (the Exp-2
+    /// per-workload-KB baseline), guaranteed never to return a template
+    /// learned elsewhere.
+    pub dataset: Option<String>,
 }
 
 impl Default for MatchConfig {
@@ -72,6 +79,7 @@ impl Default for MatchConfig {
         MatchConfig {
             join_threshold: 4,
             range_margin: 1.0,
+            dataset: None,
         }
     }
 }
@@ -126,15 +134,25 @@ impl MatchReport {
 }
 
 /// The deterministic winning solution of one segment probe: the smallest
-/// `(template IRI, canonical table labels)` pair over all solution rows.
-/// Both pipelines use this rule, which is what makes them comparable —
-/// "first row wins" would depend on evaluator search order.
-fn winning_solution(solutions: &ResultSet, scan_vars: &[ScanVar]) -> Option<(String, Vec<String>)> {
+/// `(template IRI, canonical table labels)` pair over all solution rows
+/// whose template passes `allow` (the text pipeline's dataset filter; the
+/// compiled pipeline filters candidates in the signature index instead
+/// and passes a constant `true`). Both pipelines use this rule, which is
+/// what makes them comparable — "first row wins" would depend on
+/// evaluator search order.
+fn winning_solution(
+    solutions: &ResultSet,
+    scan_vars: &[ScanVar],
+    allow: impl Fn(&str) -> bool,
+) -> Option<(String, Vec<String>)> {
     let mut best: Option<(String, Vec<String>)> = None;
     for row in 0..solutions.len() {
         let Some(tmpl) = solutions.get(row, "tmpl") else {
             continue;
         };
+        if !allow(tmpl.str_value()) {
+            continue;
+        }
         let labels: Vec<String> = scan_vars
             .iter()
             .map(|sv| {
@@ -242,8 +260,13 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
             // The first cursor pull doubles as the emptiness pre-check:
             // no admitted candidate means the segment is pruned before
             // any probe is compiled.
-            let mut cursor =
-                kb.next_candidate_admitting(signature, &checks, cfg.range_margin, None);
+            let mut cursor = kb.next_candidate_admitting(
+                signature,
+                &checks,
+                cfg.range_margin,
+                cfg.dataset.as_deref(),
+                None,
+            );
             if cursor.is_none() {
                 report.probes_pruned += 1;
                 continue;
@@ -270,7 +293,9 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
                     report.probes_executed += 1;
                     let solutions = galo_rdf::evaluate_prepared(st, &prepared, &[id]);
                     if !solutions.is_empty() {
-                        if let Some((_, labels)) = winning_solution(&solutions, &probe.scan_vars) {
+                        if let Some((_, labels)) =
+                            winning_solution(&solutions, &probe.scan_vars, |_| true)
+                        {
                             matched = crate::kb::guideline_of_in(st, &iri).and_then(|g| {
                                 instantiate_match(g, &iri, &labels, &probe.scan_vars, segment_op_id)
                             });
@@ -278,8 +303,13 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
                         break; // first matching candidate decides the segment
                     }
                 }
-                cursor =
-                    kb.next_candidate_admitting(signature, &checks, cfg.range_margin, Some(&iri));
+                cursor = kb.next_candidate_admitting(
+                    signature,
+                    &checks,
+                    cfg.range_margin,
+                    cfg.dataset.as_deref(),
+                    Some(&iri),
+                );
             }
             if let Some(rewrites) = matched {
                 report.rewrites.extend(rewrites);
@@ -330,7 +360,14 @@ pub fn match_plan_text(
                 qualifier,
             })
             .collect();
-        let Some((template_iri, labels)) = winning_solution(&solutions, &scan_vars) else {
+        // The dataset filter resolves each row's template source through
+        // the store — the oracle trades speed for directness, unlike the
+        // production path's index-level filter.
+        let allow = |iri: &str| match cfg.dataset.as_deref() {
+            None => true,
+            Some(d) => kb.guideline_of(iri).is_some_and(|(_, source)| source == d),
+        };
+        let Some((template_iri, labels)) = winning_solution(&solutions, &scan_vars, allow) else {
             continue;
         };
         let Some(rewrites) = kb.guideline_of(&template_iri).and_then(|g| {

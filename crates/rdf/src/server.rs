@@ -315,6 +315,33 @@ impl FusekiLite {
         }
     }
 
+    /// Append a mixed batch of default-graph triples (`graph: None`) and
+    /// named-graph tags (`graph: Some(g)`) in **one** write transaction —
+    /// the batch-publish endpoint distributed learner machines push their
+    /// mined templates through. On a durable backend the whole batch
+    /// group-commits; on a sharded backend each quad routes by subject,
+    /// so a template's triples and its workload-dataset tag land
+    /// write-local on one shard and only the routed shards are locked.
+    /// Returns how many quads were new.
+    pub fn insert_quads(&self, quads: impl IntoIterator<Item = crate::ntriples::Quad>) -> usize {
+        match &self.store {
+            Backing::Single(lock) => {
+                let mut store = lock.write();
+                store.begin_batch();
+                let n = quads
+                    .into_iter()
+                    .filter(|(s, p, o, graph)| match graph {
+                        Some(g) => store.insert_in(g.clone(), s.clone(), p.clone(), o.clone()),
+                        None => store.insert(s.clone(), p.clone(), o.clone()),
+                    })
+                    .count();
+                store.end_batch();
+                n
+            }
+            Backing::Sharded(s) => s.insert_quads_batch(quads),
+        }
+    }
+
     /// Remove a batch of triples in one write transaction; returns how
     /// many were present. Batched like
     /// [`insert_triples`](Self::insert_triples).
@@ -762,6 +789,56 @@ mod tests {
                     rs.get(0, "c").unwrap().str_value(),
                     format!("{}", (i % 50) * 100)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_quads_lands_default_and_named_graph_triples() {
+        for f in [FusekiLite::new(), FusekiLite::open_sharded(4)] {
+            let g = Term::iri("http://galo/kb/graph/workload/w1");
+            let n = f.insert_quads((0..10u32).flat_map(|i| {
+                let s = Term::iri(format!("http://galo/kb/template/{i:016x}"));
+                [
+                    (
+                        s.clone(),
+                        Term::iri("http://p/x"),
+                        Term::lit(format!("{i}")),
+                        None,
+                    ),
+                    (
+                        s,
+                        Term::iri("http://p/tag"),
+                        Term::lit("t"),
+                        Some(g.clone()),
+                    ),
+                ]
+            }));
+            assert_eq!(n, 20, "10 default-graph triples + 10 tags are new");
+            assert_eq!(f.len(), 10);
+            assert_eq!(f.graph_names(), vec![g.clone()]);
+            let tags = f.with_store(|st| {
+                let gid = st.term_id(&g).expect("graph interned");
+                st.scan_in(gid, None, None, None).len()
+            });
+            assert_eq!(tags, 10);
+            // Re-publishing the same quads is idempotent (set semantics).
+            let again = f.insert_quads([(
+                Term::iri("http://galo/kb/template/0000000000000000"),
+                Term::iri("http://p/x"),
+                Term::lit("0"),
+                None,
+            )]);
+            assert_eq!(again, 0);
+            if let Some(stats) = f.shard_stats() {
+                assert_eq!(stats.iter().map(|s| s.triples).sum::<usize>(), 10);
+                assert_eq!(stats.iter().map(|s| s.graph_triples).sum::<usize>(), 10);
+                // Template-affine routing: a template's triple and its
+                // tag live on the same shard, so any shard holding tags
+                // also holds that many template triples at least.
+                for s in &stats {
+                    assert!(s.graph_triples <= s.triples, "{s:?}");
+                }
             }
         }
     }

@@ -570,6 +570,10 @@ pub struct ShardStats {
     pub triples: usize,
     /// Non-empty named graphs with tags on the shard.
     pub graphs: usize,
+    /// Named-graph tag triples stored on the shard, over all graphs —
+    /// with per-workload datasets this is how many dataset memberships
+    /// (e.g. learned templates) the shard holds.
+    pub graph_triples: usize,
 }
 
 const META_FILE: &str = "sharded.meta";
@@ -716,10 +720,15 @@ impl ShardedStore {
             .enumerate()
             .map(|(shard, lock)| {
                 let state = lock.read();
+                let graph_ids = state.store.graph_ids();
                 ShardStats {
                     shard,
                     triples: state.store.len(),
-                    graphs: state.store.graph_ids().len(),
+                    graphs: graph_ids.len(),
+                    graph_triples: graph_ids
+                        .iter()
+                        .map(|&g| state.store.scan_in(g, None, None, None).len())
+                        .sum(),
                 }
             })
             .collect()
@@ -816,6 +825,48 @@ impl ShardedStore {
             shard.store.begin_batch();
             for t in batch {
                 if shard.insert_in_global(g, t, &self.interner) {
+                    added += 1;
+                }
+            }
+            shard.store.end_batch();
+        }
+        added
+    }
+
+    /// Insert a mixed batch of default-graph triples (`graph: None`) and
+    /// named-graph tags (`graph: Some(g)`) in one pass — the publish
+    /// endpoint a learner machine appends its mined templates through.
+    /// Every quad routes by its subject (so a template's triples *and*
+    /// its workload-dataset tag land on the same, write-local shard) and
+    /// only the routed shards are locked, each under one group-commit
+    /// bracket. Returns how many quads were new.
+    pub fn insert_quads_batch(
+        &self,
+        quads: impl IntoIterator<Item = (Term, Term, Term, Option<Term>)>,
+    ) -> usize {
+        let mut routed: Vec<Vec<(Triple, Option<TermId>)>> = vec![Vec::new(); self.shards.len()];
+        for (s, p, o, graph) in quads {
+            let k = self.router.route(self.shards.len(), &s, &p, &o);
+            let t = (
+                self.interner.intern(&s),
+                self.interner.intern(&p),
+                self.interner.intern(&o),
+            );
+            routed[k].push((t, graph.map(|g| self.interner.intern(&g))));
+        }
+        let mut added = 0;
+        for (k, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[k].write();
+            shard.store.begin_batch();
+            for (t, graph) in batch {
+                let new = match graph {
+                    Some(g) => shard.insert_in_global(g, t, &self.interner),
+                    None => shard.insert_global(t, &self.interner),
+                };
+                if new {
                     added += 1;
                 }
             }

@@ -52,7 +52,10 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
@@ -63,5 +66,38 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
             out.push(self.element.generate(rng)?);
         }
         Some(out)
+    }
+
+    /// Length halving first (either half of the vector), then every
+    /// single-element drop, then per-element shrinks — all respecting
+    /// the strategy's lower size bound.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        let half = len / 2;
+        if half >= self.size.lo && half < len {
+            out.push(value[..half].to_vec());
+            if half > 0 {
+                // Skipped when `half == 0`: the second "half" would be
+                // the whole vector, a no-op candidate the greedy search
+                // would accept forever.
+                out.push(value[half..].to_vec());
+            }
+        }
+        if len > self.size.lo {
+            for i in 0..len {
+                let mut dropped = value.clone();
+                dropped.remove(i);
+                out.push(dropped);
+            }
+        }
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }

@@ -10,8 +10,12 @@
 //! [`prop_assert_eq!`] macros.
 //!
 //! Differences from real proptest, by design:
-//! * **No shrinking.** A failing case reports its inputs via the assert
-//!   message but is not minimized.
+//! * **Minimal shrinking.** A failing case is greedily minimized with
+//!   element-drop and length-halving moves for collections and halving
+//!   toward the range start for numerics (see [`strategy::minimize`]),
+//!   then re-run un-caught so the reported panic carries the near-minimal
+//!   counterexample. `prop_map`/`prop_flat_map` outputs do not shrink
+//!   (the transforms are not invertible).
 //! * **Deterministic seeding.** Each test's RNG is seeded from the test
 //!   name, so runs are reproducible without a persistence file.
 
@@ -75,11 +79,29 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 let mut rng = $crate::test_runner::TestRng::for_test(file!(), stringify!($name));
+                // One combined tuple strategy: generation draws from the
+                // RNG in parameter order (the same stream as generating
+                // each parameter separately), and shrinking works
+                // component-wise over the tuple.
+                let strategies = ($($strat,)+);
+                // Bodies run in a closure returning `Result` so that
+                // `return Ok(())` (an early pass) works as in real
+                // proptest. Assertion macros panic instead of returning
+                // `Err`, so the error type is free.
+                let run_case = $crate::strategy::case_runner(&strategies, |case| {
+                    let ($($pat,)+) = case;
+                    #[allow(clippy::redundant_closure_call)]
+                    let _outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                });
                 let mut cases_run = 0u32;
                 let mut rejects = 0u32;
                 while cases_run < config.cases {
-                    let ($($pat,)*) = ($(
-                        match $crate::strategy::Strategy::generate(&($strat), &mut rng) {
+                    let vals =
+                        match $crate::strategy::Strategy::generate(&strategies, &mut rng) {
                             Some(value) => value,
                             None => {
                                 rejects += 1;
@@ -90,18 +112,43 @@ macro_rules! proptest {
                                 );
                                 continue;
                             }
-                        }
-                    ,)*);
-                    // Bodies run in a closure returning `Result` so that
-                    // `return Ok(())` (an early pass) works as in real
-                    // proptest. Assertion macros panic instead of
-                    // returning `Err`, so the error type is free.
-                    #[allow(clippy::redundant_closure_call)]
-                    let _outcome: ::std::result::Result<(), ::std::string::String> =
-                        (move || {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
+                        };
+                    let failed = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| run_case(vals.clone())),
+                    )
+                    .is_err();
+                    if failed {
+                        // Shrink silently (element drops + halving), then
+                        // re-run the minimal case un-caught so the panic
+                        // the user sees reports the minimized inputs. The
+                        // global-hook swap is serialized across threads so
+                        // two concurrently failing tests cannot leave the
+                        // silencing hook installed for the process.
+                        let hook_guard = $crate::strategy::shrink_hook_lock();
+                        let prev_hook = ::std::panic::take_hook();
+                        ::std::panic::set_hook(::std::boxed::Box::new(|_| {}));
+                        let (minimal, steps) =
+                            $crate::strategy::minimize(&strategies, vals, |case| {
+                                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                                    || run_case(case.clone()),
+                                ))
+                                .is_err()
+                            });
+                        ::std::panic::set_hook(prev_hook);
+                        ::std::mem::drop(hook_guard);
+                        eprintln!(
+                            "proptest shim: {} failed; shrank the case over {} step(s); \
+                             re-running the minimized case",
+                            stringify!($name),
+                            steps,
+                        );
+                        run_case(minimal);
+                        panic!(
+                            "proptest shim: the minimized case stopped failing — \
+                             nondeterministic property in {}",
+                            stringify!($name),
+                        );
+                    }
                     cases_run += 1;
                 }
             }
@@ -225,6 +272,54 @@ mod tests {
             let t = Strategy::generate(&strat, &mut rng).unwrap();
             assert!(depth(&t) <= 4, "depth {} too deep", depth(&t));
         }
+    }
+
+    #[test]
+    fn minimize_halves_numerics_to_the_failure_boundary() {
+        // Failure: v >= 10. Halving from anywhere lands within 2x of the
+        // boundary (the last failing halving step before candidates pass).
+        let strat = 0u32..1000;
+        let (minimal, steps) = crate::strategy::minimize(&strat, 777, |&v| v >= 10);
+        assert!(minimal >= 10, "minimized value must still fail");
+        assert!(minimal < 20, "near-minimal expected, got {minimal}");
+        assert!(steps >= 1);
+    }
+
+    #[test]
+    fn minimize_drops_elements_and_shrinks_the_survivor() {
+        // Failure: any element >= 50. Minimal counterexample under
+        // element-drop + halving: a single element close to 50.
+        let strat = prop::collection::vec(0u64..1000, 0..20);
+        let failing = vec![3, 999, 7, 812, 60, 4];
+        let fails = |v: &Vec<u64>| v.iter().any(|&x| x >= 50);
+        let (minimal, _) = crate::strategy::minimize(&strat, failing, fails);
+        assert_eq!(
+            minimal.len(),
+            1,
+            "all passing elements dropped: {minimal:?}"
+        );
+        assert!((50..100).contains(&minimal[0]), "near-minimal: {minimal:?}");
+    }
+
+    #[test]
+    fn minimize_shrinks_tuples_component_wise() {
+        let strat = (0i64..100, prop::collection::vec(0u8..10, 0..8));
+        let fails = |case: &(i64, Vec<u8>)| case.0 >= 4 && !case.1.is_empty();
+        let (minimal, _) = crate::strategy::minimize(&strat, (91, vec![1, 9, 3]), fails);
+        assert!((4..8).contains(&minimal.0), "{minimal:?}");
+        assert_eq!(minimal.1.len(), 1, "{minimal:?}");
+    }
+
+    #[test]
+    fn minimize_respects_filters_and_size_floors() {
+        // The filter keeps even values only; shrinking must never
+        // propose an odd counterexample. The vec floor of 2 must hold.
+        let strat = prop::collection::vec((0u32..100).prop_filter("even", |v| v % 2 == 0), 2..10);
+        let fails = |v: &Vec<u32>| v.iter().sum::<u32>() >= 10;
+        let (minimal, _) = crate::strategy::minimize(&strat, vec![88, 66, 44, 22], fails);
+        assert!(minimal.len() >= 2);
+        assert!(minimal.iter().all(|v| v % 2 == 0), "{minimal:?}");
+        assert!(minimal.iter().sum::<u32>() >= 10, "{minimal:?}");
     }
 
     proptest! {

@@ -14,11 +14,30 @@ const LOCAL_REJECT_RETRIES: usize = 100;
 /// A generator of values of one type.
 ///
 /// `generate` returns `None` when a filter rejected the candidate; the
-/// test runner retries the whole case. No shrinking is implemented.
+/// test runner retries the whole case. Shrinking is minimal by design
+/// (see [`Strategy::shrink`]): collection strategies try element drops
+/// and length halving, numeric range strategies halve toward the range
+/// start, and everything else reports no candidates.
 pub trait Strategy {
     type Value;
 
     fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Shrink candidates for a failing `value`, best candidates first.
+    /// The default is no shrinking; the [`minimize`] search (driven by
+    /// the `proptest!` macro after a case fails) repeatedly replaces the
+    /// failing input with the first candidate that still fails, so a
+    /// reported counterexample is near-minimal under these moves:
+    ///
+    /// * numeric ranges: the range start, then the halfway point toward
+    ///   it (repeated halving converges log-fast);
+    /// * collections: the first and second half of the vector, then each
+    ///   single-element drop, then per-element shrinks;
+    /// * filters: the source's candidates that still satisfy the
+    ///   predicate; tuples: component-wise candidates.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform generated values.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -105,6 +124,10 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn generate(&self, rng: &mut TestRng) -> Option<T> {
         self.inner.generate(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.inner.shrink(value)
+    }
 }
 
 /// See [`Strategy::prop_map`].
@@ -146,6 +169,15 @@ where
             }
         }
         None
+    }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Only candidates that still satisfy the filter are valid inputs.
+        self.source
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.pred)(v))
+            .collect()
     }
 }
 
@@ -259,6 +291,20 @@ impl Arbitrary for f32 {
 
 // ---- numeric ranges ----
 
+/// Halving shrink for an integer drawn from a range starting at `lo`:
+/// the start itself, then the halfway point toward it.
+fn shrink_int(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v != lo {
+        out.push(lo);
+        let mid = lo + (v - lo) / 2;
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+    }
+    out
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -269,6 +315,13 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let off = (rng.next_u64() as u128) % span;
                 Some((self.start as i128 + off as i128) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -281,11 +334,31 @@ macro_rules! int_range_strategy {
                 let off = (rng.next_u64() as u128) % span;
                 Some((lo as i128 + off as i128) as $t)
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Halving shrink for a float drawn from a range starting at `lo`.
+fn shrink_float(lo: f64, v: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if v != lo && v.is_finite() {
+        out.push(lo);
+        let mid = lo + (v - lo) / 2.0;
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+    }
+    out
+}
 
 macro_rules! float_range_strategy {
     ($($t:ty),*) => {$(
@@ -296,6 +369,13 @@ macro_rules! float_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 Some(self.start + (rng.unit_f64() as $t) * (self.end - self.start))
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(self.start as f64, *value as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -303,6 +383,13 @@ macro_rules! float_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> Option<$t> {
                 let (lo, hi) = (*self.start(), *self.end());
                 Some(lo + (rng.unit_f64() as $t) * (hi - lo))
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(*self.start() as f64, *value as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};
@@ -313,8 +400,11 @@ float_range_strategy!(f32, f64);
 // ---- tuples ----
 
 macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -322,16 +412,89 @@ macro_rules! tuple_strategy {
                 let ($($name,)+) = self;
                 Some(($($name.generate(rng)?,)+))
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
-tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+// ---- shrinking search ----
+
+/// Cap on candidate evaluations during one [`minimize`] search so a slow
+/// property body cannot turn a failure into a hang.
+const MAX_SHRINK_ATTEMPTS: usize = 1024;
+
+/// Serializes the `proptest!` macro's panic-hook swap across the test
+/// binary's threads: `cargo test` runs tests concurrently, and two
+/// overlapping take-hook/set-hook/restore sequences could otherwise
+/// leave the silencing hook installed for the rest of the process (one
+/// test "restoring" the other's silencer). Held for the whole shrink
+/// phase of one failing case.
+pub fn shrink_hook_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    // A panic while holding the lock (the shrink phase catches all of
+    // its own panics, but stay defensive) poisons it; the hook state is
+    // swap-restored symmetrically either way, so just take the guard.
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Greedy shrink search: starting from a `failing` input, repeatedly
+/// replace it with the first [`Strategy::shrink`] candidate that still
+/// makes `fails` return true, until no candidate fails (a local minimum)
+/// or the attempt budget runs out. Returns the minimized input and how
+/// many successful shrink steps were taken.
+///
+/// The `proptest!` macro calls this after a case fails, with `fails`
+/// re-running the property body under `catch_unwind`, then re-runs the
+/// minimized case un-caught so the panic the user sees carries the
+/// near-minimal counterexample.
+pub fn minimize<S: Strategy>(
+    strategy: &S,
+    mut failing: S::Value,
+    mut fails: impl FnMut(&S::Value) -> bool,
+) -> (S::Value, usize) {
+    let mut steps = 0usize;
+    let mut attempts = 0usize;
+    'search: loop {
+        for cand in strategy.shrink(&failing) {
+            attempts += 1;
+            if attempts > MAX_SHRINK_ATTEMPTS {
+                break 'search;
+            }
+            if fails(&cand) {
+                failing = cand;
+                steps += 1;
+                continue 'search;
+            }
+        }
+        break;
+    }
+    (failing, steps)
+}
+
+/// Pin a case-running closure's argument to `strategy`'s value type —
+/// the `proptest!` macro cannot name the combined tuple type, and the
+/// closure's first call site is nested too deeply for inference.
+pub fn case_runner<S: Strategy, F: Fn(S::Value)>(_strategy: &S, f: F) -> F {
+    f
+}
 
 // ---- regex-like string patterns ----
 
