@@ -609,34 +609,47 @@ impl KnowledgeBase {
         for tpl in templates {
             Self::template_quads(tpl, &mut quads);
         }
-        let added = self.server.insert_quads(quads);
-        let mut index = self.sig_index.write().expect("signature index lock");
-        for tpl in templates {
-            index
-                .entry(Self::template_signature(tpl))
-                .or_default()
-                .insert(
-                    vocab::template_iri(&tpl.id).str_value().to_string(),
-                    IndexedTemplate {
-                        workload: tpl.source_workload.clone(),
-                        pops: tpl
-                            .pops
-                            .iter()
-                            .map(|p| IndexedPop {
-                                pop_type: p.pop_type.clone(),
-                                cardinality: p.cardinality,
-                            })
-                            .collect(),
-                    },
-                );
+        // One mutation scope spans the whole logical publish — signature
+        // index *and* triples — so the epoch reads odd until both are
+        // settled: a serving cache can neither validate a hit nor stamp
+        // a fresh entry against a half-applied publish.
+        let scope = self.server.mutation_scope();
+        {
+            let mut index = self.sig_index.write().expect("signature index lock");
+            for tpl in templates {
+                index
+                    .entry(Self::template_signature(tpl))
+                    .or_default()
+                    .insert(
+                        vocab::template_iri(&tpl.id).str_value().to_string(),
+                        IndexedTemplate {
+                            workload: tpl.source_workload.clone(),
+                            pops: tpl
+                                .pops
+                                .iter()
+                                .map(|p| IndexedPop {
+                                    pop_type: p.pop_type.clone(),
+                                    cardinality: p.cardinality,
+                                })
+                                .collect(),
+                        },
+                    );
+            }
         }
-        added
+        let n = self.server.insert_quads_raw(quads);
+        // An idempotent republish (set-semantics no-op) leaves the index
+        // entries it rewrote identical too: nothing to invalidate.
+        scope.commit(n > 0);
+        n
     }
 
     /// Retract a template: remove its triples (template node, operator
     /// nodes, stream edges, workload tagging) and unlink it from the
     /// signature index. Returns true when anything was removed.
     pub fn remove_template(&self, template_iri: &str) -> bool {
+        // Scope spans triples + index: no instant where the template is
+        // gone from one but not the other under a current even epoch.
+        let scope = self.server.mutation_scope();
         let removed = self.server.with_store_mut(|st| {
             let Some(tid) = st.term_id(&Term::iri(template_iri)) else {
                 return false;
@@ -674,18 +687,36 @@ impl KnowledgeBase {
             }
             removed
         });
-        let mut index = self.sig_index.write().expect("signature index lock");
-        index.retain(|_, tpls| {
-            tpls.remove(template_iri);
-            !tpls.is_empty()
-        });
+        {
+            let mut index = self.sig_index.write().expect("signature index lock");
+            index.retain(|_, tpls| {
+                tpls.remove(template_iri);
+                !tpls.is_empty()
+            });
+        }
+        // Removing an absent template is a no-op: invalidate nothing.
+        scope.commit(removed);
         removed
     }
 
-    /// Rebuild the signature index from the stored triples. Called after
+    /// Rebuild the signature index from the stored triples and advance
+    /// the [`epoch`](Self::epoch) one generation. Called after
     /// [`import`](Self::import); required after mutating template triples
-    /// through the raw SPARQL endpoint.
+    /// through the raw SPARQL endpoint (the generation also covers the
+    /// raw mutation itself, which [`FusekiLite::with_store_mut`]
+    /// deliberately does not count).
     pub fn reindex(&self) {
+        let scope = self.server.mutation_scope();
+        self.rebuild_index();
+        // Always a change: the rebuild may be cleaning up after a
+        // raw-endpoint mutation the counter never saw, so anything
+        // computed against the old index must be invalidated.
+        scope.commit(true);
+    }
+
+    /// The index rebuild itself, epoch-free — [`reindex`](Self::reindex)
+    /// wraps it in the mutation scope that makes it observable.
+    fn rebuild_index(&self) {
         let jc_query = format!(
             "PREFIX p: <{}> SELECT ?t ?jc WHERE {{ ?t p:{} ?jc . }}",
             vocab::PROP_NS,
@@ -926,10 +957,47 @@ impl KnowledgeBase {
 
     /// Load from N-Triples, replacing the current contents. The signature
     /// index is rebuilt from the imported triples.
+    ///
+    /// Advances the [`epoch`](Self::epoch) two generations: one when the
+    /// endpoint replaces the triples (invalidating everything computed
+    /// before the import) and one for the index rebuild (invalidating
+    /// anything computed in the window between the two).
     pub fn import(&self, text: &str) -> Result<usize, galo_rdf::ServerError> {
         let n = self.server.import(text)?;
         self.reindex();
         Ok(n)
+    }
+
+    /// Drop every template: triples, named-graph tags and the signature
+    /// index — one mutation scope, one epoch generation.
+    pub fn clear(&self) {
+        let scope = self.server.mutation_scope();
+        self.sig_index
+            .write()
+            .expect("signature index lock")
+            .clear();
+        self.server.with_store_mut(|st| st.clear());
+        scope.commit(true);
+    }
+
+    /// The knowledge base's mutation epoch — a seqlock-style counter
+    /// (see [`FusekiLite::mutation_epoch`]): **even** at rest, **odd**
+    /// while a mutation is in flight, advanced one generation (+2) by
+    /// every mutation that can change a match result:
+    /// [`insert_batch`](Self::insert_batch) (not by idempotent
+    /// republishes), [`remove_template`](Self::remove_template) (not by
+    /// no-op removals), [`reindex`](Self::reindex),
+    /// [`import`](Self::import) (two generations: replace + rebuild),
+    /// [`clear`](Self::clear), and any write through the raw endpoint's
+    /// epoch-counted methods. Each KB mutator holds its scope across its
+    /// *whole* logical change — signature index and triples — so a
+    /// result computed between two equal even loads of this counter
+    /// provably saw a settled knowledge base, and a cached outcome
+    /// stamped with even epoch `E` is exactly as fresh as an uncached
+    /// match while the counter still reads `E`. That one atomic load is
+    /// the serving tier's entire validation (see `galo_core::serving`).
+    pub fn epoch(&self) -> u64 {
+        self.server.mutation_epoch()
     }
 }
 
@@ -1249,6 +1317,70 @@ mod tests {
             report.rewrites[0].template_iri,
             vocab::template_iri(&keep.id).str_value()
         );
+    }
+
+    #[test]
+    fn epoch_bump_audit_every_mutator_advances_once_per_logical_change() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let mut tpl = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(1));
+        tpl.source_workload = "w".into();
+        let iri = vocab::template_iri(&tpl.id).str_value().to_string();
+
+        // One generation = +2 (odd while in flight, next even when
+        // settled); the counter is even whenever the KB is at rest.
+        const GEN: u64 = 2;
+
+        // insert_batch: one generation per publish that adds anything…
+        let e = kb.epoch();
+        assert_eq!(e % 2, 0, "epoch must be even at rest");
+        kb.insert_batch(std::slice::from_ref(&tpl));
+        assert_eq!(kb.epoch(), e + GEN, "insert_batch advances once");
+        // …and none for an idempotent republish (set-semantics no-op).
+        kb.insert_batch(std::slice::from_ref(&tpl));
+        assert_eq!(kb.epoch(), e + GEN, "idempotent republish must not advance");
+
+        // reindex: always one generation (it may be cleaning up after a
+        // raw endpoint mutation the counter never saw).
+        kb.reindex();
+        assert_eq!(kb.epoch(), e + 2 * GEN, "reindex advances once");
+
+        // Reads never advance.
+        let _ = kb.template_count();
+        let _ = kb.candidate_templates(KnowledgeBase::template_signature(&tpl));
+        let _ = kb.guideline_of(&iri);
+        let dump = kb.export();
+        assert_eq!(kb.epoch(), e + 2 * GEN, "reads must not advance");
+
+        // import: the round-trip advances twice (replace + rebuild; both
+        // invalidation points are real changes).
+        kb.import(&dump).unwrap();
+        assert_eq!(
+            kb.epoch(),
+            e + 4 * GEN,
+            "import advances on replace and rebuild"
+        );
+
+        // remove_template: one generation when something was retracted…
+        assert!(kb.remove_template(&iri));
+        assert_eq!(kb.epoch(), e + 5 * GEN, "remove_template advances once");
+        // …and none for a no-op removal.
+        assert!(!kb.remove_template(&iri));
+        assert_eq!(kb.epoch(), e + 5 * GEN, "no-op removal must not advance");
+
+        // clear: one generation.
+        kb.insert(&tpl);
+        let e = kb.epoch();
+        kb.clear();
+        assert_eq!(kb.epoch(), e + GEN, "clear advances once");
+        assert_eq!(kb.epoch() % 2, 0, "epoch must be even at rest");
+        assert_eq!(kb.template_count(), 0);
+        assert_eq!(kb.signature_count(), 0);
+
+        // The whole audit is monotonic by construction: every logical
+        // change advanced the counter, nothing ever rewound it below a
+        // previously observed rest value.
     }
 
     #[test]

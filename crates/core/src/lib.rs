@@ -58,6 +58,7 @@ pub mod kb;
 pub mod learning;
 pub mod matching;
 pub mod ranking;
+pub mod serving;
 pub mod transform;
 pub mod vocab;
 
@@ -74,10 +75,14 @@ pub use kb::{
 };
 pub use learning::{learn_workload, LearnedTemplate, LearningConfig, LearningReport};
 pub use matching::{
-    match_plan, match_plan_text, reoptimize_query, MatchConfig, MatchReport, MatchedRewrite,
-    ReoptOutcome,
+    compile_plan, match_compiled, match_plan, match_plan_text, reoptimize_query, CompiledPlan,
+    CompiledSegment, MatchConfig, MatchReport, MatchedRewrite, ReoptOutcome,
 };
 pub use ranking::{better, kmeans2, score_runs, PlanScore, TIE_EPSILON};
+pub use serving::{
+    plan_fingerprint, AdmissionQueue, CacheCounters, CacheLookup, ProbeCache, ServeOutcome,
+    ServingTier,
+};
 pub use transform::{
     qgm_to_rdf, segment_card_checks, segment_scan_qualifiers, segment_to_probe, segment_to_sparql,
     segment_to_sparql_opt, ProbeOptions, ScanVar, SegmentProbe,

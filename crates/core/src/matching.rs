@@ -37,19 +37,20 @@
 //! rewrites.
 
 use std::collections::HashSet;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use galo_catalog::Database;
 use galo_executor::Simulator;
 use galo_optimizer::{Optimizer, ReoptResult};
-use galo_qgm::{segments, GuidelineDoc, GuidelineNode, Qgm};
+use galo_qgm::{segments, GuidelineDoc, GuidelineNode, PopId, Qgm};
 use galo_rdf::{ResultSet, Term};
 use galo_sql::Query;
 
 use crate::kb::KnowledgeBase;
 use crate::transform::{
     segment_card_checks, segment_scan_qualifiers, segment_to_probe, segment_to_sparql_opt,
-    ProbeOptions, ScanVar,
+    ProbeOptions, ScanVar, SegmentProbe,
 };
 
 /// Matching-engine configuration.
@@ -85,7 +86,7 @@ impl Default for MatchConfig {
 }
 
 impl MatchConfig {
-    fn probe_options(&self) -> ProbeOptions {
+    pub(crate) fn probe_options(&self) -> ProbeOptions {
         ProbeOptions {
             range_margin: self.range_margin,
             include_ranges: true,
@@ -124,6 +125,16 @@ pub struct MatchReport {
     /// segments and candidates past a segment's first match are never
     /// evaluated; on the text path, one per candidate segment.
     pub probes_executed: usize,
+    /// True when the serving tier answered this plan from its
+    /// plan-fingerprint outcome cache without re-matching (see
+    /// `galo_core::serving`); always false on the direct
+    /// [`match_plan`] / [`match_plan_text`] paths.
+    pub cache_hit: bool,
+    /// Segments whose compiled probe IR was reused from an earlier match
+    /// of the same [`CompiledPlan`] instead of being rebuilt — the
+    /// serving tier's probe-IR cache at work. Always 0 when the plan was
+    /// compiled fresh for this match.
+    pub probes_reused: usize,
 }
 
 impl MatchReport {
@@ -140,7 +151,7 @@ impl MatchReport {
 /// and passes a constant `true`). Both pipelines use this rule, which is
 /// what makes them comparable — "first row wins" would depend on
 /// evaluator search order.
-fn winning_solution(
+pub(crate) fn winning_solution(
     solutions: &ResultSet,
     scan_vars: &[ScanVar],
     allow: impl Fn(&str) -> bool,
@@ -173,7 +184,7 @@ fn winning_solution(
 /// Instantiate a matched template as rewrites over the query's table
 /// qualifiers. Returns `None` (and claims nothing) when the template's
 /// guideline references canonical labels the match did not bind.
-fn instantiate_match(
+pub(crate) fn instantiate_match(
     fetched: (GuidelineDoc, String),
     template_iri: &str,
     labels: &[String],
@@ -219,50 +230,148 @@ fn instantiate_match(
     )
 }
 
-/// Match a compiled plan's segments against the knowledge base — the
-/// production pipeline: signature pruning, compiled probe IR, and one
-/// read-lock session per plan (see the module docs).
-pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfig) -> MatchReport {
+/// One segment of a [`CompiledPlan`]: everything the matcher derives from
+/// the plan structure alone — the operator footprint for claimed-overlap
+/// checks, the cardinality pre-checks, the structural signature — plus a
+/// lazily compiled probe IR. The probe AST is built at most once per
+/// compiled plan (on the first match that actually evaluates this
+/// segment) and reused by every later match, which is what the serving
+/// tier's probe-IR cache amortizes.
+#[derive(Debug)]
+pub struct CompiledSegment {
+    /// Root operator of the segment in the compiled-against plan.
+    pub(crate) root: PopId,
+    /// `op_id` of the root (stamped into rewrites).
+    pub(crate) segment_op_id: u32,
+    /// `op_id`s of every operator in the segment (claimed-overlap check).
+    pub(crate) seg_pops: Vec<u32>,
+    /// Structural signature — the knowledge base's candidate-index key.
+    pub(crate) signature: u64,
+    /// `(pop_type, est_card)` per operator: the index-side cardinality
+    /// pre-check inputs.
+    pub(crate) checks: Vec<(&'static str, f64)>,
+    /// The compiled probe, built on first use under the store session.
+    pub(crate) probe: OnceLock<SegmentProbe>,
+}
+
+impl CompiledSegment {
+    /// The segment's probe IR, compiling it on first use. `db` and `qgm`
+    /// must be the ones the plan was compiled from (the serving tier's
+    /// fingerprint key guarantees that; direct callers pass the same
+    /// references they gave [`compile_plan`]).
+    pub(crate) fn probe(&self, db: &Database, qgm: &Qgm, opts: &ProbeOptions) -> &SegmentProbe {
+        self.probe
+            .get_or_init(|| segment_to_probe(db, qgm, self.root, opts))
+    }
+}
+
+/// A plan compiled for matching: its bottom-up segment walk with
+/// per-segment signatures, pre-checks and lazily built probe IRs, plus
+/// the [`MatchConfig`] it was compiled under (probe ranges depend on the
+/// margin, segmentation on the join threshold — so the config travels
+/// with the artifact instead of being re-supplied, possibly mismatched,
+/// at match time). Compile once via [`compile_plan`], match any number
+/// of times via [`match_compiled`]: repeat matches skip the segment
+/// walk, the signature derivation and (after the first) probe
+/// compilation entirely.
+#[derive(Debug)]
+pub struct CompiledPlan {
+    cfg: MatchConfig,
+    segments: Vec<CompiledSegment>,
+}
+
+impl CompiledPlan {
+    /// The configuration the plan was compiled under.
+    pub fn config(&self) -> &MatchConfig {
+        &self.cfg
+    }
+
+    /// Number of matchable segments (bottom-up order).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub(crate) fn segments(&self) -> &[CompiledSegment] {
+        &self.segments
+    }
+}
+
+/// Compile a plan's segments for matching: the plan-side half of
+/// [`match_plan`], split out so the serving tier can cache it keyed by
+/// plan fingerprint. Cheap — no knowledge-base access, no probe ASTs
+/// (those build lazily on first evaluation).
+pub fn compile_plan(qgm: &Qgm, cfg: &MatchConfig) -> CompiledPlan {
+    let segments = segments(qgm, cfg.join_threshold)
+        .into_iter()
+        .map(|segment| {
+            // Candidate templates must share the segment's structural
+            // signature AND have per-operator cardinality ranges that
+            // could admit the segment's values — both necessary
+            // conditions, checked entirely in the index. The signature
+            // is derived from the card-check walk rather than
+            // recomputed.
+            let checks = segment_card_checks(qgm, segment.root);
+            let signature =
+                galo_qgm::shape_signature(segment.join_count, checks.iter().map(|&(ty, _)| ty));
+            CompiledSegment {
+                root: segment.root,
+                segment_op_id: qgm.pop(segment.root).op_id,
+                seg_pops: qgm
+                    .subtree(segment.root)
+                    .iter()
+                    .map(|&p| qgm.pop(p).op_id)
+                    .collect(),
+                signature,
+                checks,
+                probe: OnceLock::new(),
+            }
+        })
+        .collect();
+    CompiledPlan {
+        cfg: cfg.clone(),
+        segments,
+    }
+}
+
+/// Match a compiled plan against the knowledge base — the session half
+/// of [`match_plan`]: signature pruning, lazy candidate cursors, and one
+/// read-lock session for all of the plan's probe evaluations and
+/// guideline fetches (see the module docs). `db` and `qgm` must be the
+/// ones `compiled` was built from.
+pub fn match_compiled(
+    db: &Database,
+    kb: &KnowledgeBase,
+    qgm: &Qgm,
+    compiled: &CompiledPlan,
+) -> MatchReport {
     let t0 = Instant::now();
+    let cfg = &compiled.cfg;
     let mut report = MatchReport::default();
     let opts = cfg.probe_options();
     let mut claimed: HashSet<u32> = HashSet::new();
     let seed_vars = ["tmpl".to_string()];
 
-    // One read-lock session for all of the plan's probe evaluations and
-    // guideline fetches. Per segment (bottom-up): the claimed-overlap
-    // check and the signature-index pre-checks run before anything is
-    // compiled, the probe AST is built only for segments that will
-    // actually be evaluated, its pattern plan is prepared once, and
-    // candidates are evaluated lazily in ascending IRI order — the first
-    // non-empty candidate (the globally smallest matching template)
-    // decides the segment, so no work is spent past it.
+    // Per segment (bottom-up): the claimed-overlap check and the
+    // signature-index pre-checks run before anything is compiled, the
+    // probe AST is built only for segments that will actually be
+    // evaluated (then kept for every later match of this CompiledPlan),
+    // its pattern plan is prepared once, and candidates are evaluated
+    // lazily in ascending IRI order — the first non-empty candidate (the
+    // globally smallest matching template) decides the segment, so no
+    // work is spent past it.
     kb.server().with_store(|st| {
-        for segment in segments(qgm, cfg.join_threshold) {
-            let seg_pops: Vec<u32> = qgm
-                .subtree(segment.root)
-                .iter()
-                .map(|&p| qgm.pop(p).op_id)
-                .collect();
+        for seg in &compiled.segments {
             // Skip segments overlapping an earlier match — their rewrites
             // would fight over the same table references.
-            if seg_pops.iter().any(|id| claimed.contains(id)) {
+            if seg.seg_pops.iter().any(|id| claimed.contains(id)) {
                 continue;
             }
-            // Candidate templates must share the segment's structural
-            // signature AND have per-operator cardinality ranges that
-            // could admit the segment's values — both necessary
-            // conditions, checked entirely in the index. The signature is
-            // derived from the card-check walk rather than recomputed.
-            let checks = segment_card_checks(qgm, segment.root);
-            let signature =
-                galo_qgm::shape_signature(segment.join_count, checks.iter().map(|&(ty, _)| ty));
             // The first cursor pull doubles as the emptiness pre-check:
             // no admitted candidate means the segment is pruned before
             // any probe is compiled.
             let mut cursor = kb.next_candidate_admitting(
-                signature,
-                &checks,
+                seg.signature,
+                &seg.checks,
                 cfg.range_margin,
                 cfg.dataset.as_deref(),
                 None,
@@ -271,7 +380,11 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
                 report.probes_pruned += 1;
                 continue;
             }
-            let probe = segment_to_probe(db, qgm, segment.root, &opts);
+            let reused = seg.probe.get().is_some();
+            let probe = seg.probe(db, qgm, &opts);
+            if reused {
+                report.probes_reused += 1;
+            }
             if !galo_rdf::constants_interned(st, &probe.query) {
                 // A probe constant (e.g. an operator-type literal) was
                 // never interned: no template can match, and the store was
@@ -280,7 +393,6 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
                 continue;
             }
             let prepared = galo_rdf::prepare_seeded(st, &probe.query, &seed_vars);
-            let segment_op_id = qgm.pop(segment.root).op_id;
             // Candidates are pulled one at a time through the signature
             // index's cursor (ascending IRI order): no per-segment owned
             // candidate list, and the index lock is released between
@@ -297,15 +409,21 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
                             winning_solution(&solutions, &probe.scan_vars, |_| true)
                         {
                             matched = crate::kb::guideline_of_in(st, &iri).and_then(|g| {
-                                instantiate_match(g, &iri, &labels, &probe.scan_vars, segment_op_id)
+                                instantiate_match(
+                                    g,
+                                    &iri,
+                                    &labels,
+                                    &probe.scan_vars,
+                                    seg.segment_op_id,
+                                )
                             });
                         }
                         break; // first matching candidate decides the segment
                     }
                 }
                 cursor = kb.next_candidate_admitting(
-                    signature,
-                    &checks,
+                    seg.signature,
+                    &seg.checks,
                     cfg.range_margin,
                     cfg.dataset.as_deref(),
                     Some(&iri),
@@ -313,10 +431,26 @@ pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfi
             }
             if let Some(rewrites) = matched {
                 report.rewrites.extend(rewrites);
-                claimed.extend(seg_pops.iter().copied());
+                claimed.extend(seg.seg_pops.iter().copied());
             }
         }
     });
+    report.match_ms = t0.elapsed().as_secs_f64() * 1e3;
+    report
+}
+
+/// Match a plan's segments against the knowledge base — the production
+/// pipeline: signature pruning, compiled probe IR, and one read-lock
+/// session per plan (see the module docs). Equivalent to
+/// [`compile_plan`] followed by [`match_compiled`]; callers that match
+/// the same plan repeatedly keep the [`CompiledPlan`] (or let the
+/// serving tier cache it by fingerprint) to skip the per-call
+/// compilation.
+pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfig) -> MatchReport {
+    let t0 = Instant::now();
+    let compiled = compile_plan(qgm, cfg);
+    let mut report = match_compiled(db, kb, qgm, &compiled);
+    // Account compile + match, as before the split.
     report.match_ms = t0.elapsed().as_secs_f64() * 1e3;
     report
 }

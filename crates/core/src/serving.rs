@@ -1,0 +1,1078 @@
+//! The online serving tier — plan-fingerprint caching over the matching
+//! engine.
+//!
+//! [`match_plan`](crate::match_plan) compiles and matches every plan from
+//! scratch. In a serving deployment the same plans arrive over and over
+//! (parameterized workloads re-submit structurally identical QGMs), so
+//! this module puts a cache in front of the matcher, keyed by a
+//! **plan fingerprint** and invalidated by the knowledge base's
+//! **mutation epoch**:
+//!
+//! * [`plan_fingerprint`] hashes everything the match outcome can depend
+//!   on from the plan side — the full operator tree (kinds with their
+//!   parameters, estimated cardinalities and costs, input wiring, sort
+//!   orders), per-scan query qualifiers and belief statistics, and the
+//!   [`MatchConfig`] (join threshold, range margin, dataset restriction).
+//!   Two plans with equal fingerprints compile to the same probes and
+//!   admit the same templates.
+//! * [`ProbeCache`] is a striped CLOCK cache. Each entry holds the
+//!   plan's compiled probe IR ([`CompiledPlan`], reused even when the
+//!   outcome is stale) and optionally a full [`MatchReport`] stamped
+//!   with the epoch it was computed at. Stripes are independent locks,
+//!   so hot hits never contend with misses being inserted elsewhere.
+//! * [`ServingTier::serve`] validates with one atomic load: the KB's
+//!   epoch counter is a seqlock (even at rest, odd while a mutation is
+//!   in flight — see [`KnowledgeBase::epoch`]), so a cached report
+//!   stamped with even epoch `E` is current exactly while the counter
+//!   still reads `E`. Anything else is dropped, **never served**. A
+//!   fresh match is published to the cache only when the epoch read
+//!   before matching equals the (even) epoch read after — a result that
+//!   provably overlapped no KB mutation.
+//! * [`ServingTier::serve_batch`] coalesces the misses of a whole batch
+//!   into one candidate-discovery session, one
+//!   [`FusekiLite::probe_batch`](galo_rdf::FusekiLite::probe_batch)
+//!   fan-out over the parallel probe workers, and one replay session —
+//!   reproducing `match_plan`'s first-match-wins / claimed-overlap
+//!   semantics and its probe counters exactly (the differential tests
+//!   pin this).
+//! * [`AdmissionQueue`] is the bounded front end: producers block when
+//!   the queue is full (back-pressure), a serving thread drains plans
+//!   in batches sized for `serve_batch`.
+//!
+//! What a hit costs: one fingerprint walk over the QGM, one atomic
+//! epoch load, one stripe lock, one report clone — no store session, no
+//! probe evaluation, no allocation proportional to the knowledge base.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use galo_catalog::Database;
+use galo_qgm::{PopKind, Qgm};
+use galo_rdf::{Probe, Term};
+
+use crate::kb::KnowledgeBase;
+use crate::matching::{
+    compile_plan, instantiate_match, match_compiled, winning_solution, CompiledPlan, MatchConfig,
+    MatchReport, MatchedRewrite,
+};
+
+// ---------------------------------------------------------------------------
+// Plan fingerprints
+// ---------------------------------------------------------------------------
+
+/// FNV-1a, inlined rather than shared with `galo_rdf`'s interner hash:
+/// the two keyspaces are unrelated and must be free to evolve apart.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// Fingerprint a plan for cache keying: a 64-bit FNV-1a over every input
+/// the match outcome depends on from the query side.
+///
+/// Covered: the match configuration (join threshold, range margin,
+/// dataset restriction — folded into the key so one cache safely serves
+/// mixed configurations), the operator tree (ids, kinds *with their
+/// parameters* — which index, fetch flag, bloom flag, sort key —
+/// estimated cardinality and cost, input edges, output order), and per
+/// scan the query qualifier plus the belief statistics
+/// (`row_count`/`pages`/`row_size`) the probe ranges are built from.
+/// Statistics are hashed, not referenced: a belief refresh changes the
+/// fingerprint, so stale entries become unreachable rather than wrong.
+///
+/// Equal fingerprints ⇒ identical probes and identical admitted
+/// templates (up to the 2⁻⁶⁴ collision probability any hashed cache key
+/// carries; a collision serves a wrong-but-well-formed report, the same
+/// exposure as any fingerprint-keyed plan cache).
+pub fn plan_fingerprint(db: &Database, qgm: &Qgm, cfg: &MatchConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(cfg.join_threshold as u64);
+    h.u64(cfg.range_margin.to_bits());
+    match &cfg.dataset {
+        None => h.u64(0),
+        Some(d) => {
+            h.u64(1);
+            h.bytes(d.as_bytes());
+        }
+    }
+    h.u64(qgm.root().0 as u64);
+    for (id, pop) in qgm.pops() {
+        h.u64(id.0 as u64);
+        h.u64(pop.op_id as u64);
+        match &pop.kind {
+            PopKind::Return => h.u64(2),
+            PopKind::TbScan { table } => {
+                h.u64(3);
+                h.u64(*table as u64);
+            }
+            PopKind::IxScan {
+                table,
+                index,
+                fetch,
+            } => {
+                h.u64(4);
+                h.u64(*table as u64);
+                h.u64(index.0 as u64);
+                h.u64(*fetch as u64);
+            }
+            PopKind::NlJoin => h.u64(5),
+            PopKind::HsJoin { bloom } => {
+                h.u64(6);
+                h.u64(*bloom as u64);
+            }
+            PopKind::MsJoin => h.u64(7),
+            PopKind::Sort { key } => {
+                h.u64(8);
+                match key {
+                    None => h.u64(0),
+                    Some(c) => {
+                        h.u64(1);
+                        h.u64(c.table_idx as u64);
+                        h.u64(c.column.0 as u64);
+                    }
+                }
+            }
+            PopKind::Filter => h.u64(9),
+        }
+        h.u64(pop.est_card.to_bits());
+        h.u64(pop.est_cost.to_bits());
+        for input in &pop.inputs {
+            h.u64(input.0 as u64);
+        }
+        match &pop.order {
+            None => h.u64(0),
+            Some(c) => {
+                h.u64(1);
+                h.u64(c.table_idx as u64);
+                h.u64(c.column.0 as u64);
+            }
+        }
+        if let Some(t) = pop.kind.scan_table() {
+            let tref = &qgm.query.tables[t];
+            h.bytes(tref.qualifier.as_bytes());
+            let stats = db.belief.table(tref.table);
+            h.u64(stats.row_count);
+            h.u64(stats.pages);
+            h.u64(stats.row_size as u64);
+        }
+    }
+    h.0
+}
+
+// ---------------------------------------------------------------------------
+// The striped CLOCK cache
+// ---------------------------------------------------------------------------
+
+/// A point-in-time snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from a cached, epoch-current outcome.
+    pub hits: u64,
+    /// Lookups that found no servable outcome (cold, compiled-only, or
+    /// stale). Hit rate = `hits / (hits + misses)`.
+    pub misses: u64,
+    /// Cached outcomes dropped because the KB epoch had moved past them.
+    pub stale_drops: u64,
+    /// Cache entries inserted.
+    pub insertions: u64,
+    /// Cache entries evicted by the CLOCK hand.
+    pub evictions: u64,
+}
+
+/// What a cache lookup produced.
+pub enum CacheLookup {
+    /// A current outcome: the report (with `cache_hit` set) can be
+    /// served as-is, valid at the epoch the lookup validated against.
+    Hit(MatchReport),
+    /// The plan's compiled probe IR is cached but no current outcome is:
+    /// skip [`compile_plan`], run [`match_compiled`].
+    Compiled(Arc<CompiledPlan>),
+    /// Nothing cached for this fingerprint.
+    Miss,
+}
+
+struct CacheEntry {
+    fingerprint: u64,
+    compiled: Arc<CompiledPlan>,
+    /// The full match outcome, stamped with the (even) epoch it was
+    /// computed at. `None` after a stale drop — the compiled IR stays.
+    outcome: Option<(u64, MatchReport)>,
+    /// CLOCK reference bit.
+    referenced: bool,
+}
+
+struct Stripe {
+    map: HashMap<u64, usize>,
+    slots: Vec<Option<CacheEntry>>,
+    hand: usize,
+    capacity: usize,
+}
+
+impl Stripe {
+    /// A free slot for one insertion, evicting via the CLOCK sweep when
+    /// full. Returns the slot index and the evicted fingerprint, if any.
+    fn slot_for_insert(&mut self) -> (usize, Option<u64>) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(None);
+            return (self.slots.len() - 1, None);
+        }
+        loop {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            match &mut self.slots[i] {
+                Some(e) if e.referenced => e.referenced = false,
+                Some(e) => {
+                    let evicted = e.fingerprint;
+                    return (i, Some(evicted));
+                }
+                None => return (i, None),
+            }
+        }
+    }
+
+    fn insert(&mut self, entry: CacheEntry) -> Option<u64> {
+        let fp = entry.fingerprint;
+        let (slot, evicted) = self.slot_for_insert();
+        if let Some(old) = evicted {
+            self.map.remove(&old);
+        }
+        self.slots[slot] = Some(entry);
+        self.map.insert(fp, slot);
+        evicted
+    }
+}
+
+/// The fingerprint-keyed probe cache: `stripes` independent CLOCK caches
+/// of `stripe_capacity` entries each, routed by fingerprint. Lookups on
+/// different stripes never contend; within a stripe the critical section
+/// is a hash lookup plus (on hit) one report clone.
+pub struct ProbeCache {
+    stripes: Vec<Mutex<Stripe>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale_drops: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ProbeCache {
+    /// 8 stripes × 64 entries — 512 distinct plans, sized for the
+    /// workload suites (≤ ~100 distinct plans each) with slack.
+    fn default() -> Self {
+        ProbeCache::new(8, 64)
+    }
+}
+
+impl ProbeCache {
+    /// A cache with `stripes` independent stripes of `stripe_capacity`
+    /// entries each (both clamped to at least 1).
+    pub fn new(stripes: usize, stripe_capacity: usize) -> Self {
+        let n = stripes.max(1);
+        ProbeCache {
+            stripes: (0..n)
+                .map(|_| {
+                    Mutex::new(Stripe {
+                        map: HashMap::new(),
+                        slots: Vec::new(),
+                        hand: 0,
+                        capacity: stripe_capacity.max(1),
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale_drops: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe(&self, fingerprint: u64) -> MutexGuard<'_, Stripe> {
+        let i = (fingerprint % self.stripes.len() as u64) as usize;
+        self.stripes[i]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Look up a fingerprint, validating any cached outcome against
+    /// `epoch` (the KB epoch the caller just loaded).
+    ///
+    /// An outcome is served only when `epoch` is even (no mutation in
+    /// flight) **and** equals the outcome's stamp. An even `epoch` that
+    /// differs proves the KB changed since the outcome was computed: the
+    /// outcome is dropped on the spot. An odd `epoch` serves nothing but
+    /// also drops nothing — the in-flight mutation may yet commit as a
+    /// no-op and restore the stamped epoch.
+    pub fn lookup(&self, fingerprint: u64, epoch: u64) -> CacheLookup {
+        let mut stripe = self.stripe(fingerprint);
+        let Some(&slot) = stripe.map.get(&fingerprint) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Miss;
+        };
+        let entry = stripe.slots[slot].as_mut().expect("mapped slot occupied");
+        entry.referenced = true;
+        if epoch.is_multiple_of(2) {
+            match &entry.outcome {
+                Some((stamp, report)) if *stamp == epoch => {
+                    let mut served = report.clone();
+                    served.cache_hit = true;
+                    served.match_ms = 0.0;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return CacheLookup::Hit(served);
+                }
+                Some(_) => {
+                    entry.outcome = None;
+                    self.stale_drops.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        CacheLookup::Compiled(Arc::clone(&entry.compiled))
+    }
+
+    /// Cache a compiled plan for a fingerprint. If another thread raced
+    /// the insert, the incumbent wins and is returned — both sides then
+    /// share one `Arc`, so the probe IR is still built at most once.
+    pub fn insert_compiled(
+        &self,
+        fingerprint: u64,
+        compiled: Arc<CompiledPlan>,
+    ) -> Arc<CompiledPlan> {
+        let mut stripe = self.stripe(fingerprint);
+        if let Some(&slot) = stripe.map.get(&fingerprint) {
+            let entry = stripe.slots[slot].as_ref().expect("mapped slot occupied");
+            return Arc::clone(&entry.compiled);
+        }
+        let evicted = stripe.insert(CacheEntry {
+            fingerprint,
+            compiled: Arc::clone(&compiled),
+            outcome: None,
+            referenced: false,
+        });
+        drop(stripe);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        compiled
+    }
+
+    /// Publish a match outcome computed at (even) `epoch`. Re-inserts
+    /// the entry if the CLOCK hand evicted it since the lookup; an
+    /// existing outcome is only replaced by one at least as new.
+    pub fn store_outcome(
+        &self,
+        fingerprint: u64,
+        compiled: &Arc<CompiledPlan>,
+        epoch: u64,
+        report: &MatchReport,
+    ) {
+        debug_assert!(epoch.is_multiple_of(2), "outcomes are stamped at even epochs");
+        let mut stripe = self.stripe(fingerprint);
+        if let Some(&slot) = stripe.map.get(&fingerprint) {
+            let entry = stripe.slots[slot].as_mut().expect("mapped slot occupied");
+            let newer = match &entry.outcome {
+                Some((stamp, _)) => epoch >= *stamp,
+                None => true,
+            };
+            if newer {
+                entry.outcome = Some((epoch, report.clone()));
+            }
+            return;
+        }
+        let evicted = stripe.insert(CacheEntry {
+            fingerprint,
+            compiled: Arc::clone(compiled),
+            outcome: Some((epoch, report.clone())),
+            referenced: false,
+        });
+        drop(stripe);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently cached, across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .map
+                    .len()
+            })
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot (relaxed loads — exact under quiescence,
+    /// approximate while serving).
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The serving tier
+// ---------------------------------------------------------------------------
+
+/// One served plan.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The plan's cache key.
+    pub fingerprint: u64,
+    /// `Some(e)` — the report is validated at even KB epoch `e`: it is
+    /// exactly what an uncached match would produce against the KB state
+    /// at that epoch, and was (re)published to the cache. `None` — KB
+    /// mutations overlapped both match attempts; the report is still a
+    /// correct single-session match (probes ran under one read lock),
+    /// but is not attributable to one epoch and was not cached.
+    pub epoch: Option<u64>,
+    /// The match outcome (`report.cache_hit` tells hit from miss).
+    pub report: MatchReport,
+}
+
+/// The serving front end: a [`ProbeCache`] over one database, knowledge
+/// base and [`MatchConfig`]. All methods take `&self`; the tier is
+/// shared across serving threads by reference.
+pub struct ServingTier<'a> {
+    db: &'a Database,
+    kb: &'a KnowledgeBase,
+    cfg: MatchConfig,
+    cache: ProbeCache,
+}
+
+/// Phase-A classification of one (miss plan, segment) pair in
+/// [`ServingTier::serve_batch`] — mirrors the branches of
+/// [`match_compiled`] so the replay can reproduce its counters exactly.
+enum SegState {
+    /// Signature index admitted no candidates → `probes_pruned`.
+    NoCandidates,
+    /// Candidates exist but a probe constant was never interned →
+    /// `probes_pruned` (after the probe IR was built, so the reuse flag
+    /// still counts).
+    ConstantsMissing { preexisting: bool },
+    /// Probing: `probes` indexes this segment's candidate evaluations in
+    /// the flat batch, aligned with `candidates`.
+    Probing {
+        preexisting: bool,
+        candidates: Vec<String>,
+        probes: Range<usize>,
+    },
+}
+
+impl<'a> ServingTier<'a> {
+    /// A tier with the default cache geometry (8 stripes × 64 entries).
+    pub fn new(db: &'a Database, kb: &'a KnowledgeBase, cfg: MatchConfig) -> Self {
+        ServingTier::with_cache(db, kb, cfg, ProbeCache::default())
+    }
+
+    /// A tier over an explicitly sized cache.
+    pub fn with_cache(
+        db: &'a Database,
+        kb: &'a KnowledgeBase,
+        cfg: MatchConfig,
+        cache: ProbeCache,
+    ) -> Self {
+        ServingTier { db, kb, cfg, cache }
+    }
+
+    /// The configuration every served plan is matched under.
+    pub fn config(&self) -> &MatchConfig {
+        &self.cfg
+    }
+
+    /// The underlying cache (counter inspection, direct probing in
+    /// tests).
+    pub fn cache(&self) -> &ProbeCache {
+        &self.cache
+    }
+
+    /// Serve one plan.
+    ///
+    /// Hit path: fingerprint, one epoch load, one stripe lock, clone.
+    /// Miss path: [`match_compiled`] (compiling first on a cold plan),
+    /// then publish-if-stable — the outcome is cached only when the
+    /// epoch read before the match equals the even epoch read after it.
+    /// One retry absorbs a transient publish; a second overlap returns
+    /// the (still internally consistent) report unvalidated.
+    pub fn serve(&self, qgm: &Qgm) -> ServeOutcome {
+        let fingerprint = plan_fingerprint(self.db, qgm, &self.cfg);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let e1 = self.kb.epoch();
+            let compiled = match self.cache.lookup(fingerprint, e1) {
+                CacheLookup::Hit(report) => {
+                    return ServeOutcome {
+                        fingerprint,
+                        epoch: Some(e1),
+                        report,
+                    }
+                }
+                CacheLookup::Compiled(c) => c,
+                CacheLookup::Miss => self
+                    .cache
+                    .insert_compiled(fingerprint, Arc::new(compile_plan(qgm, &self.cfg))),
+            };
+            let report = match_compiled(self.db, self.kb, qgm, &compiled);
+            let e2 = self.kb.epoch();
+            if e1 == e2 && e1.is_multiple_of(2) {
+                self.cache
+                    .store_outcome(fingerprint, &compiled, e1, &report);
+                return ServeOutcome {
+                    fingerprint,
+                    epoch: Some(e1),
+                    report,
+                };
+            }
+            if attempt >= 2 {
+                return ServeOutcome {
+                    fingerprint,
+                    epoch: None,
+                    report,
+                };
+            }
+        }
+    }
+
+    /// Serve a batch, coalescing the misses' knowledge-base work.
+    ///
+    /// Hits are answered per plan as in [`serve`](Self::serve). The
+    /// misses then share three phases: candidate discovery and probe
+    /// compilation under one read session; one
+    /// [`probe_batch`](galo_rdf::FusekiLite::probe_batch) over all
+    /// (segment × candidate) probes, keeping a segment's candidates
+    /// contiguous so the endpoint's prepared-plan reuse kicks in; and a
+    /// bottom-up replay reproducing `match_compiled`'s first-match-wins,
+    /// claimed-overlap and counter semantics. If the epoch moved during
+    /// the batch, the misses fall back to per-plan [`serve`](Self::serve)
+    /// (which revalidates or returns unvalidated), so a served result is
+    /// never a cross-epoch mixture.
+    pub fn serve_batch(&self, plans: &[&Qgm]) -> Vec<ServeOutcome> {
+        let e1 = self.kb.epoch();
+        if !e1.is_multiple_of(2) {
+            // A mutation is in flight; batching would only discover that
+            // at the end. Serve per plan — each retries around the write.
+            return plans.iter().map(|q| self.serve(q)).collect();
+        }
+        let fingerprints: Vec<u64> = plans
+            .iter()
+            .map(|q| plan_fingerprint(self.db, q, &self.cfg))
+            .collect();
+        let mut out: Vec<Option<ServeOutcome>> = Vec::with_capacity(plans.len());
+        out.resize_with(plans.len(), || None);
+        let mut misses: Vec<(usize, Arc<CompiledPlan>)> = Vec::new();
+        for (i, qgm) in plans.iter().enumerate() {
+            match self.cache.lookup(fingerprints[i], e1) {
+                CacheLookup::Hit(report) => {
+                    out[i] = Some(ServeOutcome {
+                        fingerprint: fingerprints[i],
+                        epoch: Some(e1),
+                        report,
+                    });
+                }
+                CacheLookup::Compiled(c) => misses.push((i, c)),
+                CacheLookup::Miss => misses.push((
+                    i,
+                    self.cache
+                        .insert_compiled(fingerprints[i], Arc::new(compile_plan(qgm, &self.cfg))),
+                )),
+            }
+        }
+        if misses.is_empty() {
+            return out.into_iter().map(|o| o.expect("all served")).collect();
+        }
+
+        // Phase A — one read session: drain each segment's candidate
+        // cursor, build its probe IR (recording whether it pre-existed),
+        // and drop candidates whose IRI was never interned, exactly as
+        // the per-plan matcher skips them.
+        let opts = self.cfg.probe_options();
+        let mut states: Vec<Vec<SegState>> = Vec::with_capacity(misses.len());
+        self.kb.server().with_store(|st| {
+            for (i, compiled) in &misses {
+                let qgm = plans[*i];
+                let mut plan_states = Vec::with_capacity(compiled.segment_count());
+                for seg in compiled.segments() {
+                    let mut candidates: Vec<String> = Vec::new();
+                    let mut cursor = self.kb.next_candidate_admitting(
+                        seg.signature,
+                        &seg.checks,
+                        self.cfg.range_margin,
+                        self.cfg.dataset.as_deref(),
+                        None,
+                    );
+                    while let Some(iri) = cursor {
+                        cursor = self.kb.next_candidate_admitting(
+                            seg.signature,
+                            &seg.checks,
+                            self.cfg.range_margin,
+                            self.cfg.dataset.as_deref(),
+                            Some(&iri),
+                        );
+                        candidates.push(iri);
+                    }
+                    if candidates.is_empty() {
+                        plan_states.push(SegState::NoCandidates);
+                        continue;
+                    }
+                    let preexisting = seg.probe.get().is_some();
+                    let probe = seg.probe(self.db, qgm, &opts);
+                    if !galo_rdf::constants_interned(st, &probe.query) {
+                        plan_states.push(SegState::ConstantsMissing { preexisting });
+                        continue;
+                    }
+                    candidates.retain(|iri| st.term_id(&Term::iri(iri.as_str())).is_some());
+                    plan_states.push(SegState::Probing {
+                        preexisting,
+                        candidates,
+                        probes: 0..0,
+                    });
+                }
+                states.push(plan_states);
+            }
+        });
+
+        // Phase B — flatten and fan out. Probes of one segment stay
+        // contiguous (same query pointer, same seed var) so consecutive
+        // candidates share a prepared pattern plan inside the endpoint.
+        let mut flat: Vec<Probe<'_>> = Vec::new();
+        for ((_, compiled), plan_states) in misses.iter().zip(states.iter_mut()) {
+            for (seg, state) in compiled.segments().iter().zip(plan_states.iter_mut()) {
+                if let SegState::Probing {
+                    candidates, probes, ..
+                } = state
+                {
+                    let probe = seg.probe.get().expect("built in phase A");
+                    *probes = flat.len()..flat.len() + candidates.len();
+                    for iri in candidates.iter() {
+                        flat.push(Probe {
+                            query: &probe.query,
+                            bind: vec![("tmpl".to_string(), Term::iri(iri.as_str()))],
+                        });
+                    }
+                }
+            }
+        }
+        let results = self.kb.server().probe_batch(&flat);
+
+        // Phase C — bottom-up replay with `match_compiled`'s exact
+        // claim/counter rules: claimed segments contribute nothing,
+        // evaluations count only up to a segment's first non-empty
+        // candidate (later probes in the batch were speculative).
+        let mut reports: Vec<MatchReport> = Vec::with_capacity(misses.len());
+        self.kb.server().with_store(|st| {
+            for ((_, compiled), plan_states) in misses.iter().zip(states.iter()) {
+                let mut report = MatchReport::default();
+                let mut claimed: HashSet<u32> = HashSet::new();
+                for (seg, state) in compiled.segments().iter().zip(plan_states.iter()) {
+                    if seg.seg_pops.iter().any(|id| claimed.contains(id)) {
+                        continue;
+                    }
+                    match state {
+                        SegState::NoCandidates => report.probes_pruned += 1,
+                        SegState::ConstantsMissing { preexisting } => {
+                            report.probes_reused += *preexisting as usize;
+                            report.probes_pruned += 1;
+                        }
+                        SegState::Probing {
+                            preexisting,
+                            candidates,
+                            probes,
+                        } => {
+                            report.probes_reused += *preexisting as usize;
+                            let probe = seg.probe.get().expect("built in phase A");
+                            let mut matched: Option<Vec<MatchedRewrite>> = None;
+                            for (c, iri) in candidates.iter().enumerate() {
+                                report.probes_executed += 1;
+                                let solutions = &results[probes.start + c];
+                                if !solutions.is_empty() {
+                                    if let Some((_, labels)) =
+                                        winning_solution(solutions, &probe.scan_vars, |_| true)
+                                    {
+                                        matched =
+                                            crate::kb::guideline_of_in(st, iri).and_then(|g| {
+                                                instantiate_match(
+                                                    g,
+                                                    iri,
+                                                    &labels,
+                                                    &probe.scan_vars,
+                                                    seg.segment_op_id,
+                                                )
+                                            });
+                                    }
+                                    break;
+                                }
+                            }
+                            if let Some(rewrites) = matched {
+                                report.rewrites.extend(rewrites);
+                                claimed.extend(seg.seg_pops.iter().copied());
+                            }
+                        }
+                    }
+                }
+                reports.push(report);
+            }
+        });
+
+        let e_final = self.kb.epoch();
+        if e_final == e1 {
+            for ((i, compiled), report) in misses.iter().zip(reports) {
+                self.cache
+                    .store_outcome(fingerprints[*i], compiled, e1, &report);
+                out[*i] = Some(ServeOutcome {
+                    fingerprint: fingerprints[*i],
+                    epoch: Some(e1),
+                    report,
+                });
+            }
+        } else {
+            // The KB moved under the batch. The per-plan path revalidates
+            // each miss individually (or returns it unvalidated).
+            for (i, _) in &misses {
+                out[*i] = Some(self.serve(plans[*i]));
+            }
+        }
+        out.into_iter().map(|o| o.expect("all served")).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched admission
+// ---------------------------------------------------------------------------
+
+struct QueueState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer admission queue feeding
+/// [`ServingTier::serve_batch`].
+///
+/// Producers [`push`](Self::push) plans and block when the queue is
+/// full (back-pressure instead of unbounded growth); the serving thread
+/// [`drain_batch`](Self::drain_batch)es up to a batch size, blocking
+/// only when the queue is empty. Sizing: the capacity bounds queueing
+/// delay (a plan waits at most `capacity / drain rate`); the batch size
+/// bounds how many misses coalesce into one probe fan-out — batches
+/// larger than the KB's parallel probe width mostly add latency.
+pub struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` queued items (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Enqueue, blocking while the queue is full. `Err` returns the item
+    /// when the queue was closed before it could be admitted.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        while state.queue.len() >= self.capacity && !state.closed {
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue without blocking; `Err` returns the item when the queue
+    /// is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        if state.closed || state.queue.len() >= self.capacity {
+            return Err(item);
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue up to `max` items, blocking while the queue is empty and
+    /// open. An empty vector means the queue is closed **and** drained —
+    /// the consumer's shutdown signal.
+    pub fn drain_batch(&self, max: usize) -> Vec<T> {
+        let max = max.max(1);
+        let mut state = self.lock();
+        while state.queue.is_empty() && !state.closed {
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        let n = state.queue.len().min(max);
+        let batch: Vec<T> = state.queue.drain(..n).collect();
+        drop(state);
+        if !batch.is_empty() {
+            self.not_full.notify_all();
+        }
+        batch
+    }
+
+    /// Close the queue: pending pushes fail, queued items remain
+    /// drainable, and once drained `drain_batch` returns empty.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galo_catalog::{col, ColumnStats, ColumnType, DatabaseBuilder, SystemConfig, Table};
+    use galo_optimizer::Optimizer;
+
+    fn tiny_plan() -> (Database, Qgm) {
+        let mut b = DatabaseBuilder::new("serve_unit", SystemConfig::default_1gb());
+        b.add_table(
+            Table::new(
+                "T",
+                vec![
+                    col("A", ColumnType::Integer),
+                    col("B", ColumnType::Varchar(8)),
+                ],
+            ),
+            10_000,
+            vec![
+                ColumnStats::uniform(10_000, 0.0, 10_000.0, 4),
+                ColumnStats::uniform(50, 0.0, 1e6, 8),
+            ],
+        );
+        let db = b.build();
+        let q = galo_sql::parse(&db, "q", "SELECT a FROM t WHERE b = 'X'").unwrap();
+        let qgm = Optimizer::new(&db).optimize(&q).unwrap();
+        (db, qgm)
+    }
+
+    fn fp(db: &Database, qgm: &Qgm, cfg: &MatchConfig) -> u64 {
+        plan_fingerprint(db, qgm, cfg)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_config_sensitive() {
+        let (db, qgm) = tiny_plan();
+        let base = MatchConfig::default();
+        assert_eq!(fp(&db, &qgm, &base), fp(&db, &qgm, &base));
+        let margin = MatchConfig {
+            range_margin: 2.0,
+            ..MatchConfig::default()
+        };
+        let threshold = MatchConfig {
+            join_threshold: 2,
+            ..MatchConfig::default()
+        };
+        let dataset = MatchConfig {
+            dataset: Some("w1".into()),
+            ..MatchConfig::default()
+        };
+        let keys = [
+            fp(&db, &qgm, &base),
+            fp(&db, &qgm, &margin),
+            fp(&db, &qgm, &threshold),
+            fp(&db, &qgm, &dataset),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "configs {i} and {j} collide");
+            }
+        }
+        // A structurally different plan keys differently. (Two queries
+        // whose plans, estimates and qualifiers coincide key the same —
+        // that is the point of a plan-shaped key: their match outcomes
+        // are identical.)
+        let q2 = galo_sql::parse(&db, "q2", "SELECT a FROM t").unwrap();
+        let qgm2 = Optimizer::new(&db).optimize(&q2).unwrap();
+        assert_ne!(fp(&db, &qgm, &base), fp(&db, &qgm2, &base));
+    }
+
+    #[test]
+    fn fingerprint_tracks_belief_statistics() {
+        let (db, qgm) = tiny_plan();
+        let cfg = MatchConfig::default();
+        let before = fp(&db, &qgm, &cfg);
+        let mut db2 = db;
+        // Same plan tree, refreshed belief: the key must move so the old
+        // entry becomes unreachable instead of stale.
+        let t = db2.table_id("T").unwrap();
+        db2.belief.table_mut(t).row_count *= 2;
+        assert_ne!(before, fp(&db2, &qgm, &cfg));
+    }
+
+    #[test]
+    fn clock_cache_evicts_unreferenced_first() {
+        let (_db, qgm) = tiny_plan();
+        let cfg = MatchConfig::default();
+        let cache = ProbeCache::new(1, 2);
+        let compiled = Arc::new(compile_plan(&qgm, &cfg));
+        cache.insert_compiled(1, Arc::clone(&compiled));
+        cache.insert_compiled(2, Arc::clone(&compiled));
+        assert_eq!(cache.len(), 2);
+        // Touch 1 so its reference bit is set, then overflow: the sweep
+        // must clear 1's bit, pass it over, and evict 2.
+        let _ = cache.lookup(1, 0);
+        cache.insert_compiled(3, Arc::clone(&compiled));
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup(1, 0), CacheLookup::Compiled(_)));
+        assert!(matches!(cache.lookup(2, 0), CacheLookup::Miss));
+        assert!(matches!(cache.lookup(3, 0), CacheLookup::Compiled(_)));
+        let c = cache.counters();
+        assert_eq!(c.insertions, 3);
+        assert_eq!(c.evictions, 1);
+    }
+
+    #[test]
+    fn stale_outcomes_drop_but_odd_epochs_preserve_them() {
+        let (_db, qgm) = tiny_plan();
+        let cfg = MatchConfig::default();
+        let cache = ProbeCache::new(1, 4);
+        let compiled = Arc::new(compile_plan(&qgm, &cfg));
+        let report = MatchReport::default();
+        cache.insert_compiled(7, Arc::clone(&compiled));
+        cache.store_outcome(7, &compiled, 10, &report);
+        assert!(matches!(cache.lookup(7, 10), CacheLookup::Hit(_)));
+        // Odd epoch: mutation in flight — no hit, but no drop either
+        // (the writer may commit as a no-op and restore epoch 10).
+        assert!(matches!(cache.lookup(7, 11), CacheLookup::Compiled(_)));
+        assert_eq!(cache.counters().stale_drops, 0);
+        assert!(matches!(cache.lookup(7, 10), CacheLookup::Hit(_)));
+        // Even epoch ahead of the stamp: provably stale, dropped for
+        // good — epoch 10 never hits again.
+        assert!(matches!(cache.lookup(7, 12), CacheLookup::Compiled(_)));
+        assert_eq!(cache.counters().stale_drops, 1);
+        assert!(matches!(cache.lookup(7, 10), CacheLookup::Compiled(_)));
+    }
+
+    #[test]
+    fn hit_reports_are_flagged_and_timeless() {
+        let (_db, qgm) = tiny_plan();
+        let cfg = MatchConfig::default();
+        let cache = ProbeCache::new(2, 4);
+        let compiled = Arc::new(compile_plan(&qgm, &cfg));
+        let report = MatchReport {
+            match_ms: 3.5,
+            probes_executed: 2,
+            ..MatchReport::default()
+        };
+        cache.store_outcome(9, &compiled, 4, &report);
+        match cache.lookup(9, 4) {
+            CacheLookup::Hit(served) => {
+                assert!(served.cache_hit);
+                assert_eq!(served.match_ms, 0.0);
+                assert_eq!(served.probes_executed, 2);
+            }
+            _ => panic!("expected a hit"),
+        }
+    }
+
+    #[test]
+    fn admission_queue_blocks_drains_and_closes() {
+        use std::sync::Arc as StdArc;
+        let q: StdArc<AdmissionQueue<u32>> = StdArc::new(AdmissionQueue::new(2));
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.try_push(3).is_err(), "full queue must refuse try_push");
+
+        // A blocked producer is released by a drain.
+        let producer = {
+            let q = StdArc::clone(&q);
+            std::thread::spawn(move || q.push(4).is_ok())
+        };
+        // Drain everything queued so far; the blocked push lands next.
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            got.extend(q.drain_batch(8));
+        }
+        assert!(producer.join().unwrap());
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 4]);
+
+        // A blocked consumer is released by close; leftovers drain first.
+        assert!(q.push(5).is_ok());
+        q.close();
+        assert!(q.push(6).is_err(), "closed queue must refuse pushes");
+        assert_eq!(q.drain_batch(8), vec![5]);
+        assert!(q.drain_batch(8).is_empty(), "closed + drained => empty");
+
+        let consumer = {
+            let q: StdArc<AdmissionQueue<u32>> = StdArc::new(AdmissionQueue::new(1));
+            let q2 = StdArc::clone(&q);
+            let h = std::thread::spawn(move || q2.drain_batch(4));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+            h
+        };
+        assert!(consumer.join().unwrap().is_empty());
+    }
+}

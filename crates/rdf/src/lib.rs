@@ -48,7 +48,7 @@ pub mod term;
 
 pub use ntriples::{from_ntriples, load_ntriples, parse_ntriples, to_ntriples, NtParseError, Quad};
 pub use persist::{DurableOptions, DurableStore, ScratchDir};
-pub use server::{FusekiLite, Probe, ServerError};
+pub use server::{FusekiLite, MutationScope, Probe, ServerError};
 pub use shard::{HashRouter, ShardRouter, ShardStats, ShardedStore, TemplateRouter};
 pub use sparql::{
     apply_update, constants_interned, evaluate, evaluate_prepared, evaluate_seeded, parse_select,

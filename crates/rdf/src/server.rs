@@ -8,7 +8,7 @@
 //! operations: concurrent reads, exclusive writes, text-level SPARQL
 //! endpoints, and N-Triples persistence.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::ntriples::{parse_ntriples, to_ntriples, NtParseError};
 use crate::shard::{ShardRouter, ShardStats, ShardedStore};
@@ -86,6 +86,68 @@ impl From<std::io::Error> for ServerError {
 #[derive(Debug)]
 pub struct FusekiLite {
     store: Backing,
+    /// Seqlock-style mutation epoch (see
+    /// [`mutation_epoch`](Self::mutation_epoch)): **odd** while a write is
+    /// in flight, **even** and advanced by one generation (+2) once a
+    /// content-changing write has fully applied. Serving-tier caches
+    /// validate entries with one atomic load against this counter.
+    epoch: std::sync::atomic::AtomicU64,
+    /// Serializes epoch transitions across writers (a [`MutationScope`]
+    /// holds it from begin to commit), so the odd/even protocol stays
+    /// sound even on a sharded backend where the data writes themselves
+    /// only take per-shard locks.
+    write_serial: Mutex<()>,
+}
+
+/// An open mutation window on a [`FusekiLite`] endpoint: created by
+/// [`FusekiLite::mutation_scope`], which moves the epoch **odd** (write in
+/// flight) and serializes against other writers. Apply the mutation —
+/// through [`with_store_mut`](FusekiLite::with_store_mut), the raw write
+/// helpers, or any derived-index updates — while the scope is alive, then
+/// call [`commit`](Self::commit) with whether anything actually changed:
+/// the epoch returns to **even**, advanced one generation for a real
+/// change and restored unchanged for a no-op. Dropping the scope without
+/// committing (including on panic) conservatively counts as a change.
+///
+/// This is what makes the serving cache's validation airtight: an
+/// observer that reads the same *even* epoch before and after a
+/// computation is guaranteed no mutation overlapped it — there is no
+/// window where data has changed but the counter has not.
+#[must_use = "a mutation scope left uncommitted invalidates caches conservatively"]
+pub struct MutationScope<'a> {
+    epoch: &'a std::sync::atomic::AtomicU64,
+    _serial: MutexGuard<'a, ()>,
+    committed: bool,
+}
+
+impl MutationScope<'_> {
+    /// Close the window: `changed = true` advances the epoch to the next
+    /// even generation, `false` restores the pre-scope value (a no-op
+    /// write invalidates nothing).
+    pub fn commit(mut self, changed: bool) {
+        self.close(changed);
+    }
+
+    fn close(&mut self, changed: bool) {
+        use std::sync::atomic::Ordering::SeqCst;
+        if !self.committed {
+            self.committed = true;
+            if changed {
+                self.epoch.fetch_add(1, SeqCst);
+            } else {
+                self.epoch.fetch_sub(1, SeqCst);
+            }
+        }
+    }
+}
+
+impl Drop for MutationScope<'_> {
+    fn drop(&mut self) {
+        // An abandoned scope (early return, panic mid-mutation) must not
+        // leave the epoch odd forever; treat it as a change so anything
+        // computed meanwhile stays invalid.
+        self.close(true);
+    }
 }
 
 /// The two lock disciplines behind the endpoint: one global `RwLock`
@@ -112,6 +174,8 @@ impl FusekiLite {
     pub fn with_backend(backend: Box<dyn TripleStore>) -> Self {
         FusekiLite {
             store: Backing::Single(RwLock::new(backend)),
+            epoch: std::sync::atomic::AtomicU64::new(0),
+            write_serial: Mutex::new(()),
         }
     }
 
@@ -178,6 +242,54 @@ impl FusekiLite {
     pub fn from_sharded(store: ShardedStore) -> Self {
         FusekiLite {
             store: Backing::Sharded(store),
+            epoch: std::sync::atomic::AtomicU64::new(0),
+            write_serial: Mutex::new(()),
+        }
+    }
+
+    /// The endpoint's mutation epoch, a seqlock-style counter:
+    ///
+    /// - **even** — the store is at rest; the value identifies its
+    ///   current generation.
+    /// - **odd** — a write is in flight (its [`MutationScope`] is open).
+    ///
+    /// Every content-changing write acknowledged through the endpoint's
+    /// write methods ([`update`](Self::update),
+    /// [`insert_triples`](Self::insert_triples) and friends,
+    /// [`insert_quads`](Self::insert_quads),
+    /// [`remove_triples`](Self::remove_triples),
+    /// [`import`](Self::import), [`clear`](Self::clear)) advances the
+    /// counter by exactly one generation (+2: odd at begin, next even at
+    /// commit). No-op writes (idempotent republishes, removals of absent
+    /// triples) restore the pre-write value, so an unchanged even epoch
+    /// means unchanged store contents.
+    ///
+    /// The begin-*before*, commit-*after* discipline is what serving
+    /// caches rely on: a result computed between two equal **even** loads
+    /// provably overlapped no write, and a cached entry stamped with even
+    /// epoch `E` is current exactly while the counter still reads `E` —
+    /// there is no instant at which data has changed but the counter has
+    /// not. Raw [`with_store_mut`](Self::with_store_mut) access bypasses
+    /// the counter; callers mutating through it must wrap the mutation
+    /// (including any derived-index updates) in a
+    /// [`mutation_scope`](Self::mutation_scope), as the knowledge base's
+    /// mutators do.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Open a [`MutationScope`]: serialize against other writers and move
+    /// the epoch odd. Apply the mutation while the scope is alive, then
+    /// [`commit`](MutationScope::commit) with whether anything changed.
+    /// Re-entrant use from one thread deadlocks — compose raw
+    /// (scope-free) operations inside a single scope instead.
+    pub fn mutation_scope(&self) -> MutationScope<'_> {
+        let serial = self.write_serial.lock();
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        MutationScope {
+            epoch: &self.epoch,
+            _serial: serial,
+            committed: false,
         }
     }
 
@@ -255,12 +367,15 @@ impl FusekiLite {
     /// Execute a SPARQL update from text; returns affected triple count.
     pub fn update(&self, text: &str) -> Result<usize, ServerError> {
         let u = parse_update(text)?;
-        Ok(self.with_store_mut(|st| {
+        let scope = self.mutation_scope();
+        let n = self.with_store_mut(|st| {
             st.begin_batch();
             let n = apply_update(st, &u);
             st.end_batch();
             n
-        }))
+        });
+        scope.commit(n > 0);
+        Ok(n)
     }
 
     /// Insert a batch of triples in one write transaction. On a durable
@@ -269,7 +384,8 @@ impl FusekiLite {
     /// so concurrent batches bound for different shards proceed in
     /// parallel.
     pub fn insert_triples(&self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
-        match &self.store {
+        let scope = self.mutation_scope();
+        let n = match &self.store {
             Backing::Single(lock) => {
                 let mut store = lock.write();
                 store.begin_batch();
@@ -281,7 +397,9 @@ impl FusekiLite {
                 n
             }
             Backing::Sharded(s) => s.insert_terms_batch(triples),
-        }
+        };
+        scope.commit(n > 0);
+        n
     }
 
     /// Insert a batch of triples into a named graph in one transaction
@@ -292,7 +410,8 @@ impl FusekiLite {
         graph: Term,
         triples: impl IntoIterator<Item = (Term, Term, Term)>,
     ) -> usize {
-        match &self.store {
+        let scope = self.mutation_scope();
+        let n = match &self.store {
             Backing::Single(lock) => {
                 let mut store = lock.write();
                 store.begin_batch();
@@ -312,7 +431,9 @@ impl FusekiLite {
                 n
             }
             Backing::Sharded(s) => s.insert_terms_batch_in(graph, triples),
-        }
+        };
+        scope.commit(n > 0);
+        n
     }
 
     /// Append a mixed batch of default-graph triples (`graph: None`) and
@@ -324,6 +445,22 @@ impl FusekiLite {
     /// write-local on one shard and only the routed shards are locked.
     /// Returns how many quads were new.
     pub fn insert_quads(&self, quads: impl IntoIterator<Item = crate::ntriples::Quad>) -> usize {
+        let scope = self.mutation_scope();
+        let n = self.insert_quads_raw(quads);
+        scope.commit(n > 0);
+        n
+    }
+
+    /// [`insert_quads`](Self::insert_quads) without its own
+    /// [`mutation_scope`](Self::mutation_scope): for callers composing a
+    /// larger logical change (store write *plus* derived-index updates)
+    /// under one scope they opened themselves — the knowledge base's
+    /// batch publish does. Calling this outside a scope leaves the epoch
+    /// behind the data; don't.
+    pub fn insert_quads_raw(
+        &self,
+        quads: impl IntoIterator<Item = crate::ntriples::Quad>,
+    ) -> usize {
         match &self.store {
             Backing::Single(lock) => {
                 let mut store = lock.write();
@@ -346,7 +483,8 @@ impl FusekiLite {
     /// many were present. Batched like
     /// [`insert_triples`](Self::insert_triples).
     pub fn remove_triples(&self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
-        match &self.store {
+        let scope = self.mutation_scope();
+        let n = match &self.store {
             Backing::Single(lock) => {
                 let mut store = lock.write();
                 store.begin_batch();
@@ -358,7 +496,9 @@ impl FusekiLite {
                 n
             }
             Backing::Sharded(s) => s.remove_terms_batch(triples),
-        }
+        };
+        scope.commit(n > 0);
+        n
     }
 
     /// Names of the dataset's non-empty named graphs.
@@ -380,7 +520,12 @@ impl FusekiLite {
     }
 
     /// Run a closure with exclusive write access (a write transaction;
-    /// an all-shard write session on a sharded backend).
+    /// an all-shard write session on a sharded backend). Raw access does
+    /// **not** advance the [`mutation_epoch`](Self::mutation_epoch) —
+    /// callers that mutate through it must hold a
+    /// [`mutation_scope`](Self::mutation_scope) spanning their whole
+    /// logical change (including any derived index) and commit it once
+    /// fully applied, as the knowledge base's mutators do.
     pub fn with_store_mut<T>(&self, f: impl FnOnce(&mut dyn TripleStore) -> T) -> T {
         match &self.store {
             Backing::Single(lock) => f(lock.write().as_mut()),
@@ -412,7 +557,8 @@ impl FusekiLite {
     /// default-graph triples imported.
     pub fn import(&self, text: &str) -> Result<usize, ServerError> {
         let triples = parse_ntriples(text)?;
-        Ok(self.with_store_mut(|store| {
+        let scope = self.mutation_scope();
+        let n = self.with_store_mut(|store| {
             store.clear();
             store.begin_batch();
             let mut n = 0;
@@ -430,7 +576,20 @@ impl FusekiLite {
             }
             store.end_batch();
             n
-        }))
+        });
+        // A replace-all is one logical change even when the imported text
+        // reproduces the previous contents byte-for-byte: the clear makes
+        // the old state unobservable, so conservatively invalidate.
+        scope.commit(true);
+        Ok(n)
+    }
+
+    /// Drop every triple and named graph — one write transaction, one
+    /// epoch generation.
+    pub fn clear(&self) {
+        let scope = self.mutation_scope();
+        self.with_store_mut(|store| store.clear());
+        scope.commit(true);
     }
 }
 
@@ -709,6 +868,63 @@ mod tests {
         assert_eq!(out[0].vars, vec!["s"]);
         assert!(out[1].is_empty());
         assert_eq!(out[1].vars, vec!["s", "c"]);
+    }
+
+    #[test]
+    fn mutation_epoch_advances_once_per_logical_change() {
+        // One generation = +2: the seqlock protocol passes through an odd
+        // in-flight value and lands on the next even one. At rest the
+        // counter is always even.
+        const GEN: u64 = 2;
+        for f in [FusekiLite::new(), FusekiLite::open_sharded(4)] {
+            let e0 = f.mutation_epoch();
+            assert_eq!(e0 % 2, 0, "epoch must be even at rest");
+            // A content-changing insert advances exactly one generation.
+            let t = (Term::iri("http://s"), Term::iri("http://p"), Term::lit("1"));
+            assert_eq!(f.insert_triples([t.clone()]), 1);
+            assert_eq!(f.mutation_epoch(), e0 + GEN);
+            // An idempotent re-insert is a no-op: no advance.
+            assert_eq!(f.insert_triples([t.clone()]), 0);
+            assert_eq!(f.mutation_epoch(), e0 + GEN);
+            // Removal of a present triple advances; of an absent one
+            // doesn't.
+            assert_eq!(f.remove_triples([t.clone()]), 1);
+            assert_eq!(f.mutation_epoch(), e0 + 2 * GEN);
+            assert_eq!(f.remove_triples([t.clone()]), 0);
+            assert_eq!(f.mutation_epoch(), e0 + 2 * GEN);
+            // SPARQL updates advance only when they change anything.
+            f.update("INSERT DATA { <http://x> <http://p> \"v\" . }")
+                .unwrap();
+            assert_eq!(f.mutation_epoch(), e0 + 3 * GEN);
+            f.update("DELETE WHERE { ?s <http://nope> ?o . }").unwrap();
+            assert_eq!(f.mutation_epoch(), e0 + 3 * GEN);
+            // Named-graph and quad writes advance; idempotent replays
+            // don't.
+            let g = Term::iri("http://galo/kb/graph/workload/w");
+            let tag = (Term::iri("http://t"), Term::iri("http://p"), Term::lit("t"));
+            assert_eq!(f.insert_triples_in(g.clone(), [tag.clone()]), 1);
+            assert_eq!(f.mutation_epoch(), e0 + 4 * GEN);
+            assert_eq!(f.insert_triples_in(g.clone(), [tag.clone()]), 0);
+            assert_eq!(f.mutation_epoch(), e0 + 4 * GEN);
+            // import is always one logical change; clear too. Reads never
+            // advance.
+            let dump = f.export();
+            f.import(&dump).unwrap();
+            assert_eq!(f.mutation_epoch(), e0 + 5 * GEN);
+            let _ = f.query("SELECT ?s WHERE { ?s <http://p> ?o . }");
+            let _ = f.len();
+            assert_eq!(f.mutation_epoch(), e0 + 5 * GEN);
+            f.clear();
+            assert_eq!(f.mutation_epoch(), e0 + 6 * GEN);
+            assert!(f.is_empty());
+            // A scope abandoned without commit (panic path) still lands
+            // even and invalidates conservatively.
+            drop(f.mutation_scope());
+            assert_eq!(f.mutation_epoch(), e0 + 7 * GEN);
+            // A committed no-op scope restores the exact pre-scope value.
+            f.mutation_scope().commit(false);
+            assert_eq!(f.mutation_epoch(), e0 + 7 * GEN);
+        }
     }
 
     #[test]

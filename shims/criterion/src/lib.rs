@@ -15,8 +15,12 @@
 //!   so a full bench binary finishes in seconds instead of minutes.
 //! * `GALO_BENCH_JSON=<path>` — on harness drop, write every collected
 //!   result as a JSON array (`name`/`median_ns`/`mean_ns`/`min_ns`/
-//!   `samples` per entry), the artifact CI uploads to track the perf
-//!   trajectory across PRs.
+//!   `p50_ns`/`p99_ns`/`samples` per entry), the artifact CI uploads to
+//!   track the perf trajectory across PRs. Percentiles use the
+//!   nearest-rank method over the sorted samples, so `p50` equals the
+//!   reported median and `p99` is the tail the serving bench's latency
+//!   targets are written against (with few samples — quick mode — it
+//!   degrades to the max, which is the conservative direction).
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -77,7 +81,17 @@ struct BenchRecord {
     median_ns: u128,
     mean_ns: u128,
     min_ns: u128,
+    p50_ns: u128,
+    p99_ns: u128,
     samples: usize,
+}
+
+/// Nearest-rank percentile over sorted samples: the smallest sample
+/// such that at least `pct` percent of samples are ≤ it.
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn env_flag(name: &str) -> bool {
@@ -103,11 +117,13 @@ fn write_json(path: &std::path::Path, results: &[BenchRecord]) -> std::io::Resul
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
-            "  {{\"name\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}{sep}\n",
+            "  {{\"name\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"samples\":{}}}{sep}\n",
             json_escape(&r.name),
             r.median_ns,
             r.mean_ns,
             r.min_ns,
+            r.p50_ns,
+            r.p99_ns,
             r.samples
         ));
     }
@@ -181,8 +197,10 @@ impl Criterion {
         let min = sorted[0];
         let total: Duration = sorted.iter().sum();
         let mean = total / sorted.len() as u32;
+        let p50 = percentile(&sorted, 50.0);
+        let p99 = percentile(&sorted, 99.0);
         println!(
-            "{name:<48} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}  ({} samples{})",
+            "{name:<48} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}  p50 {p50:>12.3?}  p99 {p99:>12.3?}  ({} samples{})",
             sorted.len(),
             if self.quick { ", quick" } else { "" },
         );
@@ -191,6 +209,8 @@ impl Criterion {
             median_ns: median.as_nanos(),
             mean_ns: mean.as_nanos(),
             min_ns: min.as_nanos(),
+            p50_ns: p50.as_nanos(),
+            p99_ns: p99.as_nanos(),
             samples: sorted.len(),
         });
     }
@@ -386,8 +406,27 @@ mod tests {
         assert!(text.contains("\"name\":\"alpha \\\"quoted\\\"\""), "{text}");
         assert!(text.contains("\"name\":\"grp/beta\""), "{text}");
         assert!(text.contains("\"median_ns\":"), "{text}");
+        assert!(text.contains("\"p50_ns\":"), "{text}");
+        assert!(text.contains("\"p99_ns\":"), "{text}");
         assert_eq!(text.matches("\"samples\":2").count(), 2, "{text}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let ms = |n: u64| Duration::from_millis(n);
+        // 1..=100 ms: p50 is the 50th sample, p99 the 99th.
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50.0), ms(50));
+        assert_eq!(percentile(&sorted, 99.0), ms(99));
+        assert_eq!(percentile(&sorted, 100.0), ms(100));
+        // Few samples (quick mode): p99 degrades to the max.
+        let tiny = vec![ms(1), ms(2)];
+        assert_eq!(percentile(&tiny, 50.0), ms(1));
+        assert_eq!(percentile(&tiny, 99.0), ms(2));
+        let one = vec![ms(7)];
+        assert_eq!(percentile(&one, 50.0), ms(7));
+        assert_eq!(percentile(&one, 99.0), ms(7));
     }
 
     #[test]
