@@ -1,0 +1,180 @@
+//! Criterion bench for the quantile-sketch admission pre-check: the
+//! 10,000-template scaling push.
+//!
+//! Setup: learn real templates from TPC-DS, then inflate the knowledge
+//! base to 10,000 templates with *polluted* patterns
+//! ([`galo_bench::inflate_kb_polluted`]) — structurally live templates
+//! whose exact min/max envelopes admit the live plans but whose probes
+//! provably fail, i.e. exactly the false admissions the trimmed sketch
+//! envelopes exist to kill. The bench then matches the live plan mix at
+//! `sketch_trim = 0` (the exact min/max baseline — bit-identical to the
+//! pre-sketch index) and `sketch_trim = 0.05`, and reports:
+//!
+//! * `admission/match/...` — match latency per plan mix pass (the JSON
+//!   p50/p99 are true per-pass percentiles);
+//! * `admission/probes_executed@...` and `false_admissions@...` — wasted
+//!   probe evaluations at each trim;
+//! * `admission/rejects_card@...` / `rejects_scan@...` /
+//!   `considered@...` — the new `MatchReport` admission counters;
+//! * `admission/lost_matches` — rewrites found at trim 0 but missed at
+//!   trim 0.05; asserted **zero** (trimming must never lose a match);
+//! * `admission/catalog_*` — stored sketch count, bytes per template
+//!   and the max centroid count (the fixed budget the catalog-overhead
+//!   acceptance bound is written against).
+//!
+//! Run with `GALO_BENCH_JSON=BENCH_admission.json` to export, and
+//! `GALO_BENCH_QUICK=1` for CI's fast lane.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use galo_bench::{catalog_sketch_stats, inflate_kb_polluted, learning_config};
+use galo_core::{match_plan, KnowledgeBase, MatchConfig, MatchReport};
+use galo_optimizer::Optimizer;
+use galo_qgm::Qgm;
+use galo_workloads::tpcds;
+
+const TARGET_TEMPLATES: usize = 10_000;
+const TRIM: f64 = 0.05;
+
+struct Setup {
+    w: galo_workloads::Workload,
+    kb: KnowledgeBase,
+    plans: Vec<Qgm>,
+}
+
+fn setup() -> Setup {
+    let w = tpcds::workload();
+    let kb = KnowledgeBase::new();
+    let small = galo_workloads::Workload {
+        name: w.name.clone(),
+        db: w.db.clone(),
+        queries: w.queries[..10].to_vec(),
+    };
+    galo_core::learn_workload(&small, &kb, &learning_config(true));
+    let pollution = inflate_kb_polluted(&kb, &w.db, &w.queries[..6], TARGET_TEMPLATES);
+    println!(
+        "admission setup: {} templates ({} card-polluted, {} scan-polluted, {} displaced)",
+        kb.template_count(),
+        pollution.card_polluted,
+        pollution.scan_polluted,
+        pollution.displaced
+    );
+
+    let optimizer = Optimizer::new(&w.db);
+    let plans: Vec<Qgm> = w
+        .queries
+        .iter()
+        .take(12)
+        .filter_map(|q| optimizer.optimize(q).ok())
+        .collect();
+    Setup { w, kb, plans }
+}
+
+fn config(trim: f64) -> MatchConfig {
+    MatchConfig {
+        sketch_trim: trim,
+        ..MatchConfig::default()
+    }
+}
+
+/// Match every plan of the mix once; fold the reports.
+fn match_mix(s: &Setup, cfg: &MatchConfig) -> Vec<MatchReport> {
+    s.plans
+        .iter()
+        .map(|p| match_plan(&s.w.db, &s.kb, p, cfg))
+        .collect()
+}
+
+/// The `(template IRI, segment op id)` set of every rewrite — the
+/// match-outcome identity the zero-lost-matches differential compares.
+fn rewrite_keys(reports: &[MatchReport]) -> Vec<(String, u32)> {
+    let mut keys: Vec<(String, u32)> = reports
+        .iter()
+        .flat_map(|r| r.rewrites.iter())
+        .map(|rw| (rw.template_iri.clone(), rw.segment_op_id))
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn fold(reports: &[MatchReport]) -> (usize, usize, usize, usize, usize) {
+    let probes = reports.iter().map(|r| r.probes_executed).sum();
+    let considered = reports.iter().map(|r| r.candidates_considered).sum();
+    let rej_card = reports.iter().map(|r| r.admission_rejects_card).sum();
+    let rej_scan = reports.iter().map(|r| r.admission_rejects_scan).sum();
+    // A matched segment's final probe is the one true admission; every
+    // other executed probe was admitted by the pre-check yet failed.
+    let matched: usize = reports
+        .iter()
+        .map(|r| {
+            let mut segs: Vec<u32> = r.rewrites.iter().map(|rw| rw.segment_op_id).collect();
+            segs.dedup();
+            segs.len()
+        })
+        .sum();
+    (probes, probes - matched, considered, rej_card, rej_scan)
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let s = setup();
+    let exact = config(0.0);
+    let trimmed = config(TRIM);
+
+    // -------------------------------------------------- correctness --
+    let exact_reports = match_mix(&s, &exact);
+    let trimmed_reports = match_mix(&s, &trimmed);
+    let lost = rewrite_keys(&exact_reports)
+        .iter()
+        .filter(|k| !rewrite_keys(&trimmed_reports).contains(k))
+        .count();
+    assert_eq!(
+        lost, 0,
+        "trimmed admission must not lose a true match (trim {TRIM})"
+    );
+    assert!(
+        !rewrite_keys(&exact_reports).is_empty(),
+        "the plan mix must produce real matches for the differential to mean anything"
+    );
+
+    // ----------------------------------------------------- counters --
+    let (probes0, false0, considered0, rc0, rs0) = fold(&exact_reports);
+    let (probes1, false1, considered1, rc1, rs1) = fold(&trimmed_reports);
+    assert!(
+        false1 < false0,
+        "trimming must reduce false admissions: {false0} -> {false1}"
+    );
+    c.metric("admission/templates", s.kb.template_count() as u128);
+    c.metric("admission/probes_executed@trim0", probes0 as u128);
+    c.metric("admission/probes_executed@trim5pct", probes1 as u128);
+    c.metric("admission/false_admissions@trim0", false0 as u128);
+    c.metric("admission/false_admissions@trim5pct", false1 as u128);
+    c.metric("admission/considered@trim0", considered0 as u128);
+    c.metric("admission/considered@trim5pct", considered1 as u128);
+    c.metric("admission/rejects_card@trim0", rc0 as u128);
+    c.metric("admission/rejects_card@trim5pct", rc1 as u128);
+    c.metric("admission/rejects_scan@trim0", rs0 as u128);
+    c.metric("admission/rejects_scan@trim5pct", rs1 as u128);
+    c.metric("admission/lost_matches", lost as u128);
+
+    // ------------------------------------------------ catalog bytes --
+    let (sketches, bytes, max_centroids) = catalog_sketch_stats(&s.kb);
+    c.metric("admission/catalog_sketches", sketches as u128);
+    c.metric(
+        "admission/catalog_sketch_bytes_per_template",
+        (bytes / s.kb.template_count().max(1)) as u128,
+    );
+    c.metric("admission/catalog_max_centroids", max_centroids as u128);
+
+    // ------------------------------------------------------ latency --
+    let mut group = c.benchmark_group("admission/match");
+    group.sample_size(30);
+    group.bench_function("mix@trim0/10ktpl", |b| {
+        b.iter(|| black_box(match_mix(&s, &exact)).len())
+    });
+    group.bench_function("mix@trim5pct/10ktpl", |b| {
+        b.iter(|| black_box(match_mix(&s, &trimmed)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

@@ -18,41 +18,10 @@ use galo_rdf::{FusekiLite, Term, TripleStore};
 
 use crate::vocab::{self, prop};
 
-/// A numeric validity range for one property of one template operator.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Range {
-    pub lo: f64,
-    pub hi: f64,
-}
-
-impl Range {
-    /// A degenerate range around one observation.
-    pub fn point(v: f64) -> Self {
-        Range { lo: v, hi: v }
-    }
-
-    /// Extend to cover another observation.
-    pub fn cover(&mut self, v: f64) {
-        self.lo = self.lo.min(v);
-        self.hi = self.hi.max(v);
-    }
-
-    /// Widen multiplicatively by `margin` (≥ 1): the learned bounds define
-    /// the rewrite's validity region, which extends beyond the sampled
-    /// points (paper §3.2: ranges "can be updated over the time to account
-    /// for cardinalities not observed before").
-    pub fn widen(&self, margin: f64) -> Range {
-        let m = margin.max(1.0);
-        Range {
-            lo: self.lo / m,
-            hi: self.hi * m,
-        }
-    }
-
-    pub fn contains(&self, v: f64) -> bool {
-        v >= self.lo && v <= self.hi
-    }
-}
+// `Range` moved to the statistics substrate (one home for the struct and
+// its parsing/defaulting logic); re-exported here so `galo_core::Range`
+// keeps working. `StatSketch` is the t-digest backing every stored range.
+pub use galo_stats::{Range, StatSketch};
 
 /// Per-operator abstracted properties of a problem pattern.
 #[derive(Debug, Clone)]
@@ -61,8 +30,9 @@ pub struct TemplatePop {
     pub op_id: u32,
     /// Operator type name (`"NLJOIN"`, `"F-IXSCAN"`, …).
     pub pop_type: String,
-    /// Estimated-cardinality validity range.
-    pub cardinality: Range,
+    /// Estimated-cardinality sketch; its `envelope(0.0)` is the stored
+    /// `[hasLowerCardinality, hasHigherCardinality]` validity range.
+    pub cardinality: StatSketch,
     /// Scan-only properties.
     pub scan: Option<TemplateScan>,
     /// Children op_ids: `[outer, inner]` for joins, `[child]` otherwise.
@@ -74,9 +44,9 @@ pub struct TemplatePop {
 pub struct TemplateScan {
     /// Canonical symbol label (`T1`, `T2`, …) replacing the table name.
     pub canonical_tabid: String,
-    pub row_size: Range,
-    pub fpages: Range,
-    pub base_cardinality: Range,
+    pub row_size: StatSketch,
+    pub fpages: StatSketch,
+    pub base_cardinality: StatSketch,
 }
 
 /// A complete problem-pattern template.
@@ -141,9 +111,9 @@ pub fn abstract_plan(
                 .clone();
             TemplateScan {
                 canonical_tabid: label,
-                row_size: Range::point(stats.row_size as f64),
-                fpages: Range::point(stats.pages as f64),
-                base_cardinality: Range::point(stats.row_count as f64),
+                row_size: StatSketch::point(stats.row_size as f64),
+                fpages: StatSketch::point(stats.pages as f64),
+                base_cardinality: StatSketch::point(stats.row_count as f64),
             }
         });
         let inputs = pop
@@ -155,7 +125,7 @@ pub fn abstract_plan(
         pops.push(TemplatePop {
             op_id: pop.op_id,
             pop_type: pop.kind.name().to_string(),
-            cardinality: Range::point(pop.est_card),
+            cardinality: StatSketch::point(pop.est_card),
             scan,
             inputs,
         });
@@ -185,12 +155,147 @@ pub fn abstract_plan(
     }
 }
 
+/// Scan-property values of one segment operator, as the compiled probe
+/// will test them (the belief stats of the scanned table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanCheck {
+    pub row_size: f64,
+    pub fpages: f64,
+    pub base_cardinality: f64,
+}
+
+/// One segment operator's admission check: operator type, estimated
+/// cardinality, and — for scans — the scan-table belief stats. The
+/// signature index tests each check against the stored envelopes before
+/// any probe is compiled or evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopCheck {
+    pub pop_type: &'static str,
+    pub est_card: f64,
+    pub scan: Option<ScanCheck>,
+}
+
+impl PopCheck {
+    /// A cardinality-only check (non-scan operators).
+    pub fn card(pop_type: &'static str, est_card: f64) -> Self {
+        PopCheck {
+            pop_type,
+            est_card,
+            scan: None,
+        }
+    }
+}
+
+/// Admission pre-check counters, accumulated per cursor pull and folded
+/// into [`MatchReport`](crate::matching::MatchReport): how many index
+/// entries were examined and why the rejected ones were rejected.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdmissionStats {
+    /// Index entries examined (admitted, dataset-filtered, or rejected).
+    pub considered: usize,
+    /// Entries rejected because no same-typed operator's cardinality
+    /// envelope admitted a check value.
+    pub rejects_card: usize,
+    /// Entries whose cardinality envelopes admitted every check but whose
+    /// scan-stat envelopes (row size / fpages / base cardinality) did not.
+    pub rejects_scan: usize,
+}
+
+impl AdmissionStats {
+    /// Fold another accumulation in.
+    pub fn absorb(&mut self, other: AdmissionStats) {
+        self.considered += other.considered;
+        self.rejects_card += other.rejects_card;
+        self.rejects_scan += other.rejects_scan;
+    }
+}
+
+/// One segment's admission query against the signature index: the checks
+/// plus the matcher's margin, trim level and dataset scope.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionQuery<'a> {
+    pub checks: &'a [PopCheck],
+    /// Multiplicative slack (clamped ≥ 1), mirroring the probe's margin.
+    pub margin: f64,
+    /// Quantile trim of the admission envelopes; `0.0` = exact bounds.
+    pub trim: f64,
+    /// Dataset scope (`None` spans every workload).
+    pub dataset: Option<&'a str>,
+}
+
+impl<'a> AdmissionQuery<'a> {
+    /// The exact-bounds query (trim 0, all datasets) — today's default
+    /// admission semantics.
+    pub fn exact(checks: &'a [PopCheck], margin: f64) -> Self {
+        AdmissionQuery {
+            checks,
+            margin,
+            trim: 0.0,
+            dataset: None,
+        }
+    }
+}
+
+/// One indexed property: the exact stored bounds (what the probe tests)
+/// plus the quantile sketch trimmed envelopes come from.
+#[derive(Debug, Clone)]
+struct IndexedStat {
+    /// `sketch.envelope(0.0)` — precomputed so the default trim-0 path
+    /// pays no sketch walk on the hot admission path.
+    exact: Range,
+    sketch: StatSketch,
+}
+
+impl IndexedStat {
+    fn of(sketch: &StatSketch) -> Self {
+        IndexedStat {
+            exact: sketch.envelope(0.0),
+            sketch: sketch.clone(),
+        }
+    }
+
+    /// Exact stored bounds when present, else derived from the sketch,
+    /// else unbounded — the reindex reconstruction rule.
+    fn reconstruct(sketch: Option<StatSketch>, bounds: Option<Range>) -> Self {
+        match (sketch, bounds) {
+            (Some(sk), Some(exact)) => IndexedStat { exact, sketch: sk },
+            (Some(sk), None) => IndexedStat::of(&sk),
+            (None, Some(exact)) => IndexedStat {
+                exact,
+                sketch: StatSketch::from_range(exact.lo, exact.hi),
+            },
+            (None, None) => IndexedStat {
+                exact: Range::UNBOUNDED,
+                sketch: StatSketch::new(),
+            },
+        }
+    }
+
+    fn admits(&self, v: f64, m: f64, trim: f64) -> bool {
+        let b = if trim <= 0.0 {
+            self.exact
+        } else {
+            self.sketch.envelope(trim)
+        };
+        b.lo <= v * m && b.hi >= v / m
+    }
+}
+
+/// Indexed scan-stat envelopes of one scan operator.
+#[derive(Debug, Clone)]
+struct IndexedScan {
+    row_size: IndexedStat,
+    fpages: IndexedStat,
+    base_cardinality: IndexedStat,
+}
+
 /// Per-operator entry of one template in the signature index: the data a
 /// candidate pre-check needs without touching the triple store.
 #[derive(Debug, Clone)]
 struct IndexedPop {
     pop_type: String,
-    cardinality: Range,
+    cardinality: IndexedStat,
+    scan: Option<IndexedScan>,
 }
 
 /// One template's signature-index entry: its per-operator summaries plus
@@ -209,17 +314,59 @@ struct IndexedTemplate {
 /// deterministic.
 type SigIndex = HashMap<u64, BTreeMap<String, IndexedTemplate>>;
 
+/// Why (or whether) one index entry passed the admission pre-check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Admission {
+    Admitted,
+    RejectedDataset,
+    RejectedCard,
+    RejectedScan,
+}
+
 /// The candidate pre-check over one template's index entry: the dataset
-/// filter plus the cardinality check (margin already clamped to ≥ 1).
-fn admits(tpl: &IndexedTemplate, checks: &[(&str, f64)], m: f64, dataset: Option<&str>) -> bool {
-    if dataset.is_some_and(|d| tpl.workload != d) {
-        return false;
+/// filter, then — per check — the requirement that *some* same-typed
+/// template operator admits the cardinality **and** (for scans) all three
+/// scan-stat envelopes simultaneously. The probe binds each segment
+/// operator to exactly one same-typed template operator and tests all of
+/// that operator's stored bounds, so the conjunction is a necessary
+/// condition for any probe match (margin `m` already clamped to ≥ 1).
+fn admits(tpl: &IndexedTemplate, q: &AdmissionQuery<'_>, m: f64) -> Admission {
+    if q.dataset.is_some_and(|d| tpl.workload != d) {
+        return Admission::RejectedDataset;
     }
-    checks.iter().all(|&(ty, v)| {
-        tpl.pops
-            .iter()
-            .any(|p| p.pop_type == ty && p.cardinality.lo <= v * m && p.cardinality.hi >= v / m)
-    })
+    for check in q.checks {
+        let mut card_ok = false;
+        let mut full_ok = false;
+        for p in &tpl.pops {
+            if p.pop_type != check.pop_type || !p.cardinality.admits(check.est_card, m, q.trim) {
+                continue;
+            }
+            card_ok = true;
+            // A template operator without indexed scan stats is
+            // unbounded on them (raw-endpoint templates): never reject
+            // what the probe might accept.
+            let scan_ok = match (&check.scan, &p.scan) {
+                (Some(sc), Some(ps)) => {
+                    ps.row_size.admits(sc.row_size, m, q.trim)
+                        && ps.fpages.admits(sc.fpages, m, q.trim)
+                        && ps.base_cardinality.admits(sc.base_cardinality, m, q.trim)
+                }
+                _ => true,
+            };
+            if scan_ok {
+                full_ok = true;
+                break;
+            }
+        }
+        if !full_ok {
+            return if card_ok {
+                Admission::RejectedScan
+            } else {
+                Admission::RejectedCard
+            };
+        }
+    }
+    Admission::Admitted
 }
 
 /// Summary of one workload's first-class dataset (see
@@ -366,31 +513,32 @@ impl KnowledgeBase {
     }
 
     /// Like [`candidate_templates`](Self::candidate_templates), but also
-    /// applies the dataset filter and the cardinality pre-check: a
-    /// candidate survives only if it belongs to the `dataset` workload
+    /// applies the dataset filter and the admission pre-check: a
+    /// candidate survives only if it belongs to the query's dataset
     /// (when one is given; `None` spans every dataset) and, for every
-    /// `(pop_type, est_card)` the segment will probe with, the template
-    /// has at least one operator of that type whose cardinality range
-    /// admits the value under `margin`. The cardinality check is a
-    /// *necessary* condition for a match (every probe binds each segment
-    /// operator to a same-typed template operator and tests exactly this
-    /// range), so the pre-check only removes templates the probe would
-    /// reject anyway — without touching the triple store.
+    /// [`PopCheck`] the segment will probe with, the template has at
+    /// least one operator of that type whose envelopes admit the
+    /// cardinality — and, for scans, the scan-table belief stats — under
+    /// the query's margin and trim. At `trim == 0` the envelopes are the
+    /// exact stored bounds, so the check is a *necessary* condition for a
+    /// match (every probe binds each segment operator to a same-typed
+    /// template operator and tests exactly these bounds) and the
+    /// pre-check only removes templates the probe would reject anyway —
+    /// without touching the triple store. `trim > 0` trims outlier mass
+    /// from the envelopes, an explicit precision/recall trade.
     pub fn candidate_templates_admitting(
         &self,
         signature: u64,
-        checks: &[(&str, f64)],
-        margin: f64,
-        dataset: Option<&str>,
+        query: &AdmissionQuery<'_>,
     ) -> Vec<String> {
-        let m = margin.max(1.0);
+        let m = query.margin.max(1.0);
         self.sig_index
             .read()
             .expect("signature index lock")
             .get(&signature)
             .map(|tpls| {
                 tpls.iter()
-                    .filter(|(_, tpl)| admits(tpl, checks, m, dataset))
+                    .filter(|(_, tpl)| admits(tpl, query, m) == Admission::Admitted)
                     .map(|(iri, _)| iri.clone())
                     .collect()
             })
@@ -406,25 +554,34 @@ impl KnowledgeBase {
     /// readers never queue behind a probe evaluation. (Template
     /// *inserts* still wait for the matcher's store read session either
     /// way — they take the store write lock before touching the index.)
+    /// Every index entry examined by the pull — the admitted one
+    /// included — is accumulated into `stats`, so the caller observes
+    /// exactly how much pruning the pre-check did for this segment.
     pub fn next_candidate_admitting(
         &self,
         signature: u64,
-        checks: &[(&str, f64)],
-        margin: f64,
-        dataset: Option<&str>,
+        query: &AdmissionQuery<'_>,
         after: Option<&str>,
+        stats: &mut AdmissionStats,
     ) -> Option<String> {
         use std::ops::Bound;
-        let m = margin.max(1.0);
+        let m = query.margin.max(1.0);
         let index = self.sig_index.read().expect("signature index lock");
         let tpls = index.get(&signature)?;
         let lower = match after {
             Some(a) => Bound::Excluded(a),
             None => Bound::Unbounded,
         };
-        tpls.range::<str, _>((lower, Bound::Unbounded))
-            .find(|(_, tpl)| admits(tpl, checks, m, dataset))
-            .map(|(iri, _)| iri.clone())
+        for (iri, tpl) in tpls.range::<str, _>((lower, Bound::Unbounded)) {
+            stats.considered += 1;
+            match admits(tpl, query, m) {
+                Admission::Admitted => return Some(iri.clone()),
+                Admission::RejectedDataset => {}
+                Admission::RejectedCard => stats.rejects_card += 1,
+                Admission::RejectedScan => stats.rejects_scan += 1,
+            }
+        }
+        None
     }
 
     /// True when at least one stored template shares the signature and
@@ -433,14 +590,8 @@ impl KnowledgeBase {
     /// [`next_candidate_admitting`](Self::next_candidate_admitting)
     /// pull as the emptiness test; this is the standalone form for
     /// callers that only need the boolean.)
-    pub fn any_candidate_admitting(
-        &self,
-        signature: u64,
-        checks: &[(&str, f64)],
-        margin: f64,
-        dataset: Option<&str>,
-    ) -> bool {
-        self.next_candidate_admitting(signature, checks, margin, dataset, None)
+    pub fn any_candidate_admitting(&self, signature: u64, query: &AdmissionQuery<'_>) -> bool {
+        self.next_candidate_admitting(signature, query, None, &mut AdmissionStats::default())
             .is_some()
     }
 
@@ -529,15 +680,27 @@ impl KnowledgeBase {
                 prop(vocab::HAS_POP_TYPE),
                 Term::lit(p.pop_type.clone()),
             ));
+            // Exact bounds come from the sketch's untrimmed envelope —
+            // bit-identical to the legacy widened min/max — and the full
+            // sketch rides along as a checksummed hex literal so trimmed
+            // envelopes survive export/import, durable reopen and
+            // reindex. Both serializations are deterministic, which keeps
+            // republishing a template a set-semantics no-op.
+            let card = p.cardinality.envelope(0.0);
             triples.push((
                 me.clone(),
                 prop(vocab::HAS_LOWER_CARDINALITY),
-                Term::num(p.cardinality.lo),
+                Term::num(card.lo),
             ));
             triples.push((
                 me.clone(),
                 prop(vocab::HAS_HIGHER_CARDINALITY),
-                Term::num(p.cardinality.hi),
+                Term::num(card.hi),
+            ));
+            triples.push((
+                me.clone(),
+                prop(vocab::HAS_CARDINALITY_SKETCH),
+                Term::lit(p.cardinality.to_hex()),
             ));
             if let Some(scan) = &p.scan {
                 triples.push((
@@ -545,25 +708,30 @@ impl KnowledgeBase {
                     prop(vocab::HAS_CANONICAL_TABID),
                     Term::lit(scan.canonical_tabid.clone()),
                 ));
-                for (lo_name, hi_name, range) in [
+                for (lo_name, hi_name, sketch_name, sketch) in [
                     (
                         vocab::HAS_LOWER_ROW_SIZE,
                         vocab::HAS_HIGHER_ROW_SIZE,
-                        scan.row_size,
+                        vocab::HAS_ROW_SIZE_SKETCH,
+                        &scan.row_size,
                     ),
                     (
                         vocab::HAS_LOWER_FPAGES,
                         vocab::HAS_HIGHER_FPAGES,
-                        scan.fpages,
+                        vocab::HAS_FPAGES_SKETCH,
+                        &scan.fpages,
                     ),
                     (
                         vocab::HAS_LOWER_BASE_CARDINALITY,
                         vocab::HAS_HIGHER_BASE_CARDINALITY,
-                        scan.base_cardinality,
+                        vocab::HAS_BASE_CARDINALITY_SKETCH,
+                        &scan.base_cardinality,
                     ),
                 ] {
+                    let range = sketch.envelope(0.0);
                     triples.push((me.clone(), prop(lo_name), Term::num(range.lo)));
                     triples.push((me.clone(), prop(hi_name), Term::num(range.hi)));
+                    triples.push((me.clone(), prop(sketch_name), Term::lit(sketch.to_hex())));
                 }
             }
             for (i, &child) in p.inputs.iter().enumerate() {
@@ -629,7 +797,12 @@ impl KnowledgeBase {
                                 .iter()
                                 .map(|p| IndexedPop {
                                     pop_type: p.pop_type.clone(),
-                                    cardinality: p.cardinality,
+                                    cardinality: IndexedStat::of(&p.cardinality),
+                                    scan: p.scan.as_ref().map(|s| IndexedScan {
+                                        row_size: IndexedStat::of(&s.row_size),
+                                        fpages: IndexedStat::of(&s.fpages),
+                                        base_cardinality: IndexedStat::of(&s.base_cardinality),
+                                    }),
                                 })
                                 .collect(),
                         },
@@ -733,12 +906,6 @@ impl KnowledgeBase {
             vocab::IN_TEMPLATE,
             vocab::HAS_POP_TYPE
         );
-        let ranges_query = format!(
-            "PREFIX p: <{}> SELECT ?pop ?lo ?hi WHERE {{ ?pop p:{} ?lo . ?pop p:{} ?hi . }}",
-            vocab::PROP_NS,
-            vocab::HAS_LOWER_CARDINALITY,
-            vocab::HAS_HIGHER_CARDINALITY
-        );
         let mut join_counts: HashMap<String, usize> = HashMap::new();
         if let Ok(rs) = self.server.query(&jc_query) {
             for row in 0..rs.len() {
@@ -760,29 +927,24 @@ impl KnowledgeBase {
                 sources.insert(t.str_value().to_string(), w.str_value().to_string());
             }
         }
-        // A pop whose cardinality bounds are missing (hand-crafted via the
-        // raw endpoint) defaults to an unbounded range so the pre-check
-        // never rejects what the probe would accept. The map borrows its
-        // keys from the result set — at 1,000-template scale this join
-        // table holds thousands of rows, so no per-row String clone.
-        let ranges_rs = self.server.query(&ranges_query).ok();
-        let mut pop_ranges: HashMap<&str, Range> = HashMap::new();
-        if let Some(rs) = &ranges_rs {
-            for row in 0..rs.len() {
-                let (Some(pop), Some(lo), Some(hi)) =
-                    (rs.get(row, "pop"), rs.get(row, "lo"), rs.get(row, "hi"))
-                else {
-                    continue;
-                };
-                let (Some(lo), Some(hi)) = (
-                    lo.as_literal().and_then(|l| l.as_number()),
-                    hi.as_literal().and_then(|l| l.as_number()),
-                ) else {
-                    continue;
-                };
-                pop_ranges.insert(pop.str_value(), Range { lo, hi });
-            }
-        }
+        // Stored bounds and sketch literals, one map per property family.
+        // A pop whose bounds are missing (hand-crafted via the raw
+        // endpoint) defaults to an unbounded envelope, and a corrupt
+        // sketch literal (checksum mismatch) falls back to the exact
+        // bounds — the pre-check must never reject what the probe would
+        // accept.
+        let card_bounds =
+            self.pop_bounds(vocab::HAS_LOWER_CARDINALITY, vocab::HAS_HIGHER_CARDINALITY);
+        let mut card_sketches = self.pop_sketches(vocab::HAS_CARDINALITY_SKETCH);
+        let row_bounds = self.pop_bounds(vocab::HAS_LOWER_ROW_SIZE, vocab::HAS_HIGHER_ROW_SIZE);
+        let mut row_sketches = self.pop_sketches(vocab::HAS_ROW_SIZE_SKETCH);
+        let fp_bounds = self.pop_bounds(vocab::HAS_LOWER_FPAGES, vocab::HAS_HIGHER_FPAGES);
+        let mut fp_sketches = self.pop_sketches(vocab::HAS_FPAGES_SKETCH);
+        let base_bounds = self.pop_bounds(
+            vocab::HAS_LOWER_BASE_CARDINALITY,
+            vocab::HAS_HIGHER_BASE_CARDINALITY,
+        );
+        let mut base_sketches = self.pop_sketches(vocab::HAS_BASE_CARDINALITY_SKETCH);
         let mut template_pops: HashMap<String, Vec<IndexedPop>> = HashMap::new();
         if let Ok(rs) = self.server.query(&pops_query) {
             for row in 0..rs.len() {
@@ -791,9 +953,30 @@ impl KnowledgeBase {
                 else {
                     continue;
                 };
-                let cardinality = pop_ranges.get(pop.str_value()).copied().unwrap_or(Range {
-                    lo: f64::NEG_INFINITY,
-                    hi: f64::INFINITY,
+                let key = pop.str_value();
+                let has_scan = row_bounds.contains_key(key)
+                    || fp_bounds.contains_key(key)
+                    || base_bounds.contains_key(key)
+                    || row_sketches.contains_key(key)
+                    || fp_sketches.contains_key(key)
+                    || base_sketches.contains_key(key);
+                let cardinality = IndexedStat::reconstruct(
+                    card_sketches.remove(key),
+                    card_bounds.get(key).copied(),
+                );
+                let scan = has_scan.then(|| IndexedScan {
+                    row_size: IndexedStat::reconstruct(
+                        row_sketches.remove(key),
+                        row_bounds.get(key).copied(),
+                    ),
+                    fpages: IndexedStat::reconstruct(
+                        fp_sketches.remove(key),
+                        fp_bounds.get(key).copied(),
+                    ),
+                    base_cardinality: IndexedStat::reconstruct(
+                        base_sketches.remove(key),
+                        base_bounds.get(key).copied(),
+                    ),
                 });
                 template_pops
                     .entry(t.str_value().to_string())
@@ -801,6 +984,7 @@ impl KnowledgeBase {
                     .push(IndexedPop {
                         pop_type: ty.str_value().to_string(),
                         cardinality,
+                        scan,
                     });
             }
         }
@@ -815,6 +999,60 @@ impl KnowledgeBase {
                 .insert(iri, IndexedTemplate { workload, pops });
         }
         *self.sig_index.write().expect("signature index lock") = index;
+    }
+
+    /// Parse every pop's stored `[lo, hi]` bounds for one lower/higher
+    /// property pair — the single range-parsing path every reindexed
+    /// property family goes through (the struct and its defaulting rules
+    /// live in `galo_stats`).
+    fn pop_bounds(&self, lower: &str, higher: &str) -> HashMap<String, Range> {
+        let q = format!(
+            "PREFIX p: <{}> SELECT ?pop ?lo ?hi WHERE {{ ?pop p:{} ?lo . ?pop p:{} ?hi . }}",
+            vocab::PROP_NS,
+            lower,
+            higher
+        );
+        let mut out = HashMap::new();
+        if let Ok(rs) = self.server.query(&q) {
+            for row in 0..rs.len() {
+                let (Some(pop), Some(lo), Some(hi)) =
+                    (rs.get(row, "pop"), rs.get(row, "lo"), rs.get(row, "hi"))
+                else {
+                    continue;
+                };
+                let (lo, hi) = (
+                    lo.as_literal().and_then(|l| l.as_number()),
+                    hi.as_literal().and_then(|l| l.as_number()),
+                );
+                if lo.is_none() && hi.is_none() {
+                    continue;
+                }
+                out.insert(pop.str_value().to_string(), Range::from_bounds(lo, hi));
+            }
+        }
+        out
+    }
+
+    /// Parse every pop's sketch literal for one property; corrupt or
+    /// malformed literals are dropped (the caller falls back to bounds).
+    fn pop_sketches(&self, property: &str) -> HashMap<String, StatSketch> {
+        let q = format!(
+            "PREFIX p: <{}> SELECT ?pop ?sk WHERE {{ ?pop p:{} ?sk . }}",
+            vocab::PROP_NS,
+            property
+        );
+        let mut out = HashMap::new();
+        if let Ok(rs) = self.server.query(&q) {
+            for row in 0..rs.len() {
+                let (Some(pop), Some(sk)) = (rs.get(row, "pop"), rs.get(row, "sk")) else {
+                    continue;
+                };
+                if let Some(sketch) = StatSketch::from_hex(sk.str_value()) {
+                    out.insert(pop.str_value().to_string(), sketch);
+                }
+            }
+        }
+        out
     }
 
     /// Number of templates stored.
@@ -1200,16 +1438,19 @@ mod tests {
         assert!(kb.candidate_templates(sig ^ 1).is_empty());
         // The emptiness pre-check and the candidate cursor agree with
         // the materialized list.
-        assert!(kb.any_candidate_admitting(sig, &[], 1.0, None));
-        assert!(!kb.any_candidate_admitting(sig ^ 1, &[], 1.0, None));
+        let q = AdmissionQuery::exact(&[], 1.0);
+        let mut stats = AdmissionStats::default();
+        assert!(kb.any_candidate_admitting(sig, &q));
+        assert!(!kb.any_candidate_admitting(sig ^ 1, &q));
         assert_eq!(
-            kb.next_candidate_admitting(sig, &[], 1.0, None, None),
+            kb.next_candidate_admitting(sig, &q, None, &mut stats),
             Some(iri.clone())
         );
         assert_eq!(
-            kb.next_candidate_admitting(sig, &[], 1.0, None, Some(&iri)),
+            kb.next_candidate_admitting(sig, &q, Some(&iri), &mut stats),
             None
         );
+        assert_eq!(stats.considered, 1, "one entry examined, once");
 
         // Import rebuilds the index from triples.
         let dump = kb.export();
@@ -1261,37 +1502,149 @@ mod tests {
         let near = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(1));
         let mut far = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(2));
         for p in &mut far.pops {
-            p.cardinality = Range { lo: 1e12, hi: 2e12 };
+            p.cardinality = StatSketch::from_range(1e12, 2e12);
         }
         kb.insert(&near);
         kb.insert(&far);
         let sig = KnowledgeBase::template_signature(&near);
         assert_eq!(kb.candidate_templates(sig).len(), 2);
 
-        let checks: Vec<(&str, f64)> = plan
+        let checks: Vec<PopCheck> = plan
             .subtree(plan.root())
             .iter()
             .map(|&pid| {
                 let pop = plan.pop(pid);
-                (pop.kind.name(), pop.est_card)
+                PopCheck::card(pop.kind.name(), pop.est_card)
             })
             .collect();
         // Exact margin admits only the near template.
-        let admitted = kb.candidate_templates_admitting(sig, &checks, 1.0, None);
+        let admitted = kb.candidate_templates_admitting(sig, &AdmissionQuery::exact(&checks, 1.0));
         assert_eq!(
             admitted,
             vec![vocab::template_iri(&near.id).str_value().to_string()]
         );
         // A margin large enough to bridge the displacement admits both.
-        let admitted_wide = kb.candidate_templates_admitting(sig, &checks, 1e13, None);
+        let admitted_wide =
+            kb.candidate_templates_admitting(sig, &AdmissionQuery::exact(&checks, 1e13));
         assert_eq!(admitted_wide.len(), 2);
+        // A full cursor sweep classifies the far template as a
+        // cardinality reject and examines both index entries.
+        let mut stats = AdmissionStats::default();
+        let mut after: Option<String> = None;
+        while let Some(iri) = kb.next_candidate_admitting(
+            sig,
+            &AdmissionQuery::exact(&checks, 1.0),
+            after.as_deref(),
+            &mut stats,
+        ) {
+            after = Some(iri);
+        }
+        assert_eq!(stats.considered, 2);
+        assert_eq!(stats.rejects_card, 1);
+        assert_eq!(stats.rejects_scan, 0);
         // The pre-check survives an export/import round-trip (reindex
         // reconstructs the ranges from RDF).
         let kb2 = KnowledgeBase::new();
         kb2.import(&kb.export()).unwrap();
         assert_eq!(
-            kb2.candidate_templates_admitting(sig, &checks, 1.0, None),
+            kb2.candidate_templates_admitting(sig, &AdmissionQuery::exact(&checks, 1.0)),
             admitted
+        );
+    }
+
+    #[test]
+    fn scan_stat_prechecks_and_trimmed_envelopes_prune_candidates() {
+        let (db, plan) = setup();
+        let kb = KnowledgeBase::new();
+        let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+        let near = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(1));
+        // A template whose cardinalities admit the plan but whose scan
+        // stats are displaced: only the scan-stat conjunction rejects it.
+        let mut scan_far = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(2));
+        for p in &mut scan_far.pops {
+            if let Some(scan) = &mut p.scan {
+                scan.row_size = StatSketch::from_range(1e9, 2e9);
+            }
+        }
+        // A template whose exact bounds admit the plan only through one
+        // outlier observation: trim 0 admits it, a small trim does not.
+        let mut outlier = abstract_plan(&db, &plan, plan.root(), &g, kb.fresh_id(3));
+        for p in &mut outlier.pops {
+            let live = p.cardinality.envelope(0.0).hi;
+            let mut sk = StatSketch::new();
+            for _ in 0..50 {
+                sk.observe(live * 1e-9);
+            }
+            sk.observe(live);
+            p.cardinality = sk;
+        }
+        kb.insert(&near);
+        kb.insert(&scan_far);
+        kb.insert(&outlier);
+
+        let sig = KnowledgeBase::template_signature(&near);
+        let checks: Vec<PopCheck> = plan
+            .subtree(plan.root())
+            .iter()
+            .map(|&pid| {
+                let pop = plan.pop(pid);
+                let scan = pop.kind.scan_table().map(|t| {
+                    let stats = db.belief.table(plan.query.tables[t].table);
+                    ScanCheck {
+                        row_size: stats.row_size as f64,
+                        fpages: stats.pages as f64,
+                        base_cardinality: stats.row_count as f64,
+                    }
+                });
+                PopCheck {
+                    pop_type: pop.kind.name(),
+                    est_card: pop.est_card,
+                    scan,
+                }
+            })
+            .collect();
+
+        let near_iri = vocab::template_iri(&near.id).str_value().to_string();
+        let outlier_iri = vocab::template_iri(&outlier.id).str_value().to_string();
+        // Trim 0: exact bounds — the scan-displaced template is pruned by
+        // the scan conjunction, the outlier template still slips through.
+        let mut at_zero =
+            kb.candidate_templates_admitting(sig, &AdmissionQuery::exact(&checks, 1.0));
+        at_zero.sort();
+        let mut want = vec![near_iri.clone(), outlier_iri];
+        want.sort();
+        assert_eq!(at_zero, want);
+        // A small trim collapses the outlier's envelope back to its mass:
+        // only the genuinely-near template survives, and the counters
+        // attribute each reject to its cause.
+        let trimmed = AdmissionQuery {
+            checks: &checks,
+            margin: 1.0,
+            trim: 0.05,
+            dataset: None,
+        };
+        assert_eq!(
+            kb.candidate_templates_admitting(sig, &trimmed),
+            vec![near_iri.clone()]
+        );
+        // A full cursor sweep examines all three entries and attributes
+        // each reject to its cause.
+        let mut stats = AdmissionStats::default();
+        let first = kb.next_candidate_admitting(sig, &trimmed, None, &mut stats);
+        assert_eq!(first.as_deref(), Some(near_iri.as_str()));
+        let _ = kb.next_candidate_admitting(sig, &trimmed, Some(&near_iri), &mut stats);
+        assert_eq!(stats.considered, 3);
+        assert_eq!(stats.rejects_card, 1, "outlier rejected on cardinality");
+        assert_eq!(stats.rejects_scan, 1, "scan_far rejected on scan stats");
+
+        // Trimmed admission survives export/import: the sketch literals
+        // round-trip, so the outlier template stays pruned (the bounds
+        // alone would re-admit it).
+        let kb2 = KnowledgeBase::new();
+        kb2.import(&kb.export()).unwrap();
+        assert_eq!(
+            kb2.candidate_templates_admitting(sig, &trimmed),
+            vec![near_iri]
         );
     }
 

@@ -432,18 +432,18 @@ fn analyze_subquery_inner(
         let (_, plan) = &stable[vi];
         for tp in &mut template.pops {
             if let Some(pid) = plan.by_op_id(tp.op_id) {
-                tp.cardinality.cover(plan.pop(pid).est_card);
+                tp.cardinality.observe(plan.pop(pid).est_card);
             }
         }
     }
     for tp in &mut template.pops {
-        tp.cardinality = tp.cardinality.widen(cfg.range_margin);
+        tp.cardinality.set_widen(cfg.range_margin);
         if let Some(scan) = &mut tp.scan {
             // Row size is the least decisive property — schemas of the
             // same pattern differ in column width; use the full margin.
-            scan.row_size = scan.row_size.widen(cfg.range_margin);
-            scan.fpages = scan.fpages.widen(cfg.range_margin);
-            scan.base_cardinality = scan.base_cardinality.widen(cfg.range_margin);
+            scan.row_size.set_widen(cfg.range_margin);
+            scan.fpages.set_widen(cfg.range_margin);
+            scan.base_cardinality.set_widen(cfg.range_margin);
         }
     }
     template.improvement = avg_gain;

@@ -71,7 +71,8 @@ pub use diagnostics::{
 pub use expert::{expert_diagnose, ExpertConfig, ExpertOutcome};
 pub use galo::{Galo, QueryReoptResult, WorkloadReoptReport};
 pub use kb::{
-    abstract_plan, DatasetStats, KnowledgeBase, Range, Template, TemplatePop, TemplateScan,
+    abstract_plan, AdmissionQuery, AdmissionStats, DatasetStats, KnowledgeBase, PopCheck, Range,
+    ScanCheck, StatSketch, Template, TemplatePop, TemplateScan,
 };
 pub use learning::{learn_workload, LearnedTemplate, LearningConfig, LearningReport};
 pub use matching::{
@@ -84,6 +85,6 @@ pub use serving::{
     ServingTier,
 };
 pub use transform::{
-    qgm_to_rdf, segment_card_checks, segment_scan_qualifiers, segment_to_probe, segment_to_sparql,
-    segment_to_sparql_opt, ProbeOptions, ScanVar, SegmentProbe,
+    qgm_to_rdf, segment_card_checks, segment_pop_checks, segment_scan_qualifiers, segment_to_probe,
+    segment_to_sparql, segment_to_sparql_opt, ProbeOptions, ScanVar, SegmentProbe,
 };

@@ -47,9 +47,9 @@ use galo_qgm::{segments, GuidelineDoc, GuidelineNode, PopId, Qgm};
 use galo_rdf::{ResultSet, Term};
 use galo_sql::Query;
 
-use crate::kb::KnowledgeBase;
+use crate::kb::{AdmissionQuery, AdmissionStats, KnowledgeBase, PopCheck};
 use crate::transform::{
-    segment_card_checks, segment_scan_qualifiers, segment_to_probe, segment_to_sparql_opt,
+    segment_pop_checks, segment_scan_qualifiers, segment_to_probe, segment_to_sparql_opt,
     ProbeOptions, ScanVar, SegmentProbe,
 };
 
@@ -73,6 +73,17 @@ pub struct MatchConfig {
     /// per-workload-KB baseline), guaranteed never to return a template
     /// learned elsewhere.
     pub dataset: Option<String>,
+    /// Quantile trim applied to template sketches during the admission
+    /// pre-check: each stored [`crate::kb::StatSketch`] contributes a
+    /// `[quantile(trim), quantile(1 - trim)]` envelope instead of its
+    /// exact `[min, max]`, so a few outlier observations stop inflating a
+    /// template's validity region. `0.0` (the default) reproduces the
+    /// exact min/max semantics bit for bit. The trim only narrows the
+    /// *pre-check* — the probe itself still evaluates the stored exact
+    /// bounds, so a trimmed-out candidate is one that would have cost a
+    /// probe evaluation only to fail it, or an over-widened template the
+    /// operator has chosen to treat as noise.
+    pub sketch_trim: f64,
 }
 
 impl Default for MatchConfig {
@@ -81,6 +92,7 @@ impl Default for MatchConfig {
             join_threshold: 4,
             range_margin: 1.0,
             dataset: None,
+            sketch_trim: 0.0,
         }
     }
 }
@@ -135,6 +147,19 @@ pub struct MatchReport {
     /// serving tier's probe-IR cache at work. Always 0 when the plan was
     /// compiled fresh for this match.
     pub probes_reused: usize,
+    /// Signature-index entries examined by the admission pre-check across
+    /// all of the plan's segments (admitted candidates included) — the
+    /// denominator for the admission counters below. Always 0 on the text
+    /// path, which has no index.
+    pub candidates_considered: usize,
+    /// Candidates rejected by the admission pre-check because no
+    /// same-typed template operator could admit a segment operator's
+    /// estimated cardinality.
+    pub admission_rejects_card: usize,
+    /// Candidates whose cardinalities admitted but whose scan-statistics
+    /// envelopes (row size / FPAGES / base cardinality) could not admit
+    /// the segment's belief-table values.
+    pub admission_rejects_scan: usize,
 }
 
 impl MatchReport {
@@ -247,9 +272,10 @@ pub struct CompiledSegment {
     pub(crate) seg_pops: Vec<u32>,
     /// Structural signature — the knowledge base's candidate-index key.
     pub(crate) signature: u64,
-    /// `(pop_type, est_card)` per operator: the index-side cardinality
-    /// pre-check inputs.
-    pub(crate) checks: Vec<(&'static str, f64)>,
+    /// One admission pre-check per operator — type, estimated
+    /// cardinality, and (for scans) the belief-table statistics the probe
+    /// would test.
+    pub(crate) checks: Vec<PopCheck>,
     /// The compiled probe, built on first use under the store session.
     pub(crate) probe: OnceLock<SegmentProbe>,
 }
@@ -299,20 +325,20 @@ impl CompiledPlan {
 /// Compile a plan's segments for matching: the plan-side half of
 /// [`match_plan`], split out so the serving tier can cache it keyed by
 /// plan fingerprint. Cheap — no knowledge-base access, no probe ASTs
-/// (those build lazily on first evaluation).
-pub fn compile_plan(qgm: &Qgm, cfg: &MatchConfig) -> CompiledPlan {
+/// (those build lazily on first evaluation). `db` supplies the
+/// belief-table statistics the scan-stat admission checks carry.
+pub fn compile_plan(db: &Database, qgm: &Qgm, cfg: &MatchConfig) -> CompiledPlan {
     let segments = segments(qgm, cfg.join_threshold)
         .into_iter()
         .map(|segment| {
             // Candidate templates must share the segment's structural
-            // signature AND have per-operator cardinality ranges that
+            // signature AND have per-operator statistics envelopes that
             // could admit the segment's values — both necessary
             // conditions, checked entirely in the index. The signature
-            // is derived from the card-check walk rather than
-            // recomputed.
-            let checks = segment_card_checks(qgm, segment.root);
+            // is derived from the pre-check walk rather than recomputed.
+            let checks = segment_pop_checks(db, qgm, segment.root);
             let signature =
-                galo_qgm::shape_signature(segment.join_count, checks.iter().map(|&(ty, _)| ty));
+                galo_qgm::shape_signature(segment.join_count, checks.iter().map(|c| c.pop_type));
             CompiledSegment {
                 root: segment.root,
                 segment_op_id: qgm.pop(segment.root).op_id,
@@ -359,6 +385,7 @@ pub fn match_compiled(
     // lazily in ascending IRI order — the first non-empty candidate (the
     // globally smallest matching template) decides the segment, so no
     // work is spent past it.
+    let mut admission = AdmissionStats::default();
     kb.server().with_store(|st| {
         for seg in &compiled.segments {
             // Skip segments overlapping an earlier match — their rewrites
@@ -366,16 +393,17 @@ pub fn match_compiled(
             if seg.seg_pops.iter().any(|id| claimed.contains(id)) {
                 continue;
             }
+            let query = AdmissionQuery {
+                checks: &seg.checks,
+                margin: cfg.range_margin,
+                trim: cfg.sketch_trim,
+                dataset: cfg.dataset.as_deref(),
+            };
             // The first cursor pull doubles as the emptiness pre-check:
             // no admitted candidate means the segment is pruned before
             // any probe is compiled.
-            let mut cursor = kb.next_candidate_admitting(
-                seg.signature,
-                &seg.checks,
-                cfg.range_margin,
-                cfg.dataset.as_deref(),
-                None,
-            );
+            let mut cursor =
+                kb.next_candidate_admitting(seg.signature, &query, None, &mut admission);
             if cursor.is_none() {
                 report.probes_pruned += 1;
                 continue;
@@ -421,13 +449,8 @@ pub fn match_compiled(
                         break; // first matching candidate decides the segment
                     }
                 }
-                cursor = kb.next_candidate_admitting(
-                    seg.signature,
-                    &seg.checks,
-                    cfg.range_margin,
-                    cfg.dataset.as_deref(),
-                    Some(&iri),
-                );
+                cursor =
+                    kb.next_candidate_admitting(seg.signature, &query, Some(&iri), &mut admission);
             }
             if let Some(rewrites) = matched {
                 report.rewrites.extend(rewrites);
@@ -435,6 +458,9 @@ pub fn match_compiled(
             }
         }
     });
+    report.candidates_considered = admission.considered;
+    report.admission_rejects_card = admission.rejects_card;
+    report.admission_rejects_scan = admission.rejects_scan;
     report.match_ms = t0.elapsed().as_secs_f64() * 1e3;
     report
 }
@@ -448,7 +474,7 @@ pub fn match_compiled(
 /// compilation.
 pub fn match_plan(db: &Database, kb: &KnowledgeBase, qgm: &Qgm, cfg: &MatchConfig) -> MatchReport {
     let t0 = Instant::now();
-    let compiled = compile_plan(qgm, cfg);
+    let compiled = compile_plan(db, qgm, cfg);
     let mut report = match_compiled(db, kb, qgm, &compiled);
     // Account compile + match, as before the split.
     report.match_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -742,20 +768,16 @@ mod tests {
         let mut tpl = abstract_plan(&w.db, &plan, plan.root(), &g, kb.fresh_id(1));
         // Displace every range by 3x: exact matching must fail, a 4x
         // match-time margin must recover it.
+        let displace = |s: &mut crate::kb::StatSketch| {
+            let r = s.envelope(0.0);
+            *s = crate::kb::StatSketch::from_range(r.lo * 3.0, r.hi * 3.0);
+        };
         for p in &mut tpl.pops {
-            p.cardinality = crate::kb::Range {
-                lo: p.cardinality.lo * 3.0,
-                hi: p.cardinality.hi * 3.0,
-            };
+            displace(&mut p.cardinality);
             if let Some(scan) = &mut p.scan {
-                for r in [
-                    &mut scan.row_size,
-                    &mut scan.fpages,
-                    &mut scan.base_cardinality,
-                ] {
-                    r.lo *= 3.0;
-                    r.hi *= 3.0;
-                }
+                displace(&mut scan.row_size);
+                displace(&mut scan.fpages);
+                displace(&mut scan.base_cardinality);
             }
         }
         tpl.source_workload = "displaced".into();
@@ -788,7 +810,7 @@ mod tests {
         let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
         let mut tpl = abstract_plan(&w.db, &plan, plan.root(), &g, kb.fresh_id(1));
         for p in &mut tpl.pops {
-            p.cardinality = crate::kb::Range { lo: 0.0, hi: 0.5 };
+            p.cardinality = crate::kb::StatSketch::from_range(0.0, 0.5);
         }
         tpl.source_workload = "x".into();
         kb.insert(&tpl);

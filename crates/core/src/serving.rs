@@ -52,7 +52,7 @@ use galo_catalog::Database;
 use galo_qgm::{PopKind, Qgm};
 use galo_rdf::{Probe, Term};
 
-use crate::kb::KnowledgeBase;
+use crate::kb::{AdmissionQuery, AdmissionStats, KnowledgeBase};
 use crate::matching::{
     compile_plan, instantiate_match, match_compiled, winning_solution, CompiledPlan, MatchConfig,
     MatchReport, MatchedRewrite,
@@ -89,8 +89,8 @@ impl Fnv {
 /// the match outcome depends on from the query side.
 ///
 /// Covered: the match configuration (join threshold, range margin,
-/// dataset restriction — folded into the key so one cache safely serves
-/// mixed configurations), the operator tree (ids, kinds *with their
+/// sketch trim, dataset restriction — folded into the key so one cache
+/// safely serves mixed configurations), the operator tree (ids, kinds *with their
 /// parameters* — which index, fetch flag, bloom flag, sort key —
 /// estimated cardinality and cost, input edges, output order), and per
 /// scan the query qualifier plus the belief statistics
@@ -106,6 +106,7 @@ pub fn plan_fingerprint(db: &Database, qgm: &Qgm, cfg: &MatchConfig) -> u64 {
     let mut h = Fnv::new();
     h.u64(cfg.join_threshold as u64);
     h.u64(cfg.range_margin.to_bits());
+    h.u64(cfg.sketch_trim.to_bits());
     match &cfg.dataset {
         None => h.u64(0),
         Some(d) => {
@@ -386,7 +387,10 @@ impl ProbeCache {
         epoch: u64,
         report: &MatchReport,
     ) {
-        debug_assert!(epoch.is_multiple_of(2), "outcomes are stamped at even epochs");
+        debug_assert!(
+            epoch.is_multiple_of(2),
+            "outcomes are stamped at even epochs"
+        );
         let mut stripe = self.stripe(fingerprint);
         if let Some(&slot) = stripe.map.get(&fingerprint) {
             let entry = stripe.slots[slot].as_mut().expect("mapped slot occupied");
@@ -476,17 +480,28 @@ pub struct ServingTier<'a> {
 /// [`ServingTier::serve_batch`] — mirrors the branches of
 /// [`match_compiled`] so the replay can reproduce its counters exactly.
 enum SegState {
-    /// Signature index admitted no candidates → `probes_pruned`.
-    NoCandidates,
+    /// Signature index admitted no candidates → `probes_pruned`. `first`
+    /// is the admission accounting of the one (empty) cursor pull.
+    NoCandidates { first: AdmissionStats },
     /// Candidates exist but a probe constant was never interned →
     /// `probes_pruned` (after the probe IR was built, so the reuse flag
-    /// still counts).
-    ConstantsMissing { preexisting: bool },
+    /// still counts). Only the first cursor pull happened on the
+    /// per-plan path before it pruned, so only its accounting counts.
+    ConstantsMissing {
+        preexisting: bool,
+        first: AdmissionStats,
+    },
     /// Probing: `probes` indexes this segment's candidate evaluations in
-    /// the flat batch, aligned with `candidates`.
+    /// the flat batch — one per *interned* candidate, in order.
+    /// `deltas[k]` is the admission accounting of the cursor pull that
+    /// returned `candidates[k]`; the final element is the empty tail
+    /// pull. The replay adds deltas exactly as far as the per-plan
+    /// cursor would have pulled (stopping at a segment's first match).
     Probing {
         preexisting: bool,
-        candidates: Vec<String>,
+        /// `(template IRI, interned?)` in cursor order.
+        candidates: Vec<(String, bool)>,
+        deltas: Vec<AdmissionStats>,
         probes: Range<usize>,
     },
 }
@@ -543,7 +558,7 @@ impl<'a> ServingTier<'a> {
                 CacheLookup::Compiled(c) => c,
                 CacheLookup::Miss => self
                     .cache
-                    .insert_compiled(fingerprint, Arc::new(compile_plan(qgm, &self.cfg))),
+                    .insert_compiled(fingerprint, Arc::new(compile_plan(self.db, qgm, &self.cfg))),
             };
             let report = match_compiled(self.db, self.kb, qgm, &compiled);
             let e2 = self.kb.epoch();
@@ -605,8 +620,10 @@ impl<'a> ServingTier<'a> {
                 CacheLookup::Compiled(c) => misses.push((i, c)),
                 CacheLookup::Miss => misses.push((
                     i,
-                    self.cache
-                        .insert_compiled(fingerprints[i], Arc::new(compile_plan(qgm, &self.cfg))),
+                    self.cache.insert_compiled(
+                        fingerprints[i],
+                        Arc::new(compile_plan(self.db, qgm, &self.cfg)),
+                    ),
                 )),
             }
         }
@@ -625,38 +642,54 @@ impl<'a> ServingTier<'a> {
                 let qgm = plans[*i];
                 let mut plan_states = Vec::with_capacity(compiled.segment_count());
                 for seg in compiled.segments() {
-                    let mut candidates: Vec<String> = Vec::new();
-                    let mut cursor = self.kb.next_candidate_admitting(
-                        seg.signature,
-                        &seg.checks,
-                        self.cfg.range_margin,
-                        self.cfg.dataset.as_deref(),
-                        None,
-                    );
-                    while let Some(iri) = cursor {
-                        cursor = self.kb.next_candidate_admitting(
+                    let query = AdmissionQuery {
+                        checks: &seg.checks,
+                        margin: self.cfg.range_margin,
+                        trim: self.cfg.sketch_trim,
+                        dataset: self.cfg.dataset.as_deref(),
+                    };
+                    // Drain the cursor, keeping each pull's admission
+                    // accounting separate so the replay can stop adding
+                    // deltas exactly where the per-plan cursor would
+                    // have stopped pulling.
+                    let mut candidates: Vec<(String, bool)> = Vec::new();
+                    let mut deltas: Vec<AdmissionStats> = Vec::new();
+                    let mut after: Option<String> = None;
+                    loop {
+                        let mut delta = AdmissionStats::default();
+                        let next = self.kb.next_candidate_admitting(
                             seg.signature,
-                            &seg.checks,
-                            self.cfg.range_margin,
-                            self.cfg.dataset.as_deref(),
-                            Some(&iri),
+                            &query,
+                            after.as_deref(),
+                            &mut delta,
                         );
-                        candidates.push(iri);
+                        deltas.push(delta);
+                        match next {
+                            Some(iri) => {
+                                let interned = st.term_id(&Term::iri(iri.as_str())).is_some();
+                                candidates.push((iri.clone(), interned));
+                                after = Some(iri);
+                            }
+                            None => break,
+                        }
                     }
                     if candidates.is_empty() {
-                        plan_states.push(SegState::NoCandidates);
+                        plan_states.push(SegState::NoCandidates { first: deltas[0] });
                         continue;
                     }
                     let preexisting = seg.probe.get().is_some();
                     let probe = seg.probe(self.db, qgm, &opts);
                     if !galo_rdf::constants_interned(st, &probe.query) {
-                        plan_states.push(SegState::ConstantsMissing { preexisting });
+                        plan_states.push(SegState::ConstantsMissing {
+                            preexisting,
+                            first: deltas[0],
+                        });
                         continue;
                     }
-                    candidates.retain(|iri| st.term_id(&Term::iri(iri.as_str())).is_some());
                     plan_states.push(SegState::Probing {
                         preexisting,
                         candidates,
+                        deltas,
                         probes: 0..0,
                     });
                 }
@@ -675,13 +708,16 @@ impl<'a> ServingTier<'a> {
                 } = state
                 {
                     let probe = seg.probe.get().expect("built in phase A");
-                    *probes = flat.len()..flat.len() + candidates.len();
-                    for iri in candidates.iter() {
-                        flat.push(Probe {
-                            query: &probe.query,
-                            bind: vec![("tmpl".to_string(), Term::iri(iri.as_str()))],
-                        });
+                    let start = flat.len();
+                    for (iri, interned) in candidates.iter() {
+                        if *interned {
+                            flat.push(Probe {
+                                query: &probe.query,
+                                bind: vec![("tmpl".to_string(), Term::iri(iri.as_str()))],
+                            });
+                        }
                     }
+                    *probes = start..flat.len();
                 }
             }
         }
@@ -695,45 +731,61 @@ impl<'a> ServingTier<'a> {
         self.kb.server().with_store(|st| {
             for ((_, compiled), plan_states) in misses.iter().zip(states.iter()) {
                 let mut report = MatchReport::default();
+                let mut admission = AdmissionStats::default();
                 let mut claimed: HashSet<u32> = HashSet::new();
                 for (seg, state) in compiled.segments().iter().zip(plan_states.iter()) {
                     if seg.seg_pops.iter().any(|id| claimed.contains(id)) {
                         continue;
                     }
                     match state {
-                        SegState::NoCandidates => report.probes_pruned += 1,
-                        SegState::ConstantsMissing { preexisting } => {
+                        SegState::NoCandidates { first } => {
+                            admission.absorb(*first);
+                            report.probes_pruned += 1;
+                        }
+                        SegState::ConstantsMissing { preexisting, first } => {
+                            admission.absorb(*first);
                             report.probes_reused += *preexisting as usize;
                             report.probes_pruned += 1;
                         }
                         SegState::Probing {
                             preexisting,
                             candidates,
+                            deltas,
                             probes,
                         } => {
                             report.probes_reused += *preexisting as usize;
                             let probe = seg.probe.get().expect("built in phase A");
                             let mut matched: Option<Vec<MatchedRewrite>> = None;
-                            for (c, iri) in candidates.iter().enumerate() {
-                                report.probes_executed += 1;
-                                let solutions = &results[probes.start + c];
-                                if !solutions.is_empty() {
-                                    if let Some((_, labels)) =
-                                        winning_solution(solutions, &probe.scan_vars, |_| true)
-                                    {
-                                        matched =
-                                            crate::kb::guideline_of_in(st, iri).and_then(|g| {
-                                                instantiate_match(
-                                                    g,
-                                                    iri,
-                                                    &labels,
-                                                    &probe.scan_vars,
-                                                    seg.segment_op_id,
-                                                )
-                                            });
+                            // The pull that returned candidate 0 always
+                            // happened; each later delta is added only if
+                            // the per-plan cursor would have pulled past
+                            // the candidate before it (i.e. no match yet).
+                            admission.absorb(deltas[0]);
+                            let mut next_probe = probes.start;
+                            for (c, (iri, interned)) in candidates.iter().enumerate() {
+                                if *interned {
+                                    report.probes_executed += 1;
+                                    let solutions = &results[next_probe];
+                                    next_probe += 1;
+                                    if !solutions.is_empty() {
+                                        if let Some((_, labels)) =
+                                            winning_solution(solutions, &probe.scan_vars, |_| true)
+                                        {
+                                            matched =
+                                                crate::kb::guideline_of_in(st, iri).and_then(|g| {
+                                                    instantiate_match(
+                                                        g,
+                                                        iri,
+                                                        &labels,
+                                                        &probe.scan_vars,
+                                                        seg.segment_op_id,
+                                                    )
+                                                });
+                                        }
+                                        break;
                                     }
-                                    break;
                                 }
+                                admission.absorb(deltas[c + 1]);
                             }
                             if let Some(rewrites) = matched {
                                 report.rewrites.extend(rewrites);
@@ -742,6 +794,9 @@ impl<'a> ServingTier<'a> {
                         }
                     }
                 }
+                report.candidates_considered = admission.considered;
+                report.admission_rejects_card = admission.rejects_card;
+                report.admission_rejects_scan = admission.rejects_scan;
                 reports.push(report);
             }
         });
@@ -937,11 +992,16 @@ mod tests {
             dataset: Some("w1".into()),
             ..MatchConfig::default()
         };
+        let trim = MatchConfig {
+            sketch_trim: 0.05,
+            ..MatchConfig::default()
+        };
         let keys = [
             fp(&db, &qgm, &base),
             fp(&db, &qgm, &margin),
             fp(&db, &qgm, &threshold),
             fp(&db, &qgm, &dataset),
+            fp(&db, &qgm, &trim),
         ];
         for i in 0..keys.len() {
             for j in i + 1..keys.len() {
@@ -972,10 +1032,10 @@ mod tests {
 
     #[test]
     fn clock_cache_evicts_unreferenced_first() {
-        let (_db, qgm) = tiny_plan();
+        let (db, qgm) = tiny_plan();
         let cfg = MatchConfig::default();
         let cache = ProbeCache::new(1, 2);
-        let compiled = Arc::new(compile_plan(&qgm, &cfg));
+        let compiled = Arc::new(compile_plan(&db, &qgm, &cfg));
         cache.insert_compiled(1, Arc::clone(&compiled));
         cache.insert_compiled(2, Arc::clone(&compiled));
         assert_eq!(cache.len(), 2);
@@ -994,10 +1054,10 @@ mod tests {
 
     #[test]
     fn stale_outcomes_drop_but_odd_epochs_preserve_them() {
-        let (_db, qgm) = tiny_plan();
+        let (db, qgm) = tiny_plan();
         let cfg = MatchConfig::default();
         let cache = ProbeCache::new(1, 4);
-        let compiled = Arc::new(compile_plan(&qgm, &cfg));
+        let compiled = Arc::new(compile_plan(&db, &qgm, &cfg));
         let report = MatchReport::default();
         cache.insert_compiled(7, Arc::clone(&compiled));
         cache.store_outcome(7, &compiled, 10, &report);
@@ -1016,10 +1076,10 @@ mod tests {
 
     #[test]
     fn hit_reports_are_flagged_and_timeless() {
-        let (_db, qgm) = tiny_plan();
+        let (db, qgm) = tiny_plan();
         let cfg = MatchConfig::default();
         let cache = ProbeCache::new(2, 4);
-        let compiled = Arc::new(compile_plan(&qgm, &cfg));
+        let compiled = Arc::new(compile_plan(&db, &qgm, &cfg));
         let report = MatchReport {
             match_ms: 3.5,
             probes_executed: 2,

@@ -19,6 +19,7 @@ use galo_catalog::Database;
 use galo_qgm::{segment_signature, PopId, PopKind, Qgm};
 use galo_rdf::{CmpOp, Expr, PathPattern, SelectQuery, Term, TermPattern, TriplePattern};
 
+use crate::kb::{PopCheck, ScanCheck};
 use crate::vocab::{self, prop};
 
 /// Translate a full QGM into RDF triples (concrete form: exact values, no
@@ -381,6 +382,34 @@ pub fn segment_card_checks(qgm: &Qgm, root: PopId) -> Vec<(&'static str, f64)> {
         .map(|pid| {
             let pop = qgm.pop(pid);
             (pop.kind.name(), pop.est_card)
+        })
+        .collect()
+}
+
+/// One admission pre-check per operator of the segment: operator type,
+/// estimated cardinality and — for scans — the belief-table statistics
+/// (row size, FPAGES, base cardinality) the Figure-6 probe would test.
+/// These are exactly the values [`segment_to_probe`]'s range filters bind
+/// against, so the knowledge base can reject a candidate template from its
+/// in-memory index without evaluating the probe.
+pub fn segment_pop_checks(db: &Database, qgm: &Qgm, root: PopId) -> Vec<PopCheck> {
+    qgm.subtree(root)
+        .into_iter()
+        .map(|pid| {
+            let pop = qgm.pop(pid);
+            let scan = pop.kind.scan_table().map(|t| {
+                let stats = db.belief.table(qgm.query.tables[t].table);
+                ScanCheck {
+                    row_size: stats.row_size as f64,
+                    fpages: stats.pages as f64,
+                    base_cardinality: stats.row_count as f64,
+                }
+            });
+            PopCheck {
+                pop_type: pop.kind.name(),
+                est_card: pop.est_card,
+                scan,
+            }
         })
         .collect()
 }

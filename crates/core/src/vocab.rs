@@ -67,6 +67,15 @@ pub const HAS_HIGHER_FPAGES: &str = "hasHigherFPages";
 pub const HAS_LOWER_BASE_CARDINALITY: &str = "hasLowerBaseCardinality";
 pub const HAS_HIGHER_BASE_CARDINALITY: &str = "hasHigherBaseCardinality";
 
+// Quantile-sketch literals stored next to the exact bounds: the full
+// t-digest (hex of `galo_stats::StatSketch::to_bytes`) per learned
+// property, so trimmed admission envelopes survive export/import,
+// durable reopen and reindex.
+pub const HAS_CARDINALITY_SKETCH: &str = "hasCardinalitySketch";
+pub const HAS_ROW_SIZE_SKETCH: &str = "hasRowSizeSketch";
+pub const HAS_FPAGES_SKETCH: &str = "hasFPagesSketch";
+pub const HAS_BASE_CARDINALITY_SKETCH: &str = "hasBaseCardinalitySketch";
+
 // Template metadata and linkage.
 pub const IN_TEMPLATE: &str = "inTemplate";
 pub const HAS_CANONICAL_TABID: &str = "hasCanonicalTabid";

@@ -265,6 +265,31 @@ mod tests {
         assert_eq!(st2.len(), 1);
     }
 
+    /// Sketch payloads serialize as long unbroken hex literals (hundreds
+    /// of characters, no escapes); the parser must round-trip them
+    /// byte-for-byte rather than truncating or splitting long literals.
+    #[test]
+    fn long_hex_literal_roundtrips() {
+        let hex: String = (0..1024u32)
+            .map(|i| char::from_digit(i % 16, 16).unwrap())
+            .collect();
+        let mut st = IndexedStore::new();
+        st.insert(
+            Term::iri("http://galo/qep/pop/5"),
+            Term::iri("http://galo/qep/property/hasCardinalitySketch"),
+            Term::lit(hex.clone()),
+        );
+        let text = to_ntriples(&st);
+        let st2 = from_ntriples(&text).unwrap();
+        assert!(st2.contains(
+            &Term::iri("http://galo/qep/pop/5"),
+            &Term::iri("http://galo/qep/property/hasCardinalitySketch"),
+            &Term::lit(hex),
+        ));
+        // Stability: a second serialization is byte-identical.
+        assert_eq!(to_ntriples(&st2), text);
+    }
+
     #[test]
     fn missing_dot_is_an_error() {
         let e = from_ntriples("<http://a> <http://b> \"x\"").unwrap_err();

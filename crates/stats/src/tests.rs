@@ -1,0 +1,277 @@
+//! Unit and property tests for the statistics substrate: exactness of
+//! the `trim == 0` envelope, trim behavior, centroid budgets, canonical
+//! merges, quantile error vs an exact oracle, and serialization
+//! robustness.
+
+use super::*;
+use proptest::prelude::*;
+
+fn sketch_of(values: &[f64]) -> StatSketch {
+    let mut s = StatSketch::new();
+    for &v in values {
+        s.observe(v);
+    }
+    s
+}
+
+#[test]
+fn envelope_zero_matches_exact_widened_range_bit_for_bit() {
+    let values = [7.0, 3.5, 900.25, 11.0, 0.125, 3.5];
+    let mut s = sketch_of(&values);
+    s.set_widen(2.5);
+    let mut exact = Range::point(values[0]);
+    for &v in &values[1..] {
+        exact.cover(v);
+    }
+    let exact = exact.widen(2.5);
+    assert_eq!(s.envelope(0.0), exact);
+    // Same arithmetic as the legacy path: lo / m, hi * m.
+    assert_eq!(s.envelope(0.0).lo, 0.125 / 2.5);
+    assert_eq!(s.envelope(0.0).hi, 900.25 * 2.5);
+}
+
+#[test]
+fn point_and_from_range_seed_exact_envelopes() {
+    assert_eq!(StatSketch::point(7.0).envelope(0.0), Range::point(7.0));
+    assert_eq!(
+        StatSketch::from_range(3.0, 9.0).envelope(0.0),
+        Range { lo: 3.0, hi: 9.0 }
+    );
+    assert_eq!(
+        StatSketch::from_range(4.0, 4.0).envelope(0.0),
+        Range::point(4.0)
+    );
+}
+
+#[test]
+fn trim_drops_heavy_outliers_but_never_light_sketches() {
+    // 50 observations of mass at 1.0 plus one outlier: trim weight
+    // 0.05 · 51 ≈ 2.6 exceeds the outlier centroid's weight of 1, so the
+    // trimmed envelope collapses back to the mass.
+    let mut polluted = sketch_of(&vec![1.0; 50]);
+    polluted.observe(1.0e9);
+    assert_eq!(polluted.envelope(0.0).hi, 1.0e9);
+    assert!(polluted.envelope(0.05).hi < 1.0e3);
+    assert!(polluted.envelope(0.05).lo <= 1.0);
+
+    // A lightly-observed sketch (the learned-template case): trim weight
+    // 0.05 · 5 = 0.25 < 1 drops nothing, even though the max is a lone
+    // extreme observation.
+    let light = sketch_of(&[10.0, 11.0, 12.0, 13.0, 5000.0]);
+    assert_eq!(light.envelope(0.05), light.envelope(0.0));
+}
+
+#[test]
+fn centroid_budget_holds_under_streaming_and_merge() {
+    let mut a = StatSketch::new();
+    for k in 0..10_000 {
+        a.observe((k % 977) as f64);
+    }
+    assert!(a.centroid_count() <= CENTROID_BUFFER);
+    assert_eq!(a.count(), 10_000.0);
+    assert_eq!(a.min(), 0.0);
+    assert_eq!(a.max(), 976.0);
+
+    let b = sketch_of(
+        &(0..5_000)
+            .map(|k| (k % 31) as f64 * 1e6)
+            .collect::<Vec<_>>(),
+    );
+    let mut m = a.clone();
+    m.merge(&b);
+    assert!(m.centroid_count() <= CENTROID_BUDGET);
+    assert_eq!(m.count(), 15_000.0);
+    assert_eq!(m.max(), 30.0 * 1e6);
+}
+
+#[test]
+fn quantile_anchors_at_exact_extremes() {
+    let s = sketch_of(&(1..=100).map(f64::from).collect::<Vec<_>>());
+    assert_eq!(s.quantile(0.0), 1.0);
+    assert_eq!(s.quantile(1.0), 100.0);
+    let mid = s.quantile(0.5);
+    assert!((35.0..=65.0).contains(&mid), "median estimate {mid}");
+}
+
+#[test]
+fn empty_and_nonfinite_sketches_stay_unbounded() {
+    assert_eq!(StatSketch::new().envelope(0.0), Range::UNBOUNDED);
+    assert_eq!(StatSketch::new().envelope(0.2), Range::UNBOUNDED);
+    let fallback = StatSketch::from_range(f64::NEG_INFINITY, f64::INFINITY);
+    assert_eq!(fallback.envelope(0.0), Range::UNBOUNDED);
+    assert_eq!(fallback.envelope(0.3), Range::UNBOUNDED);
+}
+
+#[test]
+fn range_from_bounds_defaults_each_missing_side() {
+    assert_eq!(Range::from_bounds(None, None), Range::UNBOUNDED);
+    assert_eq!(
+        Range::from_bounds(Some(2.0), None),
+        Range {
+            lo: 2.0,
+            hi: f64::INFINITY
+        }
+    );
+    assert_eq!(
+        Range::from_bounds(Some(2.0), Some(5.0)),
+        Range { lo: 2.0, hi: 5.0 }
+    );
+}
+
+#[test]
+fn serialization_roundtrips_and_rejects_every_single_byte_flip() {
+    let mut s = sketch_of(&[1.0, 2.0, 2.0, 3.0, 1e6]);
+    s.set_widen(2.5);
+    let bytes = s.to_bytes();
+    assert_eq!(StatSketch::from_bytes(&bytes), Some(s.clone()));
+    assert_eq!(StatSketch::from_hex(&s.to_hex()), Some(s.clone()));
+
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x40;
+        assert_eq!(StatSketch::from_bytes(&bad), None, "flip at byte {i}");
+    }
+    for cut in 0..bytes.len() {
+        assert_eq!(StatSketch::from_bytes(&bytes[..cut]), None, "cut at {cut}");
+    }
+    assert_eq!(StatSketch::from_hex("abc"), None);
+    assert_eq!(StatSketch::from_hex("zz"), None);
+}
+
+#[test]
+fn republished_sketch_serialization_is_byte_stable() {
+    let build = || {
+        let mut s = StatSketch::new();
+        for k in 0..200 {
+            s.observe(((k * 37) % 113) as f64);
+        }
+        s.set_widen(2.5);
+        s.to_hex()
+    };
+    assert_eq!(build(), build());
+}
+
+/// Values drawn from mixed regimes: clustered mass, wide uniform spread,
+/// and large outliers — the shapes admission sketches actually see.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0f64..100.0,
+        1.0e3f64..1.0e9,
+        Just(42.0),
+        Just(1.0),
+        Just(7.5e11),
+    ]
+}
+
+/// Assert `est` lies between the exact order statistics `slack` ranks on
+/// either side of `q·n`.
+fn assert_within_rank_window(est: f64, sorted: &[f64], q: f64, slack: f64, ctx: &str) {
+    let n = sorted.len();
+    let t = q * n as f64;
+    let lo_idx = (t - slack).floor().max(0.0) as usize;
+    let hi_idx = ((t + slack).ceil() as usize).min(n - 1);
+    let lo_idx = lo_idx.min(n - 1);
+    assert!(
+        est >= sorted[lo_idx] && est <= sorted[hi_idx],
+        "{ctx}: q={q} est={est} window=[{}, {}] (ranks {lo_idx}..{hi_idx} of {n})",
+        sorted[lo_idx],
+        sorted[hi_idx],
+    );
+}
+
+const Q_GRID: [f64; 9] = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_exactly_commutative(
+        xs in prop::collection::vec(value_strategy(), 1..200),
+        ys in prop::collection::vec(value_strategy(), 1..200),
+    ) {
+        let a = sketch_of(&xs);
+        let b = sketch_of(&ys);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative_within_error_bound(
+        xs in prop::collection::vec(value_strategy(), 1..120),
+        ys in prop::collection::vec(value_strategy(), 1..120),
+        zs in prop::collection::vec(value_strategy(), 1..120),
+    ) {
+        let (a, b, c) = (sketch_of(&xs), sketch_of(&ys), sketch_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert_eq!(left.envelope(0.0), right.envelope(0.0));
+        prop_assert!(left.centroid_count() <= CENTROID_BUDGET);
+        prop_assert!(right.centroid_count() <= CENTROID_BUDGET);
+
+        let mut all: Vec<f64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        all.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let n = all.len() as f64;
+        let slack = 4.0 * (2.0 * n / CENTROID_BUDGET as f64).max(1.0) + 4.0;
+        for q in Q_GRID {
+            assert_within_rank_window(left.quantile(q), &all, q, slack, "left");
+            assert_within_rank_window(right.quantile(q), &all, q, slack, "right");
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_vs_exact_oracle(
+        xs in prop::collection::vec(value_strategy(), 1..400),
+    ) {
+        let s = sketch_of(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let n = sorted.len() as f64;
+        // One centroid weighs at most max(1, 2n/B); interpolation spans
+        // two adjacent centroids, plus one rank of discretization.
+        let slack = 2.0 * (2.0 * n / CENTROID_BUDGET as f64).max(1.0) + 2.0;
+        for q in Q_GRID {
+            assert_within_rank_window(s.quantile(q), &sorted, q, slack, "stream");
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip_is_exact_for_arbitrary_sketches(
+        xs in prop::collection::vec(value_strategy(), 0..300),
+        widen in 1.0f64..8.0,
+    ) {
+        let mut s = sketch_of(&xs);
+        s.set_widen(widen);
+        prop_assert_eq!(StatSketch::from_hex(&s.to_hex()), Some(s.clone()));
+        let round = StatSketch::from_bytes(&s.to_bytes()).unwrap();
+        prop_assert_eq!(round.envelope(0.05), s.envelope(0.05));
+    }
+
+    #[test]
+    fn trim_zero_envelope_always_equals_exact_min_max(
+        xs in prop::collection::vec(value_strategy(), 1..200),
+        widen in 1.0f64..8.0,
+    ) {
+        let mut s = sketch_of(&xs);
+        s.set_widen(widen);
+        let mut exact = Range::point(xs[0]);
+        for &v in &xs[1..] {
+            exact.cover(v);
+        }
+        prop_assert_eq!(s.envelope(0.0), exact.widen(widen));
+        // Trimmed envelopes only ever shrink inside the exact one.
+        let t = s.envelope(0.1);
+        prop_assert!(t.lo >= s.envelope(0.0).lo && t.hi <= s.envelope(0.0).hi);
+    }
+}

@@ -229,6 +229,26 @@ impl Criterion {
         self
     }
 
+    /// Record a plain scalar measurement (a count, a ratio scaled to an
+    /// integer, a byte size) alongside the timing results, so benches
+    /// can export quality metrics — admission rejects, false-positive
+    /// counts, catalog bytes — into the same JSON artifact CI uploads.
+    /// The value lands in every `*_ns` field of one single-sample
+    /// record; interpret it by name, not unit.
+    pub fn metric(&mut self, name: &str, value: u128) -> &mut Self {
+        println!("{name:<48} value {value}");
+        self.results.push(BenchRecord {
+            name: name.to_string(),
+            median_ns: value,
+            mean_ns: value,
+            min_ns: value,
+            p50_ns: value,
+            p99_ns: value,
+            samples: 1,
+        });
+        self
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
         BenchmarkGroup {
@@ -348,6 +368,31 @@ mod tests {
         });
         group.finish();
         assert_eq!(seen, 21);
+    }
+
+    #[test]
+    fn metrics_land_in_the_json_artifact() {
+        let dir = std::env::temp_dir().join(format!(
+            "galo-criterion-metric-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_metric.json");
+        {
+            let mut c = Criterion::default().sample_size(2);
+            c.quick = false;
+            c.json_path = Some(path.clone());
+            c.metric("admission/false_admissions", 42);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"name\":\"admission/false_admissions\""),
+            "{text}"
+        );
+        assert!(text.contains("\"median_ns\":42"), "{text}");
+        assert!(text.contains("\"samples\":1"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -178,10 +178,11 @@ proptest! {
             let doc = GuidelineDoc::new(vec![g]);
             let mut tpl = abstract_plan(&db, src, src.root(), &doc, kb.fresh_id(i as u64));
             for p in &mut tpl.pops {
-                p.cardinality = p.cardinality.widen(1.5);
+                p.cardinality.set_widen(1.5);
                 if displace && i == 0 {
-                    p.cardinality.lo *= 1.0e6;
-                    p.cardinality.hi *= 1.0e6;
+                    let r = p.cardinality.envelope(0.0);
+                    p.cardinality =
+                        galo_core::StatSketch::from_range(r.lo * 1.0e6, r.hi * 1.0e6);
                 }
             }
             tpl.source_workload = "prop".into();

@@ -2,7 +2,7 @@
 //! abstraction, RDF storage, SPARQL retrieval — the full representation
 //! chain the matching engine depends on.
 
-use galo_core::{abstract_plan, match_plan, KnowledgeBase, MatchConfig, Range};
+use galo_core::{abstract_plan, match_plan, KnowledgeBase, MatchConfig};
 use galo_optimizer::Optimizer;
 use galo_qgm::{guideline_from_plan, GuidelineDoc, GuidelineNode};
 use galo_sql::CmpOp;
@@ -72,11 +72,11 @@ fn template_chain_matches_its_own_source_plan() {
     let kb = KnowledgeBase::new();
     let mut tpl = abstract_plan(&db, &plan, plan.root(), &fix, kb.fresh_id(1));
     for p in &mut tpl.pops {
-        p.cardinality = p.cardinality.widen(2.0);
+        p.cardinality.set_widen(2.0);
         if let Some(scan) = &mut p.scan {
-            scan.row_size = scan.row_size.widen(1.5);
-            scan.fpages = scan.fpages.widen(2.0);
-            scan.base_cardinality = scan.base_cardinality.widen(2.0);
+            scan.row_size.set_widen(1.5);
+            scan.fpages.set_widen(2.0);
+            scan.base_cardinality.set_widen(2.0);
         }
     }
     tpl.improvement = 0.5;
@@ -116,10 +116,7 @@ fn displaced_ranges_do_not_match() {
     let kb = KnowledgeBase::new();
     let mut tpl = abstract_plan(&db, &plan, plan.root(), &fix, kb.fresh_id(9));
     for p in &mut tpl.pops {
-        p.cardinality = Range {
-            lo: 1.0e12,
-            hi: 2.0e12,
-        };
+        p.cardinality = galo_core::StatSketch::from_range(1.0e12, 2.0e12);
     }
     tpl.source_workload = "unit".into();
     kb.insert(&tpl);

@@ -121,6 +121,18 @@ fn assert_reports_equal(served: &MatchReport, fresh: &MatchReport, context: &str
     }
     assert_eq!(served.probes_pruned, fresh.probes_pruned, "{context}");
     assert_eq!(served.probes_executed, fresh.probes_executed, "{context}");
+    assert_eq!(
+        served.candidates_considered, fresh.candidates_considered,
+        "admission considered: {context}"
+    );
+    assert_eq!(
+        served.admission_rejects_card, fresh.admission_rejects_card,
+        "admission card rejects: {context}"
+    );
+    assert_eq!(
+        served.admission_rejects_scan, fresh.admission_rejects_scan,
+        "admission scan rejects: {context}"
+    );
 }
 
 // ------------------------------------------------------------ differential --
@@ -146,6 +158,10 @@ fn serve_equals_uncached_match_across_configs() {
         },
         MatchConfig {
             dataset: Some("elsewhere".into()),
+            ..MatchConfig::default()
+        },
+        MatchConfig {
+            sketch_trim: 0.05,
             ..MatchConfig::default()
         },
     ] {
