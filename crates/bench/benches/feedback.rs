@@ -1,0 +1,209 @@
+//! Criterion bench for the runtime-feedback loop: cross-workload reuse
+//! with learned per-template ranges vs. the global `range_margin = 4.0`
+//! crutch.
+//!
+//! Setup: learn problem patterns on TPC-DS, plan the IBM client
+//! workload. The baseline matches the client plans under the legacy
+//! global margin (every range test widened 4x forever). The feedback
+//! path records each matched plan's runtime actuals
+//! ([`galo_executor::compute_actuals`] →
+//! [`KnowledgeBase::record_feedback`]), folds the batch into the stored
+//! sketches ([`KnowledgeBase::apply_feedback`]) and re-matches at
+//! `range_margin = 1.0`. Reported:
+//!
+//! * `feedback/matched@...` — matched segments under each config;
+//!   asserted **refined ≥ baseline** (learned ranges must reach every
+//!   query the global margin reached);
+//! * `feedback/false_probes@...` — probe evaluations that failed;
+//!   asserted **strictly fewer** on the refined path (the margin-4
+//!   admissions that never matched are no longer admitted);
+//! * `feedback/lost_matches` — margin-4 rewrites missing at margin 1
+//!   after refinement; asserted **zero** (the never-lose differential:
+//!   matched estimates fold unconditionally, so a recorded true match
+//!   can never fall out of the envelope);
+//! * `feedback/refinements_applied`, `values_folded`, `values_dropped`,
+//!   `narrowed` — what the fold actually did;
+//! * `feedback/match/...` — match latency per client-mix pass under each
+//!   config, and the record→fold feedback cycle itself.
+//!
+//! Run with `GALO_BENCH_JSON=BENCH_feedback.json` to export, and
+//! `GALO_BENCH_QUICK=1` for CI's fast lane.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use galo_bench::learning_config;
+use galo_core::{match_plan, KbBuilder, KnowledgeBase, MatchConfig, MatchReport};
+use galo_executor::compute_actuals;
+use galo_optimizer::Optimizer;
+use galo_qgm::Qgm;
+use galo_workloads::{client, tpcds, Workload};
+
+struct Setup {
+    cl: Workload,
+    kb: KnowledgeBase,
+    plans: Vec<Qgm>,
+    legacy: MatchConfig,
+    refined: MatchConfig,
+}
+
+fn setup() -> Setup {
+    let kb = KbBuilder::new().build_kb().expect("in-memory build");
+    let tp = tpcds::workload();
+    let learned = galo_core::learn_workload(&tp, &kb, &learning_config(true));
+    let cl = client::workload();
+    let optimizer = Optimizer::new(&cl.db);
+    let plans: Vec<Qgm> = cl
+        .queries
+        .iter()
+        .map(|q| optimizer.optimize(q).expect("client queries plan"))
+        .collect();
+    println!(
+        "feedback setup: {} TPC-DS template(s), {} client plan(s)",
+        learned.templates_learned,
+        plans.len()
+    );
+    Setup {
+        cl,
+        kb,
+        plans,
+        legacy: MatchConfig::builder()
+            .range_margin(4.0)
+            .build()
+            .expect("a valid legacy config"),
+        refined: MatchConfig::builder()
+            .range_margin(1.0)
+            .build()
+            .expect("a valid refined config"),
+    }
+}
+
+/// Match every client plan once under `cfg`.
+fn match_mix(s: &Setup, cfg: &MatchConfig) -> Vec<MatchReport> {
+    s.plans
+        .iter()
+        .map(|p| match_plan(&s.cl.db, &s.kb, p, cfg))
+        .collect()
+}
+
+/// Sorted `(template IRI, segment op id)` keys of every rewrite — the
+/// identity the never-lose differential compares.
+fn rewrite_keys(reports: &[MatchReport]) -> Vec<(String, u32)> {
+    let mut keys: Vec<(String, u32)> = reports
+        .iter()
+        .flat_map(|r| r.rewrites.iter())
+        .map(|rw| (rw.template_iri.clone(), rw.segment_op_id))
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// `(matched segments, false probes)`: a matched segment's final probe
+/// is its one true admission, every other executed probe failed.
+fn matched_and_false(reports: &[MatchReport]) -> (usize, usize) {
+    let matched: usize = reports
+        .iter()
+        .map(|r| {
+            let mut segs: Vec<u32> = r.rewrites.iter().map(|rw| rw.segment_op_id).collect();
+            segs.dedup();
+            segs.len()
+        })
+        .sum();
+    let probes: usize = reports.iter().map(|r| r.probes_executed).sum();
+    (matched, probes - matched)
+}
+
+/// One feedback cycle: record actuals for every (plan, report) pair,
+/// then fold the batch. Returns observations recorded.
+fn feedback_cycle(s: &Setup, reports: &[MatchReport]) -> usize {
+    let mut recorded = 0usize;
+    for (plan, report) in s.plans.iter().zip(reports) {
+        let actuals = compute_actuals(&s.cl.db, plan);
+        recorded +=
+            s.kb.record_feedback(&s.cl.db, plan, &s.legacy, report, &actuals);
+    }
+    s.kb.apply_feedback();
+    recorded
+}
+
+fn bench_feedback(c: &mut Criterion) {
+    let s = setup();
+
+    // -------------------------------------------------- correctness --
+    let baseline = match_mix(&s, &s.legacy);
+    let keys0 = rewrite_keys(&baseline);
+    assert!(
+        !keys0.is_empty(),
+        "the margin-4 baseline must produce real cross-workload matches"
+    );
+    let (matched0, false0) = matched_and_false(&baseline);
+    assert!(
+        false0 > 0,
+        "the global margin must be paying for false probes for the comparison to bite"
+    );
+
+    let recorded = feedback_cycle(&s, &baseline);
+    let refinements = s.kb.refinements_applied();
+    assert!(refinements > 0, "the feedback batch must refine templates");
+
+    let after = match_mix(&s, &s.refined);
+    let keys1 = rewrite_keys(&after);
+    let lost = keys0.iter().filter(|k| !keys1.contains(k)).count();
+    assert_eq!(
+        lost, 0,
+        "refinement must never lose a previously matched rewrite"
+    );
+    let (matched1, false1) = matched_and_false(&after);
+    assert!(
+        matched1 >= matched0,
+        "refined ranges must match at least as many segments: {matched0} -> {matched1}"
+    );
+    assert!(
+        false1 < false0,
+        "refined ranges must execute strictly fewer false probes: {false0} -> {false1}"
+    );
+
+    // ----------------------------------------------------- counters --
+    c.metric("feedback/templates", s.kb.template_count() as u128);
+    c.metric("feedback/client_plans", s.plans.len() as u128);
+    c.metric("feedback/observations_recorded", recorded as u128);
+    c.metric("feedback/refinements_applied", refinements as u128);
+    c.metric("feedback/matched@margin4_baseline", matched0 as u128);
+    c.metric("feedback/matched@margin1_refined", matched1 as u128);
+    c.metric("feedback/false_probes@margin4_baseline", false0 as u128);
+    c.metric("feedback/false_probes@margin1_refined", false1 as u128);
+    c.metric("feedback/lost_matches", lost as u128);
+
+    // A second cycle on already-refined sketches: the fold report shows
+    // steady-state behaviour (mostly in-band folds, no new widening).
+    let again = match_mix(&s, &s.refined);
+    for (plan, report) in s.plans.iter().zip(&again) {
+        let actuals = compute_actuals(&s.cl.db, plan);
+        s.kb.record_feedback(&s.cl.db, plan, &s.refined, report, &actuals);
+    }
+    let steady = s.kb.apply_feedback();
+    c.metric(
+        "feedback/steady_values_folded",
+        steady.values_folded as u128,
+    );
+    c.metric(
+        "feedback/steady_values_dropped",
+        steady.values_dropped as u128,
+    );
+    c.metric("feedback/steady_narrowed", steady.narrowed as u128);
+
+    // ------------------------------------------------------ latency --
+    let mut group = c.benchmark_group("feedback/match");
+    group.sample_size(20);
+    group.bench_function("mix@margin4_baseline", |b| {
+        b.iter(|| black_box(match_mix(&s, &s.legacy)).len())
+    });
+    group.bench_function("mix@margin1_refined", |b| {
+        b.iter(|| black_box(match_mix(&s, &s.refined)).len())
+    });
+    group.bench_function("record_and_fold_cycle", |b| {
+        b.iter(|| black_box(feedback_cycle(&s, &baseline)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_feedback);
+criterion_main!(benches);

@@ -79,11 +79,13 @@ impl Default for Galo {
 }
 
 impl Galo {
+    /// An in-memory GALO instance with default configuration. All
+    /// constructors delegate to [`KbBuilder`](crate::KbBuilder), the one
+    /// construction path for every backend shape.
     pub fn new() -> Self {
-        Galo {
-            kb: KnowledgeBase::new(),
-            match_cfg: MatchConfig::default(),
-        }
+        crate::builder::KbBuilder::new()
+            .build_galo()
+            .expect("in-memory GALO construction is infallible")
     }
 
     /// A GALO instance whose knowledge base persists under `path`:
@@ -91,10 +93,9 @@ impl Galo {
     /// accumulation the paper's off-peak learning model assumes. See
     /// [`KnowledgeBase::open_durable`].
     pub fn open_durable(path: impl AsRef<std::path::Path>) -> Result<Self, galo_rdf::ServerError> {
-        Ok(Galo {
-            kb: KnowledgeBase::open_durable(path)?,
-            match_cfg: MatchConfig::default(),
-        })
+        crate::builder::KbBuilder::new()
+            .durable_dir(path)
+            .build_galo()
     }
 
     /// A GALO instance over a durable **sharded** knowledge base: one
@@ -106,10 +107,10 @@ impl Galo {
         path: impl AsRef<std::path::Path>,
         shards: usize,
     ) -> Result<Self, galo_rdf::ServerError> {
-        Ok(Galo {
-            kb: KnowledgeBase::open_sharded_durable(path, shards)?,
-            match_cfg: MatchConfig::default(),
-        })
+        crate::builder::KbBuilder::new()
+            .durable_dir(path)
+            .shards(shards)
+            .build_galo()
     }
 
     /// Offline workflow: learn problem patterns from a workload.

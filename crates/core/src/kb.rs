@@ -8,14 +8,19 @@
 //! unique random identifier, and the recommended rewrite attached as an
 //! OPTGUIDELINES document over the canonical labels.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use galo_catalog::Database;
-use galo_qgm::{shape_signature, GuidelineDoc, PopId, Qgm};
-use galo_rdf::{FusekiLite, Term, TripleStore};
+use galo_executor::Actuals;
+use galo_qgm::{segment_signature, segments, shape_signature, GuidelineDoc, PopId, Qgm};
+use galo_rdf::{FusekiLite, Term, TermId, TripleStore};
 
+use crate::feedback::{
+    FeedbackCollector, FeedbackOptions, FeedbackReport, PopObservation, RefineOutcome,
+    TemplateRefinement,
+};
 use crate::vocab::{self, prop};
 
 // `Range` moved to the statistics substrate (one home for the struct and
@@ -199,6 +204,10 @@ pub struct AdmissionStats {
     /// Entries whose cardinality envelopes admitted every check but whose
     /// scan-stat envelopes (row size / fpages / base cardinality) did not.
     pub rejects_scan: usize,
+    /// Rejected entries that would have been admitted under the query's
+    /// widened `margin · near_factor` — the feedback loop's candidates
+    /// for near-miss widening. Always 0 while `near_factor` is 1.
+    pub near_misses: usize,
 }
 
 impl AdmissionStats {
@@ -207,6 +216,7 @@ impl AdmissionStats {
         self.considered += other.considered;
         self.rejects_card += other.rejects_card;
         self.rejects_scan += other.rejects_scan;
+        self.near_misses += other.near_misses;
     }
 }
 
@@ -221,17 +231,24 @@ pub struct AdmissionQuery<'a> {
     pub trim: f64,
     /// Dataset scope (`None` spans every workload).
     pub dataset: Option<&'a str>,
+    /// Near-miss detection factor (clamped ≥ 1; `1.0` disables it):
+    /// rejected entries are re-tested at `margin · near_factor` and the
+    /// ones that would pass are counted in
+    /// [`AdmissionStats::near_misses`]. Detection never changes which
+    /// candidates are admitted.
+    pub near_factor: f64,
 }
 
 impl<'a> AdmissionQuery<'a> {
-    /// The exact-bounds query (trim 0, all datasets) — today's default
-    /// admission semantics.
+    /// The exact-bounds query (trim 0, all datasets, no near-miss
+    /// tracking) — today's default admission semantics.
     pub fn exact(checks: &'a [PopCheck], margin: f64) -> Self {
         AdmissionQuery {
             checks,
             margin,
             trim: 0.0,
             dataset: None,
+            near_factor: 1.0,
         }
     }
 }
@@ -404,6 +421,12 @@ pub struct KnowledgeBase {
     server: FusekiLite,
     counter: AtomicU64,
     sig_index: RwLock<SigIndex>,
+    /// Cumulative count of effective [`refine_template_stats`]
+    /// (Self::refine_template_stats) applications — stamped into
+    /// [`MatchReport::refinements_applied`](crate::MatchReport).
+    refinements: AtomicU64,
+    /// The runtime-feedback collector (see `galo_core::feedback`).
+    feedback: FeedbackCollector,
 }
 
 impl Default for KnowledgeBase {
@@ -413,23 +436,34 @@ impl Default for KnowledgeBase {
 }
 
 impl KnowledgeBase {
-    /// A knowledge base over the server's default in-memory store.
-    pub fn new() -> Self {
+    /// The shared construction path every public constructor (and
+    /// [`KbBuilder`](crate::KbBuilder)) funnels through: wrap the
+    /// endpoint, start an empty signature index and a feedback collector
+    /// with the given options.
+    pub(crate) fn from_server(server: FusekiLite, feedback: FeedbackOptions) -> Self {
         KnowledgeBase {
-            server: FusekiLite::new(),
+            server,
             counter: AtomicU64::new(0),
             sig_index: RwLock::new(HashMap::new()),
+            refinements: AtomicU64::new(0),
+            feedback: FeedbackCollector::new(feedback),
         }
+    }
+
+    /// A knowledge base over the server's default in-memory store.
+    pub fn new() -> Self {
+        crate::builder::KbBuilder::new()
+            .build_kb()
+            .expect("in-memory knowledge base construction is infallible")
     }
 
     /// A knowledge base over a caller-supplied [`TripleStore`] backend —
     /// the seam a persistent or sharded store plugs into.
     pub fn with_backend(backend: Box<dyn TripleStore>) -> Self {
-        KnowledgeBase {
-            server: FusekiLite::with_backend(backend),
-            counter: AtomicU64::new(0),
-            sig_index: RwLock::new(HashMap::new()),
-        }
+        crate::builder::KbBuilder::new()
+            .backend(backend)
+            .build_kb()
+            .expect("in-memory knowledge base construction is infallible")
     }
 
     /// A knowledge base over a durable on-disk store rooted at `path`
@@ -440,13 +474,9 @@ impl KnowledgeBase {
     /// recovered triples, so matching works immediately after a restart
     /// — or a crash.
     pub fn open_durable(path: impl AsRef<std::path::Path>) -> Result<Self, galo_rdf::ServerError> {
-        let kb = KnowledgeBase {
-            server: FusekiLite::open_durable(path)?,
-            counter: AtomicU64::new(0),
-            sig_index: RwLock::new(HashMap::new()),
-        };
-        kb.reindex();
-        Ok(kb)
+        crate::builder::KbBuilder::new()
+            .durable_dir(path)
+            .build_kb()
     }
 
     /// A knowledge base over an in-memory sharded store: `shards`
@@ -454,11 +484,10 @@ impl KnowledgeBase {
     /// routing, so concurrent learning runs appending different
     /// templates no longer serialize behind one lock.
     pub fn open_sharded(shards: usize) -> Self {
-        KnowledgeBase {
-            server: FusekiLite::open_sharded(shards),
-            counter: AtomicU64::new(0),
-            sig_index: RwLock::new(HashMap::new()),
-        }
+        crate::builder::KbBuilder::new()
+            .shards(shards)
+            .build_kb()
+            .expect("in-memory sharded knowledge base construction is infallible")
     }
 
     /// A knowledge base over a durable **sharded** store rooted at
@@ -469,13 +498,10 @@ impl KnowledgeBase {
         path: impl AsRef<std::path::Path>,
         shards: usize,
     ) -> Result<Self, galo_rdf::ServerError> {
-        let kb = KnowledgeBase {
-            server: FusekiLite::open_sharded_durable(path, shards)?,
-            counter: AtomicU64::new(0),
-            sig_index: RwLock::new(HashMap::new()),
-        };
-        kb.reindex();
-        Ok(kb)
+        crate::builder::KbBuilder::new()
+            .durable_dir(path)
+            .shards(shards)
+            .build_kb()
     }
 
     /// Per-shard triple/graph counts (`None` over a non-sharded
@@ -577,8 +603,20 @@ impl KnowledgeBase {
             match admits(tpl, query, m) {
                 Admission::Admitted => return Some(iri.clone()),
                 Admission::RejectedDataset => {}
-                Admission::RejectedCard => stats.rejects_card += 1,
-                Admission::RejectedScan => stats.rejects_scan += 1,
+                rejected => {
+                    match rejected {
+                        Admission::RejectedCard => stats.rejects_card += 1,
+                        _ => stats.rejects_scan += 1,
+                    }
+                    // Near-miss detection: would the widened margin have
+                    // admitted this entry? Counting only — the candidate
+                    // stays rejected.
+                    if query.near_factor > 1.0
+                        && admits(tpl, query, m * query.near_factor) == Admission::Admitted
+                    {
+                        stats.near_misses += 1;
+                    }
+                }
             }
         }
         None
@@ -1237,6 +1275,437 @@ impl KnowledgeBase {
     pub fn epoch(&self) -> u64 {
         self.server.mutation_epoch()
     }
+
+    /// The runtime-feedback collector (see [`crate::feedback`]):
+    /// per-template, per-dataset observation buffers waiting to be folded
+    /// by [`apply_feedback`](Self::apply_feedback).
+    pub fn feedback(&self) -> &FeedbackCollector {
+        &self.feedback
+    }
+
+    /// Cumulative count of *effective* template refinements — calls to
+    /// [`refine_template_stats`](Self::refine_template_stats) that
+    /// actually changed a stored sketch. Stamped into
+    /// [`MatchReport::refinements_applied`](crate::matching::MatchReport::refinements_applied)
+    /// so callers can see how much learning a knowledge base has
+    /// absorbed.
+    pub fn refinements_applied(&self) -> u64 {
+        self.refinements.load(Ordering::Relaxed)
+    }
+
+    /// Record one executed plan's runtime actuals into the feedback
+    /// buffers — the collect half of the loop, safe on the serve path
+    /// (no store access, no epoch movement). Returns the number of
+    /// per-operator observations buffered.
+    ///
+    /// Two kinds of evidence are recorded, keyed by template IRI and
+    /// the match configuration's dataset scope:
+    ///
+    /// - **Matched segments** (`report.rewrites`): each operator's
+    ///   estimated cardinality folds *unconditionally* (band ∞) — a
+    ///   value that matched once must stay inside the envelope forever
+    ///   (the monotone-safety core) — and its actual cardinality folds
+    ///   band-gated, so a moderately displaced actual widens the
+    ///   envelope toward where the estimate will sit next time.
+    /// - **Near misses** (only when
+    ///   [`near_miss_factor`](crate::matching::MatchConfig::near_miss_factor)
+    ///   `> 1`): unmatched, unclaimed segments are re-tested at
+    ///   `range_margin · near_miss_factor`; templates admitted at the
+    ///   widened margin record the segment's estimates, actuals and
+    ///   scan values at that band, so values "just outside" the stored
+    ///   envelope widen it — and farther ones never do.
+    pub fn record_feedback(
+        &self,
+        db: &Database,
+        qgm: &Qgm,
+        cfg: &crate::matching::MatchConfig,
+        report: &crate::matching::MatchReport,
+        actuals: &Actuals,
+    ) -> usize {
+        let dataset = cfg.dataset.clone().unwrap_or_default();
+        let mut recorded = 0usize;
+        // Matched segments: the operator ids they claim (the matcher
+        // skips segments overlapping an earlier match, so near-miss
+        // recording must too).
+        let mut claimed: HashSet<u32> = HashSet::new();
+        let root_of = |op_id: u32| qgm.pops().find(|(_, p)| p.op_id == op_id).map(|(id, _)| id);
+        for rw in &report.rewrites {
+            if let Some(root) = root_of(rw.segment_op_id) {
+                claimed.extend(qgm.subtree(root).iter().map(|&p| qgm.pop(p).op_id));
+            }
+        }
+        let actual_band = cfg.range_margin.max(cfg.near_miss_factor).max(1.0);
+        for rw in &report.rewrites {
+            let Some(root) = root_of(rw.segment_op_id) else {
+                continue;
+            };
+            let checks = crate::transform::segment_pop_checks(db, qgm, root);
+            for (check, &pid) in checks.iter().zip(qgm.subtree(root).iter()) {
+                let mut cards = vec![(check.est_card, f64::INFINITY)];
+                if let Some(actual) = actuals.get(pid) {
+                    cards.push((actual, actual_band));
+                }
+                recorded += usize::from(self.feedback.push(
+                    &rw.template_iri,
+                    &dataset,
+                    PopObservation {
+                        pop_type: check.pop_type.to_string(),
+                        cards,
+                        scan: check.scan,
+                        scan_band: f64::INFINITY,
+                    },
+                ));
+            }
+        }
+        if cfg.near_miss_factor > 1.0 {
+            let band = (cfg.range_margin.max(1.0) * cfg.near_miss_factor).max(1.0);
+            for segment in segments(qgm, cfg.join_threshold) {
+                if qgm
+                    .subtree(segment.root)
+                    .iter()
+                    .any(|&p| claimed.contains(&qgm.pop(p).op_id))
+                {
+                    continue;
+                }
+                let checks = crate::transform::segment_pop_checks(db, qgm, segment.root);
+                if checks.is_empty() {
+                    continue;
+                }
+                let query = AdmissionQuery {
+                    checks: &checks,
+                    margin: band,
+                    trim: cfg.sketch_trim,
+                    dataset: cfg.dataset.as_deref(),
+                    near_factor: 1.0,
+                };
+                let signature = segment_signature(qgm, segment.root).hash;
+                for iri in self.candidate_templates_admitting(signature, &query) {
+                    for (check, &pid) in checks.iter().zip(qgm.subtree(segment.root).iter()) {
+                        let mut cards = vec![(check.est_card, band)];
+                        if let Some(actual) = actuals.get(pid) {
+                            cards.push((actual, band));
+                        }
+                        recorded += usize::from(self.feedback.push(
+                            &iri,
+                            &dataset,
+                            PopObservation {
+                                pop_type: check.pop_type.to_string(),
+                                cards,
+                                scan: check.scan,
+                                scan_band: band,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        recorded
+    }
+
+    /// Drain the feedback buffers and fold every template's batch into
+    /// its stored sketches through
+    /// [`refine_template_stats`](Self::refine_template_stats) — the
+    /// fold half of the loop, run off the serve path (batched by the
+    /// serving tier, or called explicitly).
+    pub fn apply_feedback(&self) -> FeedbackReport {
+        let mut report = FeedbackReport::default();
+        for (template_iri, refinement) in self.feedback.drain() {
+            report.templates_examined += 1;
+            let outcome = self.refine_template_stats(&template_iri, &refinement);
+            report.values_folded += outcome.values_folded;
+            report.values_dropped += outcome.values_dropped;
+            report.narrowed += outcome.narrowed;
+            if outcome.changed {
+                report.templates_refined += 1;
+            }
+        }
+        report
+    }
+
+    /// Fold one template's refinement batch into its stored statistics:
+    /// band-gated observation folds (near-miss widening), then
+    /// decay-weighted widen-factor narrowing, with the rewritten
+    /// triples, the signature index and the mutation epoch updated under
+    /// one mutation scope — a concurrent serving tier either sees the
+    /// pre-refinement template at the old epoch or the post-refinement
+    /// template at the new one, never a mix.
+    ///
+    /// Gating rules (the monotone-safety argument):
+    ///
+    /// - A `(value, band)` cardinality fold is admitted iff the value
+    ///   lies within `[lo·band⁻¹ … hi·band]` of the operator's
+    ///   **pre-fold** envelope — the same arithmetic as single-stat
+    ///   admission at margin `band`, so a value a margin-`band` match
+    ///   would have tested is always absorbed. Band ∞ (recorded true
+    ///   matches) folds unconditionally.
+    /// - Scan-stat trios are gated jointly: all three values in band, or
+    ///   none fold.
+    /// - Narrowing only decays the widen factor toward 1
+    ///   ([`StatSketch::decay_widen`]); the exact observation core —
+    ///   which contains every previously matched value — is never
+    ///   shrunk.
+    ///
+    /// An ineffective refinement (every fold dropped or idempotent, no
+    /// widen factor moved) commits as a no-op: the epoch is restored and
+    /// nothing is invalidated.
+    pub fn refine_template_stats(
+        &self,
+        template_iri: &str,
+        refinement: &TemplateRefinement,
+    ) -> RefineOutcome {
+        let mut outcome = RefineOutcome::default();
+        if refinement.observations.is_empty() && refinement.narrows.is_empty() {
+            return outcome;
+        }
+        let scope = self.server.mutation_scope();
+        let mut refreshed: Vec<IndexedPop> = Vec::new();
+        let changed = self.server.with_store_mut(|st| {
+            let Some(tid) = st.term_id(&Term::iri(template_iri)) else {
+                return false;
+            };
+            let Some(in_tpl) = st.term_id(&prop(vocab::IN_TEMPLATE)) else {
+                return false;
+            };
+            let mut pops: Vec<TermId> = st
+                .scan(None, Some(in_tpl), Some(tid))
+                .into_iter()
+                .map(|(s, _, _)| s)
+                .collect();
+            pops.sort_unstable();
+            pops.dedup();
+            let mut changed = false;
+            for pop in pops {
+                let Some(pop_type) = pop_literal(&*st, pop, vocab::HAS_POP_TYPE) else {
+                    continue;
+                };
+                let stored_card = pop_stat(
+                    &*st,
+                    pop,
+                    vocab::HAS_LOWER_CARDINALITY,
+                    vocab::HAS_HIGHER_CARDINALITY,
+                    vocab::HAS_CARDINALITY_SKETCH,
+                );
+                let scan_props = [
+                    (
+                        vocab::HAS_LOWER_ROW_SIZE,
+                        vocab::HAS_HIGHER_ROW_SIZE,
+                        vocab::HAS_ROW_SIZE_SKETCH,
+                    ),
+                    (
+                        vocab::HAS_LOWER_FPAGES,
+                        vocab::HAS_HIGHER_FPAGES,
+                        vocab::HAS_FPAGES_SKETCH,
+                    ),
+                    (
+                        vocab::HAS_LOWER_BASE_CARDINALITY,
+                        vocab::HAS_HIGHER_BASE_CARDINALITY,
+                        vocab::HAS_BASE_CARDINALITY_SKETCH,
+                    ),
+                ];
+                let stored_scan: Vec<Option<StatSketch>> = scan_props
+                    .iter()
+                    .map(|&(lo, hi, sk)| pop_stat(&*st, pop, lo, hi, sk))
+                    .collect();
+                let has_scan = stored_scan.iter().any(Option::is_some);
+
+                // Fold the batch against this operator's *pre-fold*
+                // envelopes: the gate is independent of observation
+                // order, and exactly as permissive as a margin-`band`
+                // admission against the stored template.
+                let mut new_card = stored_card.clone();
+                let mut new_scan = stored_scan.clone();
+                let card_env = stored_card
+                    .as_ref()
+                    .map(|s| s.envelope(0.0))
+                    .unwrap_or(Range::UNBOUNDED);
+                let scan_envs: Vec<Range> = stored_scan
+                    .iter()
+                    .map(|s| {
+                        s.as_ref()
+                            .map(|s| s.envelope(0.0))
+                            .unwrap_or(Range::UNBOUNDED)
+                    })
+                    .collect();
+                for obs in &refinement.observations {
+                    if obs.pop_type != pop_type {
+                        continue;
+                    }
+                    if let Some(card) = new_card.as_mut() {
+                        for &(value, band) in &obs.cards {
+                            if within_band(card_env, value, band) {
+                                card.observe(value);
+                                outcome.values_folded += 1;
+                            } else {
+                                outcome.values_dropped += 1;
+                            }
+                        }
+                    }
+                    if let (Some(sc), true) = (&obs.scan, has_scan) {
+                        let values = [sc.row_size, sc.fpages, sc.base_cardinality];
+                        let in_band = values
+                            .iter()
+                            .zip(&scan_envs)
+                            .all(|(&v, &env)| within_band(env, v, obs.scan_band));
+                        if in_band {
+                            for (sketch, &v) in new_scan.iter_mut().zip(&values) {
+                                if let Some(sketch) = sketch.as_mut() {
+                                    sketch.observe(v);
+                                    outcome.values_folded += 1;
+                                }
+                            }
+                        } else {
+                            outcome.values_dropped += stored_scan.iter().flatten().count();
+                        }
+                    }
+                }
+                // Narrowing after the folds: the decayed widen factor
+                // applies to the envelope the folds produced. Cardinality
+                // only — scan stats are exact belief values, their widen
+                // factor carries the learned variation range.
+                for (ty, decay) in &refinement.narrows {
+                    if *ty != pop_type {
+                        continue;
+                    }
+                    if let Some(card) = new_card.as_mut() {
+                        let before = card.widen_factor();
+                        card.decay_widen(*decay);
+                        if card.widen_factor() < before {
+                            outcome.narrowed += 1;
+                        }
+                    }
+                }
+
+                if let (Some(old), Some(new)) = (&stored_card, &new_card) {
+                    if new != old {
+                        rewrite_stat_triples(
+                            st,
+                            pop,
+                            vocab::HAS_LOWER_CARDINALITY,
+                            vocab::HAS_HIGHER_CARDINALITY,
+                            vocab::HAS_CARDINALITY_SKETCH,
+                            new,
+                        );
+                        changed = true;
+                    }
+                }
+                for ((old, new), &(lo, hi, sk)) in
+                    stored_scan.iter().zip(&new_scan).zip(&scan_props)
+                {
+                    if let (Some(old), Some(new)) = (old, new) {
+                        if new != old {
+                            rewrite_stat_triples(st, pop, lo, hi, sk, new);
+                            changed = true;
+                        }
+                    }
+                }
+                refreshed.push(IndexedPop {
+                    pop_type,
+                    cardinality: IndexedStat::reconstruct(new_card, None),
+                    scan: has_scan.then(|| {
+                        let mut it = new_scan.into_iter();
+                        IndexedScan {
+                            row_size: IndexedStat::reconstruct(it.next().flatten(), None),
+                            fpages: IndexedStat::reconstruct(it.next().flatten(), None),
+                            base_cardinality: IndexedStat::reconstruct(it.next().flatten(), None),
+                        }
+                    }),
+                });
+            }
+            changed
+        });
+        if changed {
+            // Refresh the signature-index entry in place (same scope, so
+            // index and triples move atomically under the epoch).
+            let mut index = self.sig_index.write().expect("signature index lock");
+            let mut refreshed = Some(refreshed);
+            for tpls in index.values_mut() {
+                if let Some(entry) = tpls.get_mut(template_iri) {
+                    entry.pops = refreshed.take().expect("one index entry per template");
+                    break;
+                }
+            }
+            self.refinements.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome.changed = changed;
+        // An ineffective batch invalidates nothing (epoch-audit rule: a
+        // no-op mutator must not advance the generation).
+        scope.commit(changed);
+        outcome
+    }
+}
+
+/// One `(value, band)` gate against a pre-fold envelope: the same
+/// arithmetic as [`IndexedStat::admits`] at margin `band`, so anything a
+/// margin-`band` admission tested is absorbed. Non-finite values never
+/// fold; band ∞ always folds (finite values).
+fn within_band(env: Range, value: f64, band: f64) -> bool {
+    if !value.is_finite() {
+        return false;
+    }
+    if band.is_infinite() {
+        return true;
+    }
+    env.lo <= value * band && env.hi >= value / band
+}
+
+/// One literal object of `(pop, property, ?)` from the raw store.
+fn pop_literal(st: &dyn TripleStore, pop: TermId, property: &str) -> Option<String> {
+    let pid = st.term_id(&prop(property))?;
+    let (_, _, object) = st.scan(Some(pop), Some(pid), None).into_iter().next()?;
+    Some(st.resolve(object).str_value().to_string())
+}
+
+/// One numeric object of `(pop, property, ?)` from the raw store.
+fn pop_number(st: &dyn TripleStore, pop: TermId, property: &str) -> Option<f64> {
+    let pid = st.term_id(&prop(property))?;
+    let (_, _, object) = st.scan(Some(pop), Some(pid), None).into_iter().next()?;
+    st.resolve(object).as_literal().and_then(|l| l.as_number())
+}
+
+/// A stored stat of one template operator, under the reindex
+/// reconstruction rule: the checksummed sketch literal when valid, else
+/// the exact `[hasLower*, hasHigher*]` bounds, else `None` (the operator
+/// does not carry this stat — an unbounded envelope that feedback must
+/// never turn into a bounded one).
+fn pop_stat(
+    st: &dyn TripleStore,
+    pop: TermId,
+    lo_prop: &str,
+    hi_prop: &str,
+    sketch_prop: &str,
+) -> Option<StatSketch> {
+    if let Some(sketch) = pop_literal(st, pop, sketch_prop).and_then(|h| StatSketch::from_hex(&h)) {
+        return Some(sketch);
+    }
+    let lo = pop_number(st, pop, lo_prop)?;
+    let hi = pop_number(st, pop, hi_prop)?;
+    Some(StatSketch::from_range(lo, hi))
+}
+
+/// Replace one stat's stored triples — exact bounds plus sketch literal —
+/// with the refined sketch's, keeping the serialization rules of
+/// [`KnowledgeBase::insert`]: bounds are the untrimmed envelope, the
+/// sketch rides along as a checksummed hex literal.
+fn rewrite_stat_triples(
+    st: &mut dyn TripleStore,
+    pop: TermId,
+    lo_prop: &str,
+    hi_prop: &str,
+    sketch_prop: &str,
+    sketch: &StatSketch,
+) {
+    let subject = st.resolve(pop).clone();
+    for name in [lo_prop, hi_prop, sketch_prop] {
+        if let Some(pid) = st.term_id(&prop(name)) {
+            for t in st.scan(Some(pop), Some(pid), None) {
+                st.remove_ids(t);
+            }
+        }
+    }
+    let env = sketch.envelope(0.0);
+    st.insert(subject.clone(), prop(lo_prop), Term::num(env.lo));
+    st.insert(subject.clone(), prop(hi_prop), Term::num(env.hi));
+    st.insert(subject, prop(sketch_prop), Term::lit(sketch.to_hex()));
 }
 
 #[cfg(test)]
@@ -1622,6 +2091,7 @@ mod tests {
             margin: 1.0,
             trim: 0.05,
             dataset: None,
+            near_factor: 1.0,
         };
         assert_eq!(
             kb.candidate_templates_admitting(sig, &trimmed),

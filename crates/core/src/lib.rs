@@ -50,9 +50,11 @@
 //! assert!(outcome.improved());
 //! ```
 
+pub mod builder;
 pub mod cluster;
 pub mod diagnostics;
 pub mod expert;
+pub mod feedback;
 pub mod galo;
 pub mod kb;
 pub mod learning;
@@ -62,6 +64,7 @@ pub mod serving;
 pub mod transform;
 pub mod vocab;
 
+pub use builder::KbBuilder;
 pub use cluster::{
     learn_workload_cluster, ClusterConfig, ClusterReport, LearnerNode, MinedSlice, NodeReport,
 };
@@ -69,6 +72,10 @@ pub use diagnostics::{
     diagnose, evolution_report, render_evolution_report, Diagnosis, NearMiss, RewriteClass, Suspect,
 };
 pub use expert::{expert_diagnose, ExpertConfig, ExpertOutcome};
+pub use feedback::{
+    FeedbackCollector, FeedbackOptions, FeedbackReport, PopObservation, RefineOutcome,
+    TemplateRefinement, DEFAULT_DECAY,
+};
 pub use galo::{Galo, QueryReoptResult, WorkloadReoptReport};
 pub use kb::{
     abstract_plan, AdmissionQuery, AdmissionStats, DatasetStats, KnowledgeBase, PopCheck, Range,
@@ -77,7 +84,8 @@ pub use kb::{
 pub use learning::{learn_workload, LearnedTemplate, LearningConfig, LearningReport};
 pub use matching::{
     compile_plan, match_compiled, match_plan, match_plan_text, reoptimize_query, CompiledPlan,
-    CompiledSegment, MatchConfig, MatchReport, MatchedRewrite, ReoptOutcome,
+    CompiledSegment, MatchConfig, MatchConfigBuilder, MatchConfigError, MatchReport,
+    MatchedRewrite, ReoptOutcome,
 };
 pub use ranking::{better, kmeans2, score_runs, PlanScore, TIE_EPSILON};
 pub use serving::{

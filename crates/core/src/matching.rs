@@ -84,6 +84,17 @@ pub struct MatchConfig {
     /// probe evaluation only to fail it, or an over-widened template the
     /// operator has chosen to treat as noise.
     pub sketch_trim: f64,
+    /// Near-miss widening factor for the feedback loop (≥ 1; `1.0` — the
+    /// default — disables near-miss tracking). When > 1, the admission
+    /// pre-check re-tests each rejected candidate at
+    /// `range_margin · near_miss_factor` and counts the ones that would
+    /// have been admitted under the widened margin
+    /// ([`MatchReport::near_misses`]), and
+    /// [`KnowledgeBase::record_feedback`](crate::KnowledgeBase::record_feedback)
+    /// records those candidates' observations so
+    /// [`apply_feedback`](crate::KnowledgeBase::apply_feedback) can widen
+    /// their stored envelopes toward values they nearly admitted.
+    pub near_miss_factor: f64,
 }
 
 impl Default for MatchConfig {
@@ -93,16 +104,123 @@ impl Default for MatchConfig {
             range_margin: 1.0,
             dataset: None,
             sketch_trim: 0.0,
+            near_miss_factor: 1.0,
         }
     }
 }
 
 impl MatchConfig {
+    /// A validated builder starting from the defaults — the checked
+    /// alternative to bare struct-literal construction.
+    pub fn builder() -> MatchConfigBuilder {
+        MatchConfigBuilder::default()
+    }
+
     pub(crate) fn probe_options(&self) -> ProbeOptions {
         ProbeOptions {
             range_margin: self.range_margin,
             include_ranges: true,
         }
+    }
+}
+
+/// A rejected [`MatchConfigBuilder::build`]: which field was out of range
+/// and why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchConfigError {
+    /// `join_threshold` must be at least 1 (a segment needs a join).
+    JoinThreshold(usize),
+    /// `range_margin` must be ≥ 1 and finite (it only ever widens).
+    RangeMargin(f64),
+    /// `sketch_trim` must lie in `[0, 1)` (a quantile trim level).
+    SketchTrim(f64),
+    /// `near_miss_factor` must be ≥ 1 and finite.
+    NearMissFactor(f64),
+}
+
+impl std::fmt::Display for MatchConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchConfigError::JoinThreshold(v) => {
+                write!(f, "join_threshold must be >= 1, got {v}")
+            }
+            MatchConfigError::RangeMargin(v) => {
+                write!(f, "range_margin must be finite and >= 1.0, got {v}")
+            }
+            MatchConfigError::SketchTrim(v) => {
+                write!(f, "sketch_trim must lie in [0, 1), got {v}")
+            }
+            MatchConfigError::NearMissFactor(v) => {
+                write!(f, "near_miss_factor must be finite and >= 1.0, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatchConfigError {}
+
+/// Validated builder for [`MatchConfig`]. Every setter takes the raw
+/// value; [`build`](Self::build) checks all of them at once and names the
+/// offending field, so an out-of-range margin or trim is an explicit
+/// error instead of a silently clamped (or silently nonsensical) config.
+#[derive(Debug, Clone, Default)]
+pub struct MatchConfigBuilder {
+    cfg: MatchConfig,
+}
+
+impl MatchConfigBuilder {
+    /// Sub-QGM size cap in joins (must be ≥ 1).
+    pub fn join_threshold(mut self, joins: usize) -> Self {
+        self.cfg.join_threshold = joins;
+        self
+    }
+
+    /// Match-time range widening (must be ≥ 1; 1.0 = exact semantics).
+    pub fn range_margin(mut self, margin: f64) -> Self {
+        self.cfg.range_margin = margin;
+        self
+    }
+
+    /// Restrict matching to one workload's dataset.
+    pub fn dataset(mut self, workload: impl Into<String>) -> Self {
+        self.cfg.dataset = Some(workload.into());
+        self
+    }
+
+    /// Match against every dataset (the default).
+    pub fn any_dataset(mut self) -> Self {
+        self.cfg.dataset = None;
+        self
+    }
+
+    /// Quantile trim of the admission envelopes (must lie in `[0, 1)`).
+    pub fn sketch_trim(mut self, trim: f64) -> Self {
+        self.cfg.sketch_trim = trim;
+        self
+    }
+
+    /// Near-miss widening factor for feedback (must be ≥ 1).
+    pub fn near_miss_factor(mut self, factor: f64) -> Self {
+        self.cfg.near_miss_factor = factor;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<MatchConfig, MatchConfigError> {
+        let c = &self.cfg;
+        if c.join_threshold < 1 {
+            return Err(MatchConfigError::JoinThreshold(c.join_threshold));
+        }
+        if !c.range_margin.is_finite() || c.range_margin < 1.0 {
+            return Err(MatchConfigError::RangeMargin(c.range_margin));
+        }
+        if !c.sketch_trim.is_finite() || !(0.0..1.0).contains(&c.sketch_trim) {
+            return Err(MatchConfigError::SketchTrim(c.sketch_trim));
+        }
+        if !c.near_miss_factor.is_finite() || c.near_miss_factor < 1.0 {
+            return Err(MatchConfigError::NearMissFactor(c.near_miss_factor));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -160,6 +278,16 @@ pub struct MatchReport {
     /// envelopes (row size / FPAGES / base cardinality) could not admit
     /// the segment's belief-table values.
     pub admission_rejects_scan: usize,
+    /// Rejected candidates that *would* have been admitted at
+    /// `range_margin · near_miss_factor` — the feedback loop's widening
+    /// signal. Always 0 when [`MatchConfig::near_miss_factor`] is 1.0
+    /// (the default) and on the text path.
+    pub near_misses: usize,
+    /// The knowledge base's cumulative
+    /// [`refinements_applied`](crate::KnowledgeBase::refinements_applied)
+    /// counter at match time: how many feedback refinements the stored
+    /// templates had absorbed when this report was computed.
+    pub refinements_applied: u64,
 }
 
 impl MatchReport {
@@ -398,6 +526,7 @@ pub fn match_compiled(
                 margin: cfg.range_margin,
                 trim: cfg.sketch_trim,
                 dataset: cfg.dataset.as_deref(),
+                near_factor: cfg.near_miss_factor,
             };
             // The first cursor pull doubles as the emptiness pre-check:
             // no admitted candidate means the segment is pruned before
@@ -461,6 +590,8 @@ pub fn match_compiled(
     report.candidates_considered = admission.considered;
     report.admission_rejects_card = admission.rejects_card;
     report.admission_rejects_scan = admission.rejects_scan;
+    report.near_misses = admission.near_misses;
+    report.refinements_applied = kb.refinements_applied();
     report.match_ms = t0.elapsed().as_secs_f64() * 1e3;
     report
 }
@@ -544,6 +675,7 @@ pub fn match_plan_text(
         report.rewrites.extend(rewrites);
         claimed.extend(seg_pops);
     }
+    report.refinements_applied = kb.refinements_applied();
     report.match_ms = t0.elapsed().as_secs_f64() * 1e3;
     report
 }

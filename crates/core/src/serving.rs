@@ -107,6 +107,7 @@ pub fn plan_fingerprint(db: &Database, qgm: &Qgm, cfg: &MatchConfig) -> u64 {
     h.u64(cfg.join_threshold as u64);
     h.u64(cfg.range_margin.to_bits());
     h.u64(cfg.sketch_trim.to_bits());
+    h.u64(cfg.near_miss_factor.to_bits());
     match &cfg.dataset {
         None => h.u64(0),
         Some(d) => {
@@ -647,6 +648,7 @@ impl<'a> ServingTier<'a> {
                         margin: self.cfg.range_margin,
                         trim: self.cfg.sketch_trim,
                         dataset: self.cfg.dataset.as_deref(),
+                        near_factor: self.cfg.near_miss_factor,
                     };
                     // Drain the cursor, keeping each pull's admission
                     // accounting separate so the replay can stop adding
@@ -797,6 +799,8 @@ impl<'a> ServingTier<'a> {
                 report.candidates_considered = admission.considered;
                 report.admission_rejects_card = admission.rejects_card;
                 report.admission_rejects_scan = admission.rejects_scan;
+                report.near_misses = admission.near_misses;
+                report.refinements_applied = self.kb.refinements_applied();
                 reports.push(report);
             }
         });
@@ -820,6 +824,38 @@ impl<'a> ServingTier<'a> {
             }
         }
         out.into_iter().map(|o| o.expect("all served")).collect()
+    }
+
+    /// Record one served plan's runtime actuals into the knowledge
+    /// base's feedback buffers — a buffer push, safe on the serve path
+    /// (no store access, no epoch movement, no cache effect). Returns
+    /// the number of observations buffered. Fold them later with
+    /// [`apply_feedback`](Self::apply_feedback) or let
+    /// [`maybe_apply_feedback`](Self::maybe_apply_feedback) batch them.
+    pub fn record_feedback(
+        &self,
+        qgm: &Qgm,
+        report: &MatchReport,
+        actuals: &galo_executor::Actuals,
+    ) -> usize {
+        self.kb
+            .record_feedback(self.db, qgm, &self.cfg, report, actuals)
+    }
+
+    /// Fold buffered feedback into the knowledge base when at least a
+    /// batch ([`FeedbackOptions::batch_size`](crate::FeedbackOptions::batch_size))
+    /// of observations is pending — the off-the-serve-path application
+    /// discipline: call it between serves (or from a maintenance
+    /// thread); every effective refinement advances the epoch and drops
+    /// the cached outcomes it would invalidate.
+    pub fn maybe_apply_feedback(&self) -> Option<crate::FeedbackReport> {
+        let collector = self.kb.feedback();
+        (collector.pending() >= collector.options().batch_size).then(|| self.kb.apply_feedback())
+    }
+
+    /// Fold all buffered feedback now, regardless of batch size.
+    pub fn apply_feedback(&self) -> crate::FeedbackReport {
+        self.kb.apply_feedback()
     }
 }
 
@@ -996,12 +1032,17 @@ mod tests {
             sketch_trim: 0.05,
             ..MatchConfig::default()
         };
+        let near_miss = MatchConfig {
+            near_miss_factor: 4.0,
+            ..MatchConfig::default()
+        };
         let keys = [
             fp(&db, &qgm, &base),
             fp(&db, &qgm, &margin),
             fp(&db, &qgm, &threshold),
             fp(&db, &qgm, &dataset),
             fp(&db, &qgm, &trim),
+            fp(&db, &qgm, &near_miss),
         ];
         for i in 0..keys.len() {
             for j in i + 1..keys.len() {

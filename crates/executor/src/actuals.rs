@@ -25,6 +25,12 @@ impl Actuals {
         self.rows[&id]
     }
 
+    /// Actual output cardinality, or `None` for an operator this
+    /// `Actuals` was not computed over (e.g. a pop from another plan).
+    pub fn get(&self, id: PopId) -> Option<f64> {
+        self.rows.get(&id).copied()
+    }
+
     /// Estimation error factor for an operator: `max(est/act, act/est)`.
     /// 1.0 means a perfect estimate.
     pub fn q_error(&self, qgm: &Qgm, id: PopId) -> f64 {

@@ -191,6 +191,17 @@ impl StatSketch {
         self.widen
     }
 
+    /// Relax the widening factor toward 1 by `decay ∈ [0, 1]`:
+    /// `w' = 1 + (w − 1)·decay`. The factor can only shrink (never below
+    /// 1, never above its current value), so decaying preserves every
+    /// exact observation in the envelope — the feedback loop uses this
+    /// to narrow a learned validity region as runtime actuals
+    /// concentrate inside the observed core.
+    pub fn decay_widen(&mut self, decay: f64) {
+        let d = decay.clamp(0.0, 1.0);
+        self.widen = (1.0 + (self.widen - 1.0) * d).max(1.0);
+    }
+
     /// Observation count (exact).
     pub fn count(&self) -> f64 {
         self.count

@@ -151,6 +151,36 @@ fn republished_sketch_serialization_is_byte_stable() {
     assert_eq!(build(), build());
 }
 
+#[test]
+fn decay_widen_shrinks_toward_one_and_never_below() {
+    let mut s = sketch_of(&[10.0, 20.0]);
+    s.set_widen(4.0);
+    s.decay_widen(0.5);
+    assert_eq!(s.widen_factor(), 2.5); // 1 + 3·0.5
+    s.decay_widen(0.0);
+    assert_eq!(s.widen_factor(), 1.0);
+    s.decay_widen(0.9);
+    assert_eq!(s.widen_factor(), 1.0); // stays at the floor
+                                       // Out-of-range decay is clamped: never widens.
+    let mut t = sketch_of(&[1.0]);
+    t.set_widen(3.0);
+    t.decay_widen(7.0);
+    assert_eq!(t.widen_factor(), 3.0);
+    t.decay_widen(-1.0);
+    assert_eq!(t.widen_factor(), 1.0);
+}
+
+#[test]
+fn decay_widen_preserves_exact_observations_in_envelope() {
+    let mut s = sketch_of(&[5.0, 50.0]);
+    s.set_widen(4.0);
+    for _ in 0..32 {
+        s.decay_widen(0.9);
+        let e = s.envelope(0.0);
+        assert!(e.lo <= 5.0 && e.hi >= 50.0, "envelope {e:?}");
+    }
+}
+
 /// Values drawn from mixed regimes: clustered mass, wide uniform spread,
 /// and large outliers — the shapes admission sketches actually see.
 fn value_strategy() -> impl Strategy<Value = f64> {

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example cross_workload`
 
-use galo_core::Galo;
+use galo_core::{KbBuilder, MatchConfig};
 use galo_workloads::{client, tpcds};
 
 fn main() {
@@ -13,13 +13,22 @@ fn main() {
     let cfg = galo_bench::learning_config(fast);
 
     // Learn ONLY on TPC-DS.
-    let mut galo = Galo::new();
     // Cross-schema reuse needs widened range tests: the client workload's
     // statistics (row sizes, page counts, base cardinalities) never fall
     // inside ranges learned from TPC-DS tables exactly. A 4x match-time
     // margin bridges the gap while keeping matches structurally tight
-    // (tests/cross_workload_reuse.rs pins this stays nonzero).
-    galo.match_cfg.range_margin = 4.0;
+    // (tests/cross_workload_reuse.rs pins this stays nonzero; see
+    // examples/feedback_loop.rs for the learned-per-template-range
+    // replacement of this global crutch).
+    let galo = KbBuilder::new()
+        .match_config(
+            MatchConfig::builder()
+                .range_margin(4.0)
+                .build()
+                .expect("a valid cross-workload config"),
+        )
+        .build_galo()
+        .expect("in-memory build");
     let tp = tpcds::workload();
     let report = galo.learn(&tp, &cfg);
     println!(

@@ -205,6 +205,7 @@ fn assert_sketch_behavior(kb: &KnowledgeBase, sig: u64, iri: &str, checks: &[Pop
         margin: 1.0,
         trim: 0.05,
         dataset: None,
+        near_factor: 1.0,
     };
     assert!(
         !kb.candidate_templates_admitting(sig, &trimmed)
