@@ -659,6 +659,20 @@ impl KnowledgeBase {
         format!("{z:016x}")
     }
 
+    /// Serialize templates to the quads [`insert_batch`](Self::insert_batch)
+    /// would store — each template's RDF triples in the default graph plus
+    /// its workload tagging quad. This is the wire encoding a remote
+    /// learner ships in a replication `Publish` frame: the primary applies
+    /// the quads with [`apply_quads`](Self::apply_quads) and reaches the
+    /// same image as a local [`insert_batch`](Self::insert_batch).
+    pub fn templates_to_quads(templates: &[Template]) -> Vec<galo_rdf::Quad> {
+        let mut quads = Vec::new();
+        for tpl in templates {
+            Self::template_quads(tpl, &mut quads);
+        }
+        quads
+    }
+
     /// Serialize one template to quads: its RDF triples in the default
     /// graph plus the tagging quad in its workload's named graph (the
     /// template's dataset membership).
@@ -811,10 +825,7 @@ impl KnowledgeBase {
     /// publish in any interleaving and reach the same knowledge-base
     /// image. Returns how many quads were new.
     pub fn insert_batch(&self, templates: &[Template]) -> usize {
-        let mut quads: Vec<galo_rdf::Quad> = Vec::new();
-        for tpl in templates {
-            Self::template_quads(tpl, &mut quads);
-        }
+        let quads = Self::templates_to_quads(templates);
         // One mutation scope spans the whole logical publish — signature
         // index *and* triples — so the epoch reads odd until both are
         // settled: a serving cache can neither validate a hit nor stamp
@@ -852,6 +863,252 @@ impl KnowledgeBase {
         // entries it rewrote identical too: nothing to invalidate.
         scope.commit(n > 0);
         n
+    }
+
+    /// Apply already-serialized template quads (the payload of a
+    /// replication `Publish` frame, see
+    /// [`templates_to_quads`](Self::templates_to_quads)) — the
+    /// **privileged replication apply path**. Unlike
+    /// [`insert_batch`](Self::insert_batch) this goes through
+    /// [`FusekiLite::with_store_mut`], so it still works after
+    /// [`FusekiLite::set_read_only`]: a read replica replays its
+    /// primary's mutation feed through here while every client-facing
+    /// write stays rejected. Idempotent (set semantics), so at-least-once
+    /// frame delivery yields exactly-once application. The signature
+    /// index is updated incrementally from the quads themselves when the
+    /// batch carries complete templates, with a full rebuild as the
+    /// fallback. Returns how many quads were new.
+    pub fn apply_quads(&self, quads: &[galo_rdf::Quad]) -> usize {
+        let scope = self.server.mutation_scope();
+        let n = self.server.with_store_mut(|st| {
+            st.begin_batch();
+            let n = quads
+                .iter()
+                .filter(|(s, p, o, graph)| match graph {
+                    Some(g) => st.insert_in(g.clone(), s.clone(), p.clone(), o.clone()),
+                    None => st.insert(s.clone(), p.clone(), o.clone()),
+                })
+                .count();
+            st.end_batch();
+            n
+        });
+        if n > 0 && !self.merge_index_from_quads(quads) {
+            self.rebuild_index();
+        }
+        scope.commit(n > 0);
+        n
+    }
+
+    /// Replay write-ahead-log records (the payload of a replication
+    /// `Mutation` frame) against this knowledge base — the replica's
+    /// catch-up path. Inserts are applied like
+    /// [`apply_quads`](Self::apply_quads); a batch containing removals or
+    /// a clear falls back to a full index rebuild (the only sound way to
+    /// know what the destroyed triples backed). Uses the privileged
+    /// endpoint path, so it works on a read-only replica. Returns how
+    /// many records took effect.
+    pub fn apply_records(&self, records: &[galo_rdf::Record]) -> usize {
+        use galo_rdf::Record;
+        let scope = self.server.mutation_scope();
+        let mut destructive = false;
+        let mut inserted: Vec<galo_rdf::Quad> = Vec::new();
+        let changed = self.server.with_store_mut(|st| {
+            st.begin_batch();
+            let mut n = 0;
+            for rec in records {
+                match rec {
+                    Record::Insert(s, p, o, graph) => {
+                        let fresh = match graph {
+                            Some(g) => st.insert_in(g.clone(), s.clone(), p.clone(), o.clone()),
+                            None => st.insert(s.clone(), p.clone(), o.clone()),
+                        };
+                        if fresh {
+                            n += 1;
+                            inserted.push((s.clone(), p.clone(), o.clone(), graph.clone()));
+                        }
+                    }
+                    Record::Remove(s, p, o, graph) => {
+                        destructive = true;
+                        let gone = match graph {
+                            Some(g) => {
+                                match (st.term_id(g), st.term_id(s), st.term_id(p), st.term_id(o)) {
+                                    (Some(g), Some(s), Some(p), Some(o)) => {
+                                        st.remove_ids_in(g, (s, p, o))
+                                    }
+                                    _ => false,
+                                }
+                            }
+                            None => st.remove(s, p, o),
+                        };
+                        if gone {
+                            n += 1;
+                        }
+                    }
+                    Record::Clear => {
+                        destructive = true;
+                        if !st.is_empty() || !st.graph_ids().is_empty() {
+                            n += 1;
+                        }
+                        st.clear();
+                    }
+                }
+            }
+            st.end_batch();
+            n
+        });
+        if destructive || (changed > 0 && !self.merge_index_from_quads(&inserted)) {
+            self.rebuild_index();
+        }
+        scope.commit(changed > 0);
+        changed
+    }
+
+    /// Incrementally fold template quads into the signature index. Works
+    /// only when every operator quad in the batch belongs to a template
+    /// whose structural quads (join count, operator types) are *also* in
+    /// the batch — true for whole-template publishes, the replication
+    /// wire unit. Returns false when the batch is partial (a caller-side
+    /// signal to fall back to [`rebuild_index`](Self::rebuild_index));
+    /// never leaves the index half-updated in that case.
+    fn merge_index_from_quads(&self, quads: &[galo_rdf::Quad]) -> bool {
+        // Families of numeric envelopes, in fixed order:
+        // cardinality, row_size, fpages, base_cardinality.
+        const FAMS: usize = 4;
+        let mut join_counts: HashMap<&str, usize> = HashMap::new();
+        let mut sources: HashMap<&str, &str> = HashMap::new();
+        let mut pop_template: HashMap<&str, &str> = HashMap::new();
+        let mut pop_types: HashMap<&str, &str> = HashMap::new();
+        let mut lows: [HashMap<&str, f64>; FAMS] = Default::default();
+        let mut highs: [HashMap<&str, f64>; FAMS] = Default::default();
+        let mut sketches: [HashMap<&str, StatSketch>; FAMS] = Default::default();
+        for (s, p, o, graph) in quads {
+            if graph.is_some() {
+                continue; // named-graph quads are dataset tags, not index inputs
+            }
+            let Some(local) = p.as_iri().and_then(|iri| iri.strip_prefix(vocab::PROP_NS)) else {
+                continue;
+            };
+            let subj = s.str_value();
+            let num = || o.as_literal().and_then(|l| l.as_number());
+            match local {
+                vocab::HAS_JOIN_COUNT => {
+                    let Some(jc) = num() else { return false };
+                    join_counts.insert(subj, jc as usize);
+                }
+                vocab::HAS_SOURCE_WORKLOAD => {
+                    sources.insert(subj, o.str_value());
+                }
+                vocab::IN_TEMPLATE => {
+                    pop_template.insert(subj, o.str_value());
+                }
+                vocab::HAS_POP_TYPE => {
+                    pop_types.insert(subj, o.str_value());
+                }
+                _ => {
+                    let fam_lo = [
+                        vocab::HAS_LOWER_CARDINALITY,
+                        vocab::HAS_LOWER_ROW_SIZE,
+                        vocab::HAS_LOWER_FPAGES,
+                        vocab::HAS_LOWER_BASE_CARDINALITY,
+                    ];
+                    let fam_hi = [
+                        vocab::HAS_HIGHER_CARDINALITY,
+                        vocab::HAS_HIGHER_ROW_SIZE,
+                        vocab::HAS_HIGHER_FPAGES,
+                        vocab::HAS_HIGHER_BASE_CARDINALITY,
+                    ];
+                    let fam_sk = [
+                        vocab::HAS_CARDINALITY_SKETCH,
+                        vocab::HAS_ROW_SIZE_SKETCH,
+                        vocab::HAS_FPAGES_SKETCH,
+                        vocab::HAS_BASE_CARDINALITY_SKETCH,
+                    ];
+                    for f in 0..FAMS {
+                        if local == fam_lo[f] {
+                            if let Some(v) = num() {
+                                lows[f].insert(subj, v);
+                            }
+                        } else if local == fam_hi[f] {
+                            if let Some(v) = num() {
+                                highs[f].insert(subj, v);
+                            }
+                        } else if local == fam_sk[f] {
+                            // Corrupt sketch literals are dropped; the
+                            // entry falls back to the exact bounds, same
+                            // as the rebuild path.
+                            if let Some(sk) = StatSketch::from_hex(o.str_value()) {
+                                sketches[f].insert(subj, sk);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Completeness: every operator mentioned anywhere must carry its
+        // template link + type in this same batch, and its template's
+        // join count too — otherwise the batch is a partial edit of
+        // stored templates and only a rebuild sees the whole picture.
+        let mut pops: HashSet<&str> = pop_template.keys().copied().collect();
+        pops.extend(pop_types.keys().copied());
+        for f in 0..FAMS {
+            pops.extend(lows[f].keys().copied());
+            pops.extend(highs[f].keys().copied());
+            pops.extend(sketches[f].keys().copied());
+        }
+        for pop in &pops {
+            let Some(tpl) = pop_template.get(pop) else {
+                return false;
+            };
+            if !pop_types.contains_key(pop) || !join_counts.contains_key(tpl) {
+                return false;
+            }
+        }
+        if join_counts.is_empty() {
+            // No template structure in the batch: the index is unaffected.
+            return true;
+        }
+        let mut by_tpl: HashMap<&str, Vec<&str>> = HashMap::new();
+        for (pop, tpl) in &pop_template {
+            by_tpl.entry(tpl).or_default().push(pop);
+        }
+        let stat = |f: usize, pop: &str, sk: &mut [HashMap<&str, StatSketch>; FAMS]| {
+            let (lo, hi) = (lows[f].get(pop).copied(), highs[f].get(pop).copied());
+            let bounds = (lo.is_some() || hi.is_some()).then(|| Range::from_bounds(lo, hi));
+            IndexedStat::reconstruct(sk[f].remove(pop), bounds)
+        };
+        let mut index = self.sig_index.write().expect("signature index lock");
+        for (tpl_iri, jc) in join_counts {
+            let mut pop_iris = by_tpl.remove(tpl_iri).unwrap_or_default();
+            pop_iris.sort_unstable();
+            let pops: Vec<IndexedPop> = pop_iris
+                .into_iter()
+                .map(|pop| {
+                    let has_scan = (1..FAMS).any(|f| {
+                        lows[f].contains_key(pop)
+                            || highs[f].contains_key(pop)
+                            || sketches[f].contains_key(pop)
+                    });
+                    IndexedPop {
+                        pop_type: pop_types[pop].to_string(),
+                        cardinality: stat(0, pop, &mut sketches),
+                        scan: has_scan.then(|| IndexedScan {
+                            row_size: stat(1, pop, &mut sketches),
+                            fpages: stat(2, pop, &mut sketches),
+                            base_cardinality: stat(3, pop, &mut sketches),
+                        }),
+                    }
+                })
+                .collect();
+            let sig = shape_signature(jc, pops.iter().map(|p| p.pop_type.as_str()));
+            index.entry(sig).or_default().insert(
+                tpl_iri.to_string(),
+                IndexedTemplate {
+                    workload: sources.get(tpl_iri).copied().unwrap_or("").to_string(),
+                    pops,
+                },
+            );
+        }
+        true
     }
 
     /// Retract a template: remove its triples (template node, operator

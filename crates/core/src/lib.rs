@@ -60,6 +60,7 @@ pub mod kb;
 pub mod learning;
 pub mod matching;
 pub mod ranking;
+pub mod replication;
 pub mod serving;
 pub mod transform;
 pub mod vocab;
@@ -88,6 +89,12 @@ pub use matching::{
     MatchedRewrite, ReoptOutcome,
 };
 pub use ranking::{better, kmeans2, score_runs, PlanScore, TIE_EPSILON};
+pub use replication::{
+    learn_workload_replicated, loopback, CatchUpError, FaultCounters, FaultPlan, FaultyLink,
+    FeedEvent, Link, LoopEnd, PeerState, Primary, PublishError, PublishReceipt, PublishStats,
+    Publisher, Replica, ReplicaServe, ReplicaStats, ReplicatedNodeReport, ReplicatedReport,
+    ReplicationConfig, RetryPolicy, StaleReplica,
+};
 pub use serving::{
     plan_fingerprint, AdmissionQueue, CacheCounters, CacheLookup, ProbeCache, ServeOutcome,
     ServingTier,

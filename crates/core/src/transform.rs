@@ -363,6 +363,7 @@ pub fn segment_to_probe(
             vars,
             patterns,
             filters,
+            graph: None,
             order_by: None,
             limit: None,
         },

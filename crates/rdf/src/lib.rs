@@ -45,9 +45,12 @@ pub mod shard;
 pub mod sparql;
 pub mod store;
 pub mod term;
+pub mod wire;
 
 pub use ntriples::{from_ntriples, load_ntriples, parse_ntriples, to_ntriples, NtParseError, Quad};
-pub use persist::{DurableOptions, DurableStore, ScratchDir};
+pub use persist::{
+    snapshot_bytes, store_from_snapshot, DurableOptions, DurableStore, Record, ScratchDir,
+};
 pub use server::{FusekiLite, MutationScope, Probe, ServerError};
 pub use shard::{HashRouter, ShardRouter, ShardStats, ShardedStore, TemplateRouter};
 pub use sparql::{
@@ -55,8 +58,9 @@ pub use sparql::{
     parse_update, prepare_seeded, projected_vars, CmpOp, Expr, PathPattern, PreparedQuery,
     ResultSet, SelectQuery, SparqlParseError, TermPattern, TriplePattern, Update,
 };
-pub use store::{IndexedStore, ScanStore, Triple, TripleStore};
+pub use store::{IndexedStore, ReadOnlyReplica, ReadOnlyStore, ScanStore, Triple, TripleStore};
 pub use term::{Interner, Literal, Term, TermId};
+pub use wire::{decode_frame, encode_frame, Frame, FrameError, FramePayload, FRAME_MAGIC};
 
 #[cfg(test)]
 mod proptests;

@@ -126,11 +126,17 @@ pub struct DurableStore {
     batch_dirty: bool,
 }
 
-/// One replayable log record.
+/// One replayable log record — also the unit the replication wire
+/// protocol ships ([`crate::wire`]): a mutation frame's payload is a run
+/// of these in the exact v2 log-line format, so a replica replays a frame
+/// the same way crash recovery replays a WAL.
 #[derive(Debug, Clone, PartialEq)]
-enum Record {
+pub enum Record {
+    /// Assert one statement (named-graph tag when the fourth term is set).
     Insert(Term, Term, Term, Option<Term>),
+    /// Retract one statement.
     Remove(Term, Term, Term, Option<Term>),
+    /// Drop the whole image.
     Clear,
 }
 
@@ -402,7 +408,7 @@ fn render_record(record: &Record) -> String {
 
 /// Serialize a record as one committed v2 log line: body plus a trailing
 /// ` #<fnv64>` checksum over the body bytes.
-fn render_record_v2(record: &Record) -> String {
+pub(crate) fn render_record_v2(record: &Record) -> String {
     let body = render_body(record);
     let sum = fnv1a(body.as_bytes());
     format!("{body} #{sum:016x}\n")
@@ -411,7 +417,7 @@ fn render_record_v2(record: &Record) -> String {
 /// Parse one committed v2 log line: split off the trailing checksum,
 /// verify it over the body, then parse the body as a v1 record. `None`
 /// marks a torn, malformed, or corrupted record.
-fn parse_record_v2(line: &str) -> Option<Record> {
+pub(crate) fn parse_record_v2(line: &str) -> Option<Record> {
     let (body, sum) = line.rsplit_once(" #")?;
     if sum.len() != 16 {
         return None;
@@ -533,6 +539,38 @@ fn put_term(buf: &mut Vec<u8>, term: &Term) {
     buf.extend_from_slice(text.as_bytes());
 }
 
+/// Serialize any store's current image in the [`DurableStore`] snapshot
+/// format (magic, version, interner table, default-graph triples,
+/// named-graph tags, trailing FNV-64 checksum). The image is first copied
+/// into a fresh [`IndexedStore`] so term ids are dense regardless of the
+/// source backend's interner state — the bytes are exactly what
+/// [`TripleStore::compact`] would write for that image, and
+/// [`store_from_snapshot`] round-trips them. This is the replication
+/// subsystem's cold-start transfer payload.
+pub fn snapshot_bytes(store: &dyn TripleStore) -> Vec<u8> {
+    let mut image = IndexedStore::new();
+    let copy = |image: &mut IndexedStore, s: TermId, p: TermId, o: TermId| {
+        (
+            image.intern(store.resolve(s).clone()),
+            image.intern(store.resolve(p).clone()),
+            image.intern(store.resolve(o).clone()),
+        )
+    };
+    for (s, p, o) in store.scan(None, None, None) {
+        let t = copy(&mut image, s, p, o);
+        image.insert_ids(t);
+    }
+    for graph in store.graph_names() {
+        let gid = image.intern(graph.clone());
+        let g = store.term_id(&graph).expect("graph name is interned");
+        for (s, p, o) in store.scan_in(g, None, None, None) {
+            let t = copy(&mut image, s, p, o);
+            image.insert_ids_in(gid, t);
+        }
+    }
+    encode_snapshot(&image)
+}
+
 /// Serialize the whole store image: interner table, default-graph SPO
 /// triples, named-graph tags, trailing checksum.
 fn encode_snapshot(store: &IndexedStore) -> Vec<u8> {
@@ -617,6 +655,16 @@ fn snapshot_err(message: &str) -> std::io::Error {
 fn load_snapshot(path: &Path) -> std::io::Result<IndexedStore> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
+    store_from_snapshot(&bytes)
+}
+
+/// Decode and validate snapshot bytes ([`snapshot_bytes`] or a
+/// `snapshot-*.galo` file's contents) into a fresh indexed store. Any
+/// truncation or corruption — bad magic, failed checksum, dangling term
+/// reference, trailing garbage — is an `InvalidData` error, never a
+/// partial image: a replica that receives a torn snapshot transfer
+/// rejects it wholesale and re-pulls.
+pub fn store_from_snapshot(bytes: &[u8]) -> std::io::Result<IndexedStore> {
     if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 || !bytes.starts_with(SNAPSHOT_MAGIC) {
         return Err(snapshot_err("bad magic"));
     }

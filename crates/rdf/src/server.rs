@@ -17,7 +17,7 @@ use crate::sparql::{
     apply_update, constants_interned, evaluate, parse_select, parse_update, projected_vars,
     ResultSet, SelectQuery, SparqlParseError,
 };
-use crate::store::{IndexedStore, TripleStore};
+use crate::store::{IndexedStore, ReadOnlyReplica, TripleStore};
 use crate::term::{Term, TermId};
 
 /// One compiled knowledge-base probe: a pre-parsed `SELECT` plus variable
@@ -38,6 +38,9 @@ pub enum ServerError {
     Persistence(NtParseError),
     /// Durable-backend I/O failure (open, recovery or compaction).
     Io(std::io::Error),
+    /// The endpoint is a read replica ([`FusekiLite::set_read_only`]):
+    /// the write was rejected, not applied and not dropped silently.
+    ReadOnlyReplica(ReadOnlyReplica),
 }
 
 impl std::fmt::Display for ServerError {
@@ -46,11 +49,18 @@ impl std::fmt::Display for ServerError {
             ServerError::Parse(e) => write!(f, "{e}"),
             ServerError::Persistence(e) => write!(f, "{e}"),
             ServerError::Io(e) => write!(f, "{e}"),
+            ServerError::ReadOnlyReplica(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for ServerError {}
+
+impl From<ReadOnlyReplica> for ServerError {
+    fn from(e: ReadOnlyReplica) -> Self {
+        ServerError::ReadOnlyReplica(e)
+    }
+}
 
 impl From<SparqlParseError> for ServerError {
     fn from(e: SparqlParseError) -> Self {
@@ -97,6 +107,10 @@ pub struct FusekiLite {
     /// sound even on a sharded backend where the data writes themselves
     /// only take per-shard locks.
     write_serial: Mutex<()>,
+    /// Read-replica mode ([`set_read_only`](Self::set_read_only)): every
+    /// client write endpoint rejects with a typed
+    /// [`ReadOnlyReplica`] instead of applying.
+    read_only: std::sync::atomic::AtomicBool,
 }
 
 /// An open mutation window on a [`FusekiLite`] endpoint: created by
@@ -176,6 +190,7 @@ impl FusekiLite {
             store: Backing::Single(RwLock::new(backend)),
             epoch: std::sync::atomic::AtomicU64::new(0),
             write_serial: Mutex::new(()),
+            read_only: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -244,6 +259,45 @@ impl FusekiLite {
             store: Backing::Sharded(store),
             epoch: std::sync::atomic::AtomicU64::new(0),
             write_serial: Mutex::new(()),
+            read_only: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Put the endpoint in (or out of) read-replica mode. While set,
+    /// every client write endpoint rejects loudly with a typed
+    /// [`ReadOnlyReplica`]: the fallible endpoints
+    /// ([`update`](Self::update), [`import`](Self::import)) return
+    /// [`ServerError::ReadOnlyReplica`], and the infallible ones
+    /// ([`insert_triples`](Self::insert_triples),
+    /// [`insert_quads`](Self::insert_quads), …) raise it as a panic
+    /// payload — a write on a replica is a caller bug, never silently
+    /// applied or dropped. The replication feed bypasses the gate through
+    /// [`with_store_mut`](Self::with_store_mut) +
+    /// [`mutation_scope`](Self::mutation_scope), which stay privileged.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.read_only
+            .store(read_only, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// True when the endpoint is in read-replica mode.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Fallible read-only check for endpoints that return `Result`.
+    fn write_guard(&self, op: &'static str) -> Result<(), ServerError> {
+        if self.is_read_only() {
+            Err(ReadOnlyReplica { op }.into())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read-only check for infallible endpoints: panics with a
+    /// [`ReadOnlyReplica`] payload.
+    fn assert_writable(&self, op: &'static str) {
+        if self.is_read_only() {
+            std::panic::panic_any(ReadOnlyReplica { op });
         }
     }
 
@@ -366,6 +420,7 @@ impl FusekiLite {
 
     /// Execute a SPARQL update from text; returns affected triple count.
     pub fn update(&self, text: &str) -> Result<usize, ServerError> {
+        self.write_guard("update")?;
         let u = parse_update(text)?;
         let scope = self.mutation_scope();
         let n = self.with_store_mut(|st| {
@@ -384,6 +439,7 @@ impl FusekiLite {
     /// so concurrent batches bound for different shards proceed in
     /// parallel.
     pub fn insert_triples(&self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
+        self.assert_writable("insert_triples");
         let scope = self.mutation_scope();
         let n = match &self.store {
             Backing::Single(lock) => {
@@ -410,6 +466,7 @@ impl FusekiLite {
         graph: Term,
         triples: impl IntoIterator<Item = (Term, Term, Term)>,
     ) -> usize {
+        self.assert_writable("insert_triples_in");
         let scope = self.mutation_scope();
         let n = match &self.store {
             Backing::Single(lock) => {
@@ -445,6 +502,7 @@ impl FusekiLite {
     /// write-local on one shard and only the routed shards are locked.
     /// Returns how many quads were new.
     pub fn insert_quads(&self, quads: impl IntoIterator<Item = crate::ntriples::Quad>) -> usize {
+        self.assert_writable("insert_quads");
         let scope = self.mutation_scope();
         let n = self.insert_quads_raw(quads);
         scope.commit(n > 0);
@@ -461,6 +519,7 @@ impl FusekiLite {
         &self,
         quads: impl IntoIterator<Item = crate::ntriples::Quad>,
     ) -> usize {
+        self.assert_writable("insert_quads_raw");
         match &self.store {
             Backing::Single(lock) => {
                 let mut store = lock.write();
@@ -483,6 +542,7 @@ impl FusekiLite {
     /// many were present. Batched like
     /// [`insert_triples`](Self::insert_triples).
     pub fn remove_triples(&self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
+        self.assert_writable("remove_triples");
         let scope = self.mutation_scope();
         let n = match &self.store {
             Backing::Single(lock) => {
@@ -556,6 +616,7 @@ impl FusekiLite {
     /// untouched — and the backend is preserved. Returns the number of
     /// default-graph triples imported.
     pub fn import(&self, text: &str) -> Result<usize, ServerError> {
+        self.write_guard("import")?;
         let triples = parse_ntriples(text)?;
         let scope = self.mutation_scope();
         let n = self.with_store_mut(|store| {
@@ -587,6 +648,7 @@ impl FusekiLite {
     /// Drop every triple and named graph — one write transaction, one
     /// epoch generation.
     pub fn clear(&self) {
+        self.assert_writable("clear");
         let scope = self.mutation_scope();
         self.with_store_mut(|store| store.clear());
         scope.commit(true);

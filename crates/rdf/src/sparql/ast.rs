@@ -104,6 +104,11 @@ pub struct SelectQuery {
     pub vars: Vec<String>,
     pub patterns: Vec<TriplePattern>,
     pub filters: Vec<Expr>,
+    /// Dataset scope: `WHERE { GRAPH <g> { … } }`. `None` matches the
+    /// default graph (the pre-GRAPH behavior); `Some(g)` evaluates every
+    /// pattern against named graph `g` only — e.g. one workload's tagging
+    /// graph in the knowledge base.
+    pub graph: Option<Term>,
     pub order_by: Option<String>,
     pub limit: Option<usize>,
 }

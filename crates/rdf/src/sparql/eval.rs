@@ -60,11 +60,17 @@ pub fn projected_vars(query: &SelectQuery) -> Vec<String> {
 }
 
 /// True when every ground term of the query's patterns — constants in
-/// subject/object position and every predicate IRI — is interned in the
-/// store. A pattern whose constant was never interned can match nothing,
-/// so the whole basic graph pattern is empty; callers can skip evaluation
-/// entirely (the batched probe path pre-resolves constants this way).
+/// subject/object position, every predicate IRI, and the `GRAPH` scope
+/// name if the query has one — is interned in the store. A pattern whose
+/// constant was never interned can match nothing, so the whole basic
+/// graph pattern is empty; callers can skip evaluation entirely (the
+/// batched probe path pre-resolves constants this way).
 pub fn constants_interned<S: TripleStore + ?Sized>(store: &S, query: &SelectQuery) -> bool {
+    if let Some(g) = &query.graph {
+        if store.term_id(g).is_none() {
+            return false;
+        }
+    }
     query.patterns.iter().all(|p| {
         let grounded = |tp: &TermPattern| match tp {
             TermPattern::Ground(t) => store.term_id(t).is_some(),
@@ -72,6 +78,54 @@ pub fn constants_interned<S: TripleStore + ?Sized>(store: &S, query: &SelectQuer
         };
         store.term_id(p.path.iri()).is_some() && grounded(&p.subject) && grounded(&p.object)
     })
+}
+
+/// The query's dataset scope, resolved against the store: `Ok(None)` for
+/// default-graph evaluation, `Ok(Some(g))` for a `GRAPH` scope that is
+/// interned, `Err(())` for a scope naming a graph the store has never
+/// seen (which can match nothing).
+fn resolve_graph<S: TripleStore + ?Sized>(
+    store: &S,
+    query: &SelectQuery,
+) -> Result<Option<TermId>, ()> {
+    match &query.graph {
+        None => Ok(None),
+        Some(g) => match store.term_id(g) {
+            Some(id) => Ok(Some(id)),
+            None => Err(()),
+        },
+    }
+}
+
+/// [`TripleStore::scan`] under a dataset scope: the default graph, or one
+/// named graph via [`TripleStore::scan_in`].
+fn scoped_scan<S: TripleStore + ?Sized>(
+    store: &S,
+    graph: Option<TermId>,
+    s: Option<TermId>,
+    p: Option<TermId>,
+    o: Option<TermId>,
+) -> Vec<(TermId, TermId, TermId)> {
+    match graph {
+        None => store.scan(s, p, o),
+        Some(g) => store.scan_in(g, s, p, o),
+    }
+}
+
+/// [`TripleStore::count`] under a dataset scope. Named graphs hold
+/// tagging metadata and stay small, so materializing the scan for the
+/// ordering heuristic is fine there.
+fn scoped_count<S: TripleStore + ?Sized>(
+    store: &S,
+    graph: Option<TermId>,
+    s: Option<TermId>,
+    p: Option<TermId>,
+    o: Option<TermId>,
+) -> usize {
+    match graph {
+        None => store.count(s, p, o),
+        Some(g) => store.scan_in(g, s, p, o).len(),
+    }
 }
 
 /// Evaluate a `SELECT` query with variables pre-bound to interned terms —
@@ -103,6 +157,9 @@ pub struct PreparedQuery<'q> {
     /// any pattern: no evaluation can yield rows.
     unsatisfiable: bool,
     seed_vars: Vec<String>,
+    /// Resolved dataset scope (`GRAPH` clause); `None` is the default
+    /// graph. A scope naming an un-interned graph sets `unsatisfiable`.
+    graph: Option<TermId>,
 }
 
 impl PreparedQuery<'_> {
@@ -129,12 +186,16 @@ pub fn prepare_seeded<'q, S: TripleStore + ?Sized>(
     seed_vars: &[String],
 ) -> PreparedQuery<'q> {
     let projected = projected_vars(query);
+    let (graph, graph_missing) = match resolve_graph(store, query) {
+        Ok(g) => (g, false),
+        Err(()) => (None, true),
+    };
 
     // Order patterns most-constrained-first (static heuristic: more ground
     // positions first, then fewer matching triples for the ground parts).
     // Seeded variables count as bound from the start.
     let pre_bound: BTreeSet<&str> = seed_vars.iter().map(String::as_str).collect();
-    let order = order_patterns(store, &query.patterns, &pre_bound);
+    let order = order_patterns(store, graph, &query.patterns, &pre_bound);
 
     // Attach each filter to the earliest step after which all its
     // variables are available: seeded variables at step 0, pattern-bound
@@ -153,7 +214,7 @@ pub fn prepare_seeded<'q, S: TripleStore + ?Sized>(
             avail_at.entry(v).or_insert(step + 1);
         }
     }
-    let mut unsatisfiable = false;
+    let mut unsatisfiable = graph_missing;
     let mut filters_at: Vec<Vec<&Expr>> = vec![Vec::new(); order.len() + 1];
     for f in &query.filters {
         let step = f
@@ -176,6 +237,7 @@ pub fn prepare_seeded<'q, S: TripleStore + ?Sized>(
         filters_at,
         unsatisfiable,
         seed_vars: seed_vars.to_vec(),
+        graph,
     }
 }
 
@@ -214,6 +276,7 @@ pub fn evaluate_prepared<S: TripleStore + ?Sized>(
 
     search(
         store,
+        prepared.graph,
         query,
         &prepared.order,
         &prepared.filters_at,
@@ -258,6 +321,7 @@ fn row_key(row: &[Option<Term>]) -> String {
 
 fn order_patterns<S: TripleStore + ?Sized>(
     store: &S,
+    graph: Option<TermId>,
     patterns: &[TriplePattern],
     pre_bound: &BTreeSet<&str>,
 ) -> Vec<usize> {
@@ -280,7 +344,7 @@ fn order_patterns<S: TripleStore + ?Sized>(
             } else {
                 1000
             };
-            store.count(s, pred, o) + path_penalty
+            scoped_count(store, graph, s, pred, o) + path_penalty
         })
         .collect();
 
@@ -334,6 +398,7 @@ fn order_patterns<S: TripleStore + ?Sized>(
 #[allow(clippy::too_many_arguments)]
 fn search<S: TripleStore + ?Sized>(
     store: &S,
+    graph: Option<TermId>,
     query: &SelectQuery,
     order: &[usize],
     filters_at: &[Vec<&Expr>],
@@ -351,7 +416,7 @@ fn search<S: TripleStore + ?Sized>(
         return;
     }
     let pattern = &query.patterns[order[step]];
-    for (s_id, o_id) in candidate_pairs(store, pattern, bindings) {
+    for (s_id, o_id) in candidate_pairs(store, graph, pattern, bindings) {
         let mut added: Vec<String> = Vec::with_capacity(2);
         let mut consistent = true;
         for (tp, id) in [(&pattern.subject, s_id), (&pattern.object, o_id)] {
@@ -376,6 +441,7 @@ fn search<S: TripleStore + ?Sized>(
             if filters_ok {
                 search(
                     store,
+                    graph,
                     query,
                     order,
                     filters_at,
@@ -396,6 +462,7 @@ fn search<S: TripleStore + ?Sized>(
 /// current bindings.
 fn candidate_pairs<S: TripleStore + ?Sized>(
     store: &S,
+    graph: Option<TermId>,
     pattern: &TriplePattern,
     bindings: &HashMap<String, TermId>,
 ) -> Vec<(TermId, TermId)> {
@@ -430,13 +497,12 @@ fn candidate_pairs<S: TripleStore + ?Sized>(
     };
 
     match &pattern.path {
-        PathPattern::Direct(_) => store
-            .scan(s_bound, Some(pred), o_bound)
+        PathPattern::Direct(_) => scoped_scan(store, graph, s_bound, Some(pred), o_bound)
             .into_iter()
             .map(|(s, _, o)| (s, o))
             .collect(),
-        PathPattern::Plus(_) => path_pairs(store, pred, s_bound, o_bound, false),
-        PathPattern::Star(_) => path_pairs(store, pred, s_bound, o_bound, true),
+        PathPattern::Plus(_) => path_pairs(store, graph, pred, s_bound, o_bound, false),
+        PathPattern::Star(_) => path_pairs(store, graph, pred, s_bound, o_bound, true),
     }
 }
 
@@ -449,6 +515,7 @@ enum Resolution {
 /// (s, o) pairs connected by 1+ (`Plus`) or 0+ (`Star`) steps of `pred`.
 fn path_pairs<S: TripleStore + ?Sized>(
     store: &S,
+    graph: Option<TermId>,
     pred: TermId,
     s: Option<TermId>,
     o: Option<TermId>,
@@ -456,18 +523,18 @@ fn path_pairs<S: TripleStore + ?Sized>(
 ) -> Vec<(TermId, TermId)> {
     match (s, o) {
         (Some(s), Some(o)) => {
-            let reachable = forward_closure(store, pred, s, include_zero);
+            let reachable = forward_closure(store, graph, pred, s, include_zero);
             if reachable.contains(&o) {
                 vec![(s, o)]
             } else {
                 vec![]
             }
         }
-        (Some(s), None) => forward_closure(store, pred, s, include_zero)
+        (Some(s), None) => forward_closure(store, graph, pred, s, include_zero)
             .into_iter()
             .map(|o| (s, o))
             .collect(),
-        (None, Some(o)) => backward_closure(store, pred, o, include_zero)
+        (None, Some(o)) => backward_closure(store, graph, pred, o, include_zero)
             .into_iter()
             .map(|s| (s, o))
             .collect(),
@@ -475,7 +542,7 @@ fn path_pairs<S: TripleStore + ?Sized>(
             // All nodes participating in `pred` edges, paired with their
             // forward closures.
             let mut subjects: BTreeSet<TermId> = BTreeSet::new();
-            for (s, _, o) in store.scan(None, Some(pred), None) {
+            for (s, _, o) in scoped_scan(store, graph, None, Some(pred), None) {
                 subjects.insert(s);
                 if include_zero {
                     subjects.insert(o);
@@ -483,7 +550,7 @@ fn path_pairs<S: TripleStore + ?Sized>(
             }
             let mut out = Vec::new();
             for s in subjects {
-                for o in forward_closure(store, pred, s, include_zero) {
+                for o in forward_closure(store, graph, pred, s, include_zero) {
                     out.push((s, o));
                 }
             }
@@ -494,6 +561,7 @@ fn path_pairs<S: TripleStore + ?Sized>(
 
 fn forward_closure<S: TripleStore + ?Sized>(
     store: &S,
+    graph: Option<TermId>,
     pred: TermId,
     start: TermId,
     include_zero: bool,
@@ -509,7 +577,7 @@ fn forward_closure<S: TripleStore + ?Sized>(
         if !visited.insert(cur) {
             continue;
         }
-        for (_, _, o) in store.scan(Some(cur), Some(pred), None) {
+        for (_, _, o) in scoped_scan(store, graph, Some(cur), Some(pred), None) {
             seen.insert(o);
             queue.push_back(o);
         }
@@ -519,6 +587,7 @@ fn forward_closure<S: TripleStore + ?Sized>(
 
 fn backward_closure<S: TripleStore + ?Sized>(
     store: &S,
+    graph: Option<TermId>,
     pred: TermId,
     start: TermId,
     include_zero: bool,
@@ -534,7 +603,7 @@ fn backward_closure<S: TripleStore + ?Sized>(
         if !visited.insert(cur) {
             continue;
         }
-        for (s, _, _) in store.scan(None, Some(pred), Some(cur)) {
+        for (s, _, _) in scoped_scan(store, graph, None, Some(pred), Some(cur)) {
             seen.insert(s);
             queue.push_back(s);
         }
@@ -659,6 +728,7 @@ pub fn apply_update<S: TripleStore + ?Sized>(store: &mut S, update: &Update) -> 
                 vars: Vec::new(),
                 patterns: patterns.clone(),
                 filters: Vec::new(),
+                graph: None,
                 order_by: None,
                 limit: None,
             };
@@ -937,6 +1007,110 @@ mod tests {
         assert_eq!(removed, 3);
         let q = parse_select(
             "PREFIX p: <http://galo/qep/property/> SELECT ?s WHERE { ?s p:hasOutputStream ?o . }",
+        )
+        .unwrap();
+        assert!(evaluate(&st, &q).is_empty());
+    }
+
+    /// Store with a default graph plus two named graphs holding disjoint
+    /// tag sets — the shape the knowledge base uses for per-workload
+    /// template tagging.
+    fn graph_store() -> IndexedStore {
+        let mut st = plan_store();
+        let g1 = Term::iri("http://galo/graph/w1");
+        let g2 = Term::iri("http://galo/graph/w2");
+        st.insert_in(g1.clone(), pop(2), prop("inWorkload"), Term::lit("w1"));
+        st.insert_in(g1.clone(), pop(3), prop("inWorkload"), Term::lit("w1"));
+        st.insert_in(g1, pop(2), prop("feeds"), pop(4));
+        st.insert_in(g2, pop(4), prop("inWorkload"), Term::lit("w2"));
+        st
+    }
+
+    #[test]
+    fn graph_clause_scopes_to_one_named_graph() {
+        let st = graph_store();
+        let q = parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?s WHERE { GRAPH <http://galo/graph/w1> { ?s p:inWorkload ?w . } }",
+        )
+        .unwrap();
+        let rs = evaluate(&st, &q);
+        assert_eq!(rs.len(), 2);
+        // The other graph's tag is invisible under this scope.
+        let got: BTreeSet<&Term> = (0..rs.len()).map(|i| rs.get(i, "s").unwrap()).collect();
+        assert!(got.contains(&pop(2)) && got.contains(&pop(3)));
+    }
+
+    #[test]
+    fn graph_clause_hides_default_graph_triples() {
+        let st = graph_store();
+        // hasPopType lives only in the default graph.
+        let q = parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?s WHERE { GRAPH <http://galo/graph/w1> { ?s p:hasPopType ?t . } }",
+        )
+        .unwrap();
+        assert!(evaluate(&st, &q).is_empty());
+        // And without the scope, named-graph tags are invisible.
+        let q = parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?s WHERE { ?s p:inWorkload ?w . }",
+        )
+        .unwrap();
+        assert!(evaluate(&st, &q).is_empty());
+    }
+
+    #[test]
+    fn graph_clause_with_unknown_graph_is_empty() {
+        let st = graph_store();
+        let q = parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?s WHERE { GRAPH <http://galo/graph/nope> { ?s p:inWorkload ?w . } }",
+        )
+        .unwrap();
+        assert!(evaluate(&st, &q).is_empty());
+        assert!(!constants_interned(&st, &q));
+    }
+
+    #[test]
+    fn graph_scoped_seeded_probe_equals_text_evaluation() {
+        // The probe ≡ text differential under dataset scope: the prepared
+        // seeded path and the full text path must agree per binding.
+        let st = graph_store();
+        let q = parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?s ?w WHERE { GRAPH <http://galo/graph/w1> { ?s p:inWorkload ?w . } }",
+        )
+        .unwrap();
+        let full = evaluate(&st, &q);
+        assert_eq!(full.len(), 2);
+        for target in [2u32, 3, 4] {
+            let id = st.term_id(&pop(target)).unwrap();
+            let seeded = evaluate_seeded(&st, &q, &[("s".to_string(), id)]);
+            let expect: Vec<_> = (0..full.len())
+                .filter(|&row| full.get(row, "s") == Some(&pop(target)))
+                .collect();
+            assert_eq!(seeded.len(), expect.len(), "pop {target}");
+        }
+    }
+
+    #[test]
+    fn graph_clause_scopes_property_paths() {
+        let st = graph_store();
+        // feeds lives only in w1: 2 -> 4, one hop, so + reaches exactly 4.
+        let q = parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?d WHERE { GRAPH <http://galo/graph/w1> \
+             { <http://galo/qep/pop/2> p:feeds+ ?d . } }",
+        )
+        .unwrap();
+        let rs = evaluate(&st, &q);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.get(0, "d"), Some(&pop(4)));
+        // Default-graph evaluation of the same path sees nothing.
+        let q = parse_select(
+            "PREFIX p: <http://galo/qep/property/> \
+             SELECT ?d WHERE { <http://galo/qep/pop/2> p:feeds+ ?d . }",
         )
         .unwrap();
         assert!(evaluate(&st, &q).is_empty());

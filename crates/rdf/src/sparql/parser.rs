@@ -52,6 +52,10 @@ pub fn parse_update(text: &str) -> Result<Update, SparqlParseError> {
     Ok(u)
 }
 
+/// A parsed `WHERE` group: triple patterns, filters, and the optional
+/// `GRAPH` scope covering the whole group.
+type WhereGroup = (Vec<TriplePattern>, Vec<Expr>, Option<Term>);
+
 struct P<'a> {
     text: &'a str,
     chars: Vec<char>,
@@ -205,7 +209,7 @@ impl<'a> P<'a> {
         if !self.keyword("WHERE") {
             return Err(self.err("expected WHERE"));
         }
-        let (patterns, filters) = self.parse_group()?;
+        let (patterns, filters, graph) = self.parse_where_group()?;
 
         let mut order_by = None;
         if self.keyword("ORDER") {
@@ -238,6 +242,7 @@ impl<'a> P<'a> {
             vars,
             patterns,
             filters,
+            graph,
             order_by,
             limit,
         })
@@ -276,8 +281,30 @@ impl<'a> P<'a> {
         }
     }
 
+    /// A `WHERE` group, which may scope its whole pattern to one named
+    /// graph: `{ GRAPH <g> { … } }`. `GRAPH` is a reserved word at the
+    /// head of the group; mixing scoped and default-graph patterns in one
+    /// group is not supported — the dataset is all-or-nothing, matching
+    /// how `MatchConfig::dataset` scopes knowledge-base matching.
+    fn parse_where_group(&mut self) -> Result<WhereGroup, SparqlParseError> {
+        self.expect('{')?;
+        if self.keyword("GRAPH") {
+            let graph = self.parse_iri_term()?;
+            let (patterns, filters) = self.parse_group()?;
+            self.expect('}')?;
+            return Ok((patterns, filters, Some(graph)));
+        }
+        let (patterns, filters) = self.parse_group_rest()?;
+        Ok((patterns, filters, None))
+    }
+
     fn parse_group(&mut self) -> Result<(Vec<TriplePattern>, Vec<Expr>), SparqlParseError> {
         self.expect('{')?;
+        self.parse_group_rest()
+    }
+
+    /// The body of a group, after its opening `{` has been consumed.
+    fn parse_group_rest(&mut self) -> Result<(Vec<TriplePattern>, Vec<Expr>), SparqlParseError> {
         let mut patterns = Vec::new();
         let mut filters = Vec::new();
         loop {

@@ -526,6 +526,133 @@ impl TripleStore for ScanStore {
     }
 }
 
+/// The typed rejection a read replica answers writes with. At the
+/// [`ReadOnlyStore`] level the infallible [`TripleStore`] mutators cannot
+/// return it, so they raise it as a panic payload (`panic_any`) — loud by
+/// construction, and `catch_unwind` callers can downcast to this type.
+/// At the endpoint level [`crate::ServerError::ReadOnlyReplica`] wraps it
+/// as an ordinary error value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOnlyReplica {
+    /// The rejected operation, e.g. `"insert_ids"` or `"update"`.
+    pub op: &'static str,
+}
+
+impl fmt::Display for ReadOnlyReplica {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read-only replica rejected {}: writes must go to the primary",
+            self.op
+        )
+    }
+}
+
+impl std::error::Error for ReadOnlyReplica {}
+
+/// A [`TripleStore`] wrapper that delegates every read and rejects every
+/// mutation with a [`ReadOnlyReplica`] panic. Read replicas hand this out
+/// where a `&mut dyn TripleStore` could otherwise leak write access; it
+/// guarantees a replica image can only diverge from the primary through
+/// the replication feed, never through a stray local write that would be
+/// silently applied (or, worse, silently dropped by a lenient wrapper).
+#[derive(Debug)]
+pub struct ReadOnlyStore {
+    inner: Box<dyn TripleStore>,
+}
+
+impl ReadOnlyStore {
+    pub fn new(inner: Box<dyn TripleStore>) -> Self {
+        ReadOnlyStore { inner }
+    }
+
+    /// Unwrap — the privileged escape hatch the replication apply path
+    /// uses to replay feed frames.
+    pub fn into_inner(self) -> Box<dyn TripleStore> {
+        self.inner
+    }
+
+    fn reject(op: &'static str) -> ! {
+        std::panic::panic_any(ReadOnlyReplica { op })
+    }
+}
+
+impl TripleStore for ReadOnlyStore {
+    fn intern(&mut self, _term: Term) -> TermId {
+        Self::reject("intern")
+    }
+
+    fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.inner.term_id(term)
+    }
+
+    fn resolve(&self, id: TermId) -> &Term {
+        self.inner.resolve(id)
+    }
+
+    fn insert_ids(&mut self, _t: Triple) -> bool {
+        Self::reject("insert_ids")
+    }
+
+    fn remove_ids(&mut self, _t: Triple) -> bool {
+        Self::reject("remove_ids")
+    }
+
+    fn clear(&mut self) {
+        Self::reject("clear")
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn scan(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
+        self.inner.scan(s, p, o)
+    }
+
+    fn count(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        self.inner.count(s, p, o)
+    }
+
+    fn graph_names(&self) -> Vec<Term> {
+        self.inner.graph_names()
+    }
+
+    fn graph_ids(&self) -> Vec<TermId> {
+        self.inner.graph_ids()
+    }
+
+    fn insert_ids_in(&mut self, _graph: TermId, _t: Triple) -> bool {
+        Self::reject("insert_ids_in")
+    }
+
+    fn remove_ids_in(&mut self, _graph: TermId, _t: Triple) -> bool {
+        Self::reject("remove_ids_in")
+    }
+
+    fn scan_in(
+        &self,
+        graph: TermId,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        self.inner.scan_in(graph, s, p, o)
+    }
+
+    fn compact(&mut self) -> std::io::Result<()> {
+        Self::reject("compact")
+    }
+
+    fn begin_batch(&mut self) {
+        Self::reject("begin_batch")
+    }
+
+    fn end_batch(&mut self) {
+        Self::reject("end_batch")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,351 @@
+//! Replication wire format: length-delimited, FNV-checksummed frames.
+//!
+//! Every byte that would cross a network in the replication subsystem
+//! ([`galo_core::replication`](../../galo_core/replication/index.html))
+//! goes through this codec — learner publishes, primary acknowledgements,
+//! the replica mutation feed, and cold-start snapshot transfers. A frame
+//! is:
+//!
+//! ```text
+//! magic "GWF1" | kind u8 | seq u64 LE | epoch u64 LE |
+//! payload_len u32 LE | payload bytes | fnv64 LE over kind..payload
+//! ```
+//!
+//! Payloads reuse the formats the store already trusts: `Publish` carries
+//! N-Quads text ([`crate::ntriples`]), `Mutation` carries WAL v2 record
+//! lines ([`crate::persist::Record`], each line self-checksummed exactly
+//! as in the on-disk log), and `Snapshot` carries
+//! [`crate::persist::snapshot_bytes`] output verbatim. The outer checksum
+//! covers everything after the magic, so a frame torn at *any* byte — or
+//! with any byte corrupted in flight — decodes to an error, never to a
+//! different frame ([`decode_frame`] pins this with a proptest).
+
+use crate::fnv::fnv1a;
+use crate::ntriples::{parse_ntriples, Quad};
+use crate::persist::{parse_record_v2, render_record_v2, Record};
+
+/// Frame preamble: "galo wire format v1".
+pub const FRAME_MAGIC: [u8; 4] = *b"GWF1";
+
+/// Fixed header length: magic + kind + seq + epoch + payload length.
+const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4;
+
+/// Trailing checksum length.
+const SUM_LEN: usize = 8;
+
+/// Refuse to allocate for absurd advertised payload lengths (a corrupted
+/// length field must not turn into an OOM before the checksum check).
+const MAX_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+/// What a frame carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FramePayload {
+    /// Learner → primary: publish these statements (N-Quads text).
+    Publish(Vec<Quad>),
+    /// Primary → sender: request `seq` applied; `added` is how many
+    /// statements were new (0 for an idempotent re-delivery).
+    Ack { added: u64 },
+    /// Primary → replica: one ordered feed entry of WAL v2 records.
+    Mutation(Vec<Record>),
+    /// Primary → replica: the full image in snapshot format
+    /// ([`crate::persist::snapshot_bytes`]).
+    Snapshot(Vec<u8>),
+    /// Replica → primary: send feed entries starting at this frame's
+    /// `seq`; `max` bounds the batch (0 = no bound).
+    Pull { max: u32 },
+}
+
+impl FramePayload {
+    fn kind(&self) -> u8 {
+        match self {
+            FramePayload::Publish(_) => 1,
+            FramePayload::Ack { .. } => 2,
+            FramePayload::Mutation(_) => 3,
+            FramePayload::Snapshot(_) => 4,
+            FramePayload::Pull { .. } => 5,
+        }
+    }
+}
+
+/// One replication frame: a sequence number, the primary mutation epoch
+/// the frame was stamped at (0 where not meaningful), and the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Publish/ack: the sender's request id. Mutation: the feed index.
+    /// Pull: the first feed index wanted.
+    pub seq: u64,
+    /// The primary's mutation epoch associated with this frame — after
+    /// apply for acks, after the entry for feed frames, at capture for
+    /// snapshots.
+    pub epoch: u64,
+    pub payload: FramePayload,
+}
+
+/// A rejected [`decode_frame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// Not enough bytes for a whole frame — the only retryable error: a
+    /// reader holding a stream prefix waits for more bytes.
+    Truncated,
+    /// The first four bytes are not [`FRAME_MAGIC`].
+    BadMagic,
+    /// Checksum verified but the kind byte is unknown (a newer peer).
+    BadKind(u8),
+    /// The trailing FNV-64 does not match the received bytes.
+    Checksum { stored: u64, computed: u64 },
+    /// Envelope intact but the payload would not parse.
+    Payload(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Checksum { stored, computed } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+                )
+            }
+            FrameError::Payload(m) => write!(f, "bad frame payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn quad_line(q: &Quad) -> String {
+    let (s, p, o, g) = q;
+    match g {
+        Some(g) => format!("{s} {p} {o} {g} .\n"),
+        None => format!("{s} {p} {o} .\n"),
+    }
+}
+
+fn payload_bytes(payload: &FramePayload) -> Vec<u8> {
+    match payload {
+        FramePayload::Publish(quads) => {
+            let mut text = String::new();
+            for q in quads {
+                text.push_str(&quad_line(q));
+            }
+            text.into_bytes()
+        }
+        FramePayload::Ack { added } => added.to_le_bytes().to_vec(),
+        FramePayload::Mutation(records) => {
+            let mut text = String::new();
+            for r in records {
+                text.push_str(&render_record_v2(r));
+            }
+            text.into_bytes()
+        }
+        FramePayload::Snapshot(bytes) => bytes.clone(),
+        FramePayload::Pull { max } => max.to_le_bytes().to_vec(),
+    }
+}
+
+fn parse_payload(kind: u8, bytes: &[u8]) -> Result<FramePayload, FrameError> {
+    let bad = |m: &str| FrameError::Payload(m.to_string());
+    match kind {
+        1 => {
+            let text = std::str::from_utf8(bytes).map_err(|_| bad("non-UTF-8 publish"))?;
+            let quads = parse_ntriples(text)
+                .map_err(|e| FrameError::Payload(format!("line {}: {}", e.line, e.message)))?;
+            Ok(FramePayload::Publish(quads))
+        }
+        2 => {
+            let arr: [u8; 8] = bytes.try_into().map_err(|_| bad("ack length"))?;
+            Ok(FramePayload::Ack {
+                added: u64::from_le_bytes(arr),
+            })
+        }
+        3 => {
+            let text = std::str::from_utf8(bytes).map_err(|_| bad("non-UTF-8 mutation"))?;
+            let mut records = Vec::new();
+            for line in text.lines() {
+                records.push(parse_record_v2(line).ok_or_else(|| bad("bad mutation record"))?);
+            }
+            Ok(FramePayload::Mutation(records))
+        }
+        4 => Ok(FramePayload::Snapshot(bytes.to_vec())),
+        5 => {
+            let arr: [u8; 4] = bytes.try_into().map_err(|_| bad("pull length"))?;
+            Ok(FramePayload::Pull {
+                max: u32::from_le_bytes(arr),
+            })
+        }
+        k => Err(FrameError::BadKind(k)),
+    }
+}
+
+/// Encode one frame. The result is self-delimiting: a reader that has the
+/// whole encoding (and possibly trailing bytes of the next frame) can
+/// [`decode_frame`] it back and learn how many bytes it consumed.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = payload_bytes(&frame.payload);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + SUM_LEN);
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.push(frame.payload.kind());
+    buf.extend_from_slice(&frame.seq.to_le_bytes());
+    buf.extend_from_slice(&frame.epoch.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    let sum = fnv1a(&buf[FRAME_MAGIC.len()..]);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Decode the frame at the head of `bytes`. Returns the frame and the
+/// number of bytes it occupied. Validation order matters for the failure
+/// model: length first (so a torn prefix is always [`FrameError::Truncated`]),
+/// then the envelope checksum (so corruption anywhere in kind, seq,
+/// epoch, length, or payload is caught before any payload parsing), then
+/// the payload itself.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
+    if bytes.len() < FRAME_MAGIC.len() {
+        return Err(FrameError::Truncated);
+    }
+    if bytes[..FRAME_MAGIC.len()] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let kind = bytes[4];
+    let seq = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
+    let epoch = u64::from_le_bytes(bytes[13..21].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(bytes[21..25].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Payload(format!(
+            "payload length {payload_len} over limit"
+        )));
+    }
+    let total = HEADER_LEN + payload_len as usize + SUM_LEN;
+    if bytes.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let body_end = HEADER_LEN + payload_len as usize;
+    let stored = u64::from_le_bytes(bytes[body_end..total].try_into().unwrap());
+    let computed = fnv1a(&bytes[FRAME_MAGIC.len()..body_end]);
+    if stored != computed {
+        return Err(FrameError::Checksum { stored, computed });
+    }
+    let payload = parse_payload(kind, &bytes[HEADER_LEN..body_end])?;
+    Ok((
+        Frame {
+            seq,
+            epoch,
+            payload,
+        },
+        total,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn sample_frames() -> Vec<Frame> {
+        let q: Quad = (
+            Term::iri("urn:s"),
+            Term::iri("urn:p"),
+            Term::lit("a \"quoted\"\nvalue"),
+            Some(Term::iri("urn:g")),
+        );
+        let q2: Quad = (
+            Term::iri("urn:s2"),
+            Term::iri("urn:p"),
+            Term::Blank("b0".into()),
+            None,
+        );
+        vec![
+            Frame {
+                seq: 7,
+                epoch: 0,
+                payload: FramePayload::Publish(vec![q.clone(), q2.clone()]),
+            },
+            Frame {
+                seq: 7,
+                epoch: 42,
+                payload: FramePayload::Ack { added: 2 },
+            },
+            Frame {
+                seq: 3,
+                epoch: 44,
+                payload: FramePayload::Mutation(vec![
+                    Record::Insert(q.0.clone(), q.1.clone(), q.2.clone(), q.3.clone()),
+                    Record::Remove(q2.0.clone(), q2.1.clone(), q2.2.clone(), None),
+                    Record::Clear,
+                ]),
+            },
+            Frame {
+                seq: 0,
+                epoch: 46,
+                payload: FramePayload::Snapshot(vec![1, 2, 3, 255, 0]),
+            },
+            Frame {
+                seq: 12,
+                epoch: 0,
+                payload: FramePayload::Pull { max: 64 },
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let (decoded, used) = decode_frame(&bytes).expect("decodes");
+            assert_eq!(decoded, frame);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decode_reports_consumed_length_with_trailing_bytes() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        let mut at = 0;
+        for f in &frames {
+            let (decoded, used) = decode_frame(&stream[at..]).expect("decodes mid-stream");
+            assert_eq!(&decoded, f);
+            at += used;
+        }
+        assert_eq!(at, stream.len());
+    }
+
+    #[test]
+    fn torn_frame_at_every_byte_is_truncated() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            for cut in 0..bytes.len() {
+                let err = decode_frame(&bytes[..cut]).expect_err("prefix must not decode");
+                assert_eq!(err, FrameError::Truncated, "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x01;
+                match decode_frame(&bad) {
+                    // A flipped length byte may make the frame look short.
+                    Err(_) => {}
+                    Ok((decoded, _)) => {
+                        panic!("corruption at byte {i} decoded as {decoded:?}")
+                    }
+                }
+            }
+        }
+    }
+}
