@@ -30,7 +30,10 @@
 
 use std::path::PathBuf;
 
-use galo_rdf::{DurableOptions, FusekiLite, ServerError, ShardRouter, ShardedStore, TripleStore};
+use galo_rdf::{
+    CompactionPolicy, DurableOptions, FusekiLite, ServerError, ShardRouter, ShardedStore,
+    TripleStore,
+};
 
 use crate::feedback::FeedbackOptions;
 use crate::galo::Galo;
@@ -46,6 +49,7 @@ pub struct KbBuilder {
     router: Option<Box<dyn ShardRouter>>,
     durable_dir: Option<PathBuf>,
     durable: DurableOptions,
+    compaction: Option<CompactionPolicy>,
     feedback: FeedbackOptions,
     match_cfg: MatchConfig,
 }
@@ -106,6 +110,22 @@ impl KbBuilder {
         self
     }
 
+    /// Run a background [`Compactor`](galo_rdf::Compactor) over the
+    /// built store: WAL folding moves off the write path onto a policy
+    /// thread that watches per-shard pressure (see
+    /// [`CompactionPolicy`]). Most useful together with
+    /// [`durable_dir`](Self::durable_dir); harmless over in-memory
+    /// backends, which report zero pressure.
+    ///
+    /// Installing a policy this way disables the durable store's inline
+    /// auto-compaction unless the caller also set a threshold via
+    /// [`durable_options`](Self::durable_options) — the two coexist but
+    /// the background thread is the intended owner.
+    pub fn compaction_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = Some(policy);
+        self
+    }
+
     /// Tuning knobs of the runtime-feedback loop (decay, batch size,
     /// narrowing threshold, buffer cap).
     pub fn feedback(mut self, options: FeedbackOptions) -> Self {
@@ -135,34 +155,41 @@ impl KbBuilder {
             router,
             durable_dir,
             durable,
+            compaction,
             ..
         } = self;
-        if let Some(backend) = backend {
-            if shards.is_some() || durable_dir.is_some() || router.is_some() {
-                return Err(Self::invalid(
-                    "an explicit backend cannot be combined with shards, a \
-                     router, or a durable directory",
-                ));
+        let server = (|| {
+            if let Some(backend) = backend {
+                if shards.is_some() || durable_dir.is_some() || router.is_some() {
+                    return Err(Self::invalid(
+                        "an explicit backend cannot be combined with shards, a \
+                         router, or a durable directory",
+                    ));
+                }
+                return Ok(FusekiLite::with_backend(backend));
             }
-            return Ok(FusekiLite::with_backend(backend));
+            if router.is_some() && shards.is_none() {
+                return Err(Self::invalid("a router requires a shard count"));
+            }
+            match (shards, durable_dir) {
+                (Some(n), Some(dir)) => FusekiLite::open_sharded_durable_with(
+                    dir,
+                    n,
+                    durable,
+                    router.unwrap_or_else(|| Box::new(galo_rdf::TemplateRouter::default())),
+                ),
+                (Some(n), None) => Ok(FusekiLite::from_sharded(match router {
+                    Some(r) => ShardedStore::with_router(n, r),
+                    None => ShardedStore::new(n),
+                })),
+                (None, Some(dir)) => FusekiLite::open_durable_with(dir, durable),
+                (None, None) => Ok(FusekiLite::new()),
+            }
+        })()?;
+        if let Some(policy) = compaction {
+            server.compaction_policy(policy);
         }
-        if router.is_some() && shards.is_none() {
-            return Err(Self::invalid("a router requires a shard count"));
-        }
-        match (shards, durable_dir) {
-            (Some(n), Some(dir)) => FusekiLite::open_sharded_durable_with(
-                dir,
-                n,
-                durable,
-                router.unwrap_or_else(|| Box::new(galo_rdf::TemplateRouter::default())),
-            ),
-            (Some(n), None) => Ok(FusekiLite::from_sharded(match router {
-                Some(r) => ShardedStore::with_router(n, r),
-                None => ShardedStore::new(n),
-            })),
-            (None, Some(dir)) => FusekiLite::open_durable_with(dir, durable),
-            (None, None) => Ok(FusekiLite::new()),
-        }
+        Ok(server)
     }
 
     /// Materialize a [`KnowledgeBase`]: the endpoint from
@@ -237,6 +264,48 @@ mod tests {
         }
         let kb = KbBuilder::new().durable_dir(dir.path()).build_kb().unwrap();
         assert_eq!(kb.server().len(), 1);
+    }
+
+    #[test]
+    fn compaction_policy_installs_a_background_compactor() {
+        let dir = ScratchDir::new("kbbuilder-policy");
+        let policy = galo_rdf::CompactionPolicy {
+            wal_records: 16,
+            min_interval: std::time::Duration::from_millis(1),
+            poll_interval: std::time::Duration::from_millis(1),
+            idle_divisor: 0,
+            ..Default::default()
+        };
+        let kb = KbBuilder::new()
+            .durable_dir(dir.path())
+            .shards(2)
+            .compaction_policy(policy)
+            .build_kb()
+            .unwrap();
+        let stats = kb.compactor_stats().expect("compactor installed");
+        for i in 0..64 {
+            kb.server().insert_triples(vec![(
+                Term::iri(format!("http://x/s{i}")),
+                Term::iri("http://x/p"),
+                Term::lit("v"),
+            )]);
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while stats.compacted() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background compactor never folded the WAL"
+            );
+            std::thread::yield_now();
+        }
+        assert!(kb
+            .storage_pressures()
+            .iter()
+            .all(|p| p.compactions_failed == 0));
+        // An in-memory build without a policy has no compactor.
+        let plain = KbBuilder::new().build_kb().unwrap();
+        assert!(plain.compactor_stats().is_none());
+        assert_eq!(plain.storage_pressures(), vec![Default::default()]);
     }
 
     #[test]

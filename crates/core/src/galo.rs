@@ -113,6 +113,17 @@ impl Galo {
             .build_galo()
     }
 
+    /// Install a background storage policy on the knowledge base: a
+    /// compactor thread folds WAL pressure off the write path so learning
+    /// bursts and serving reads don't pay for checkpointing inline. See
+    /// [`KnowledgeBase::compaction_policy`].
+    pub fn compaction_policy(
+        &self,
+        policy: galo_rdf::CompactionPolicy,
+    ) -> std::sync::Arc<galo_rdf::CompactorStats> {
+        self.kb.compaction_policy(policy)
+    }
+
     /// Offline workflow: learn problem patterns from a workload.
     pub fn learn(&self, workload: &Workload, cfg: &LearningConfig) -> LearningReport {
         learn_workload(workload, &self.kb, cfg)

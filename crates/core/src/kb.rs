@@ -518,6 +518,28 @@ impl KnowledgeBase {
         self.server.compact()
     }
 
+    /// Install (or replace) a background compaction policy: a
+    /// [`Compactor`](galo_rdf::Compactor) thread watches per-shard WAL
+    /// pressure and folds hot or idle shards off the write path. Returns
+    /// the live [`CompactorStats`](galo_rdf::CompactorStats) handle.
+    pub fn compaction_policy(
+        &self,
+        policy: galo_rdf::CompactionPolicy,
+    ) -> std::sync::Arc<galo_rdf::CompactorStats> {
+        self.server.compaction_policy(policy)
+    }
+
+    /// Stats of the installed background compactor, if any.
+    pub fn compactor_stats(&self) -> Option<std::sync::Arc<galo_rdf::CompactorStats>> {
+        self.server.compactor_stats()
+    }
+
+    /// Per-shard WAL pressure (cheap counter poll; all-zero defaults
+    /// over in-memory backends).
+    pub fn storage_pressures(&self) -> Vec<galo_rdf::StoragePressure> {
+        self.server.storage_pressures()
+    }
+
     /// Structural signature of a template — the index key a matching
     /// segment must share (transparent operators above the template's root
     /// join are filtered out by [`shape_signature`] itself).

@@ -534,6 +534,14 @@ impl<'a> ServingTier<'a> {
         &self.cache
     }
 
+    /// Storage-side health next to the cache counters: per-shard WAL
+    /// pressure of the knowledge base this tier serves from, so one
+    /// monitoring pass sees both "is the cache hitting" and "is the
+    /// write path drowning" (all-zero over in-memory backends).
+    pub fn storage_pressures(&self) -> Vec<galo_rdf::StoragePressure> {
+        self.kb.storage_pressures()
+    }
+
     /// Serve one plan.
     ///
     /// Hit path: fingerprint, one epoch load, one stripe lock, clone.

@@ -40,6 +40,7 @@
 mod fnv;
 pub mod ntriples;
 pub mod persist;
+pub mod policy;
 pub mod server;
 pub mod shard;
 pub mod sparql;
@@ -51,6 +52,7 @@ pub use ntriples::{from_ntriples, load_ntriples, parse_ntriples, to_ntriples, Nt
 pub use persist::{
     snapshot_bytes, store_from_snapshot, DurableOptions, DurableStore, Record, ScratchDir,
 };
+pub use policy::{CompactionPolicy, CompactionTarget, Compactor, CompactorStats};
 pub use server::{FusekiLite, MutationScope, Probe, ServerError};
 pub use shard::{HashRouter, ShardRouter, ShardStats, ShardedStore, TemplateRouter};
 pub use sparql::{
@@ -58,7 +60,9 @@ pub use sparql::{
     parse_update, prepare_seeded, projected_vars, CmpOp, Expr, PathPattern, PreparedQuery,
     ResultSet, SelectQuery, SparqlParseError, TermPattern, TriplePattern, Update,
 };
-pub use store::{IndexedStore, ReadOnlyReplica, ReadOnlyStore, ScanStore, Triple, TripleStore};
+pub use store::{
+    IndexedStore, ReadOnlyReplica, ReadOnlyStore, ScanStore, StoragePressure, Triple, TripleStore,
+};
 pub use term::{Interner, Literal, Term, TermId};
 pub use wire::{decode_frame, encode_frame, Frame, FrameError, FramePayload, FRAME_MAGIC};
 

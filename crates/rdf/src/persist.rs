@@ -65,7 +65,7 @@ use std::path::{Path, PathBuf};
 
 use crate::fnv::fnv1a;
 use crate::ntriples::parse_ntriples;
-use crate::store::{IndexedStore, Triple, TripleStore};
+use crate::store::{IndexedStore, StoragePressure, Triple, TripleStore};
 use crate::term::{Term, TermId};
 
 const SNAPSHOT_MAGIC: &[u8; 8] = b"GALOSNAP";
@@ -124,6 +124,18 @@ pub struct DurableStore {
     /// Records were journaled since the batch began (so `end_batch` knows
     /// whether a flush is owed).
     batch_dirty: bool,
+    /// The auto-compaction threshold tripped inside an open batch; the
+    /// compaction is owed at `end_batch` (rotating the log under a
+    /// half-journaled batch would make an uncommitted prefix durable).
+    compact_deferred: bool,
+    /// Failed compaction attempts since open (auto or explicit). The log
+    /// still holds every record after a failure, so writes keep flowing —
+    /// but callers (and the background [`crate::policy::Compactor`]) can
+    /// observe the count and back off instead of hot-looping a broken disk.
+    compactions_failed: u64,
+    /// Error text of the most recent failed compaction; cleared by the
+    /// next successful one.
+    last_compaction_error: Option<String>,
 }
 
 /// One replayable log record — also the unit the replication wire
@@ -254,6 +266,9 @@ impl DurableStore {
             wal_crc,
             in_batch: false,
             batch_dirty: false,
+            compact_deferred: false,
+            compactions_failed: 0,
+            last_compaction_error: None,
         };
         if store.wal_bytes == 0 {
             // A fresh (or fully-truncated) log starts at version 2; a
@@ -292,6 +307,18 @@ impl DurableStore {
     /// Committed records in the current write-ahead log.
     pub fn wal_records(&self) -> u64 {
         self.wal_records
+    }
+
+    /// Failed compaction attempts since open (auto-compaction and explicit
+    /// [`TripleStore::compact`] calls both count).
+    pub fn compactions_failed(&self) -> u64 {
+        self.compactions_failed
+    }
+
+    /// Error text of the most recent failed compaction, `None` after a
+    /// success (or when compaction has never failed).
+    pub fn last_compaction_error(&self) -> Option<&str> {
+        self.last_compaction_error.as_deref()
     }
 
     /// Path of the current write-ahead log (tests and the crash-recovery
@@ -345,8 +372,17 @@ impl DurableStore {
         if self.wal_records < threshold {
             return;
         }
+        // Never rotate mid-batch: the snapshot would durably commit the
+        // batch's journaled-so-far prefix while the rest is still buffered,
+        // so a crash before `end_batch` resurrects half a group commit.
+        // The compaction is owed at `end_batch` instead.
+        if self.in_batch {
+            self.compact_deferred = true;
+            return;
+        }
         // Best-effort: a failed compaction loses nothing (the log still
-        // holds every record), so keep serving writes on the old log.
+        // holds every record), so keep serving writes on the old log. The
+        // failure is counted (`compactions_failed`) inside `compact`.
         if let Err(e) = self.compact() {
             eprintln!("durable store auto-compaction failed (will retry): {e}");
         }
@@ -854,16 +890,31 @@ impl TripleStore for DurableStore {
     /// them must not keep serving.
     fn end_batch(&mut self) {
         self.in_batch = false;
-        if !self.batch_dirty {
-            return;
+        let deferred = std::mem::take(&mut self.compact_deferred);
+        if self.batch_dirty {
+            self.batch_dirty = false;
+            if let Err(e) = self.flush_wal() {
+                panic!(
+                    "durable store failed to commit batch to {:?}: {e}",
+                    self.wal_path()
+                );
+            }
         }
-        self.batch_dirty = false;
-        if let Err(e) = self.flush_wal() {
-            panic!(
-                "durable store failed to commit batch to {:?}: {e}",
-                self.wal_path()
-            );
+        if deferred {
+            // The threshold tripped mid-batch; now that the batch is
+            // committed the rotation is safe. Re-checks the threshold, so
+            // an explicit compact inside the bracket leaves nothing owed.
+            self.maybe_auto_compact();
         }
+    }
+
+    fn storage_pressure(&self) -> Option<StoragePressure> {
+        Some(StoragePressure {
+            wal_records: self.wal_records,
+            wal_bytes: self.wal_bytes,
+            compactions_failed: self.compactions_failed,
+            last_compaction_error: self.last_compaction_error.clone(),
+        })
     }
 
     /// Fold the log into a snapshot: open a fresh `wal-<g+1>`, write
@@ -876,7 +927,27 @@ impl TripleStore for DurableStore {
     /// place: if any step fails, `self` still journals to the old
     /// generation's log, and no snapshot exists whose generation would
     /// make recovery skip that log.
+    ///
+    /// Failures are counted (`compactions_failed`) and the error text kept
+    /// (`last_compaction_error`) so policy threads can observe and back
+    /// off; a success clears the stored error.
     fn compact(&mut self) -> std::io::Result<()> {
+        match self.compact_inner() {
+            Ok(()) => {
+                self.last_compaction_error = None;
+                Ok(())
+            }
+            Err(e) => {
+                self.compactions_failed += 1;
+                self.last_compaction_error = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+}
+
+impl DurableStore {
+    fn compact_inner(&mut self) -> std::io::Result<()> {
         // A group-commit batch may be open: push its buffered records to
         // the OS before rotating, or the old log could fall short of the
         // snapshot the fallback chain pairs it with.
@@ -1388,5 +1459,136 @@ mod tests {
         assert!(st.is_empty());
         assert_eq!(st.generation(), 0);
         assert_eq!(st.wal_records(), 0);
+    }
+
+    /// Regression: the auto-compaction threshold tripping *inside* an open
+    /// group-commit bracket must not rotate the log mid-batch. The old
+    /// inline check compacted immediately, snapshotting the batch's
+    /// journaled-so-far prefix — so a kill before `end_batch` resurrected
+    /// half an uncommitted batch on reopen. (This test fails on that code
+    /// path: the mid-batch generation stays 0, and after the kill only the
+    /// pre-batch records exist.)
+    #[test]
+    fn mid_batch_auto_compaction_defers_and_keeps_batches_atomic() {
+        let dir = ScratchDir::new("persist-midbatch");
+        let mut st = DurableStore::open_with(
+            dir.path(),
+            DurableOptions {
+                auto_compact_records: Some(5),
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap();
+        // Three committed pre-batch records.
+        for i in 0..3u32 {
+            st.insert(iri(i), p("pre"), Term::num(i as f64));
+        }
+        assert_eq!(st.generation(), 0);
+        // An open batch crosses the threshold.
+        st.begin_batch();
+        for i in 100..105u32 {
+            st.insert(iri(i), p("batch"), Term::num(i as f64));
+        }
+        assert_eq!(
+            st.generation(),
+            0,
+            "the log must not rotate under an open batch"
+        );
+        // Kill before end_batch: leak the store so the buffered batch
+        // records are dropped exactly as a crash would drop them (the
+        // pre-batch records were already flushed per record).
+        std::mem::forget(st);
+        let st = DurableStore::open(dir.path()).unwrap();
+        assert_eq!(
+            st.len(),
+            3,
+            "an uncommitted batch is all-or-nothing: no prefix survives"
+        );
+        for i in 0..3u32 {
+            assert!(st.contains(&iri(i), &p("pre"), &Term::num(i as f64)));
+        }
+    }
+
+    #[test]
+    fn deferred_auto_compaction_runs_at_end_batch() {
+        let dir = ScratchDir::new("persist-deferred");
+        let mut st = DurableStore::open_with(
+            dir.path(),
+            DurableOptions {
+                auto_compact_records: Some(5),
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap();
+        st.begin_batch();
+        for i in 0..8u32 {
+            st.insert(iri(i), p("a"), Term::num(i as f64));
+        }
+        assert_eq!(st.generation(), 0, "deferred while the batch is open");
+        st.end_batch();
+        assert_eq!(st.generation(), 1, "the owed compaction ran at end_batch");
+        assert_eq!(st.wal_records(), 0);
+        drop(st);
+        let st = DurableStore::open(dir.path()).unwrap();
+        assert_eq!(st.len(), 8, "the whole batch survives the fold");
+    }
+
+    #[test]
+    fn failed_compaction_is_counted_and_surfaced() {
+        let dir = ScratchDir::new("persist-compactfail");
+        let mut st = DurableStore::open(dir.path()).unwrap();
+        st.insert(iri(1), p("a"), Term::lit("1"));
+        assert_eq!(st.compactions_failed(), 0);
+        assert_eq!(st.last_compaction_error(), None);
+        // Block the rotation: a directory squats on the next log's path.
+        let blocker = wal_file(dir.path(), 1);
+        fs::create_dir(&blocker).unwrap();
+        assert!(st.compact().is_err());
+        assert_eq!(st.compactions_failed(), 1);
+        assert!(st.last_compaction_error().is_some());
+        let pressure = st.storage_pressure().expect("durable stores report");
+        assert_eq!(pressure.compactions_failed, 1);
+        assert!(pressure.last_compaction_error.is_some());
+        assert_eq!(pressure.wal_records, st.wal_records());
+        assert_eq!(pressure.wal_bytes, st.wal_bytes());
+        // Writes keep flowing on the old log; the disk heals; the next
+        // compaction succeeds, clears the error and keeps the count.
+        st.insert(iri(2), p("a"), Term::lit("2"));
+        fs::remove_dir(&blocker).unwrap();
+        st.compact().unwrap();
+        assert_eq!(st.compactions_failed(), 1);
+        assert_eq!(st.last_compaction_error(), None);
+        drop(st);
+        assert_eq!(DurableStore::open(dir.path()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn auto_compaction_failure_counts_and_keeps_serving() {
+        let dir = ScratchDir::new("persist-autofail");
+        let mut st = DurableStore::open_with(
+            dir.path(),
+            DurableOptions {
+                auto_compact_records: Some(3),
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap();
+        let blocker = wal_file(dir.path(), 1);
+        fs::create_dir(&blocker).unwrap();
+        for i in 0..6u32 {
+            st.insert(iri(i), p("a"), Term::num(i as f64));
+        }
+        assert!(
+            st.compactions_failed() >= 1,
+            "the failed auto-compactions were counted, not just printed"
+        );
+        assert_eq!(st.generation(), 0);
+        assert_eq!(st.len(), 6, "writes kept flowing past the failures");
+        fs::remove_dir(&blocker).unwrap();
+        st.insert(iri(100), p("a"), Term::lit("x"));
+        assert_eq!(st.generation(), 1, "healed disk: the next attempt folds");
+        assert_eq!(st.last_compaction_error(), None);
+        drop(st);
+        assert_eq!(DurableStore::open(dir.path()).unwrap().len(), 7);
     }
 }

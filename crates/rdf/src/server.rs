@@ -8,16 +8,19 @@
 //! operations: concurrent reads, exclusive writes, text-level SPARQL
 //! endpoints, and N-Triples persistence.
 
+use std::sync::Arc;
+
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::ntriples::{parse_ntriples, to_ntriples, NtParseError};
+use crate::policy::{CompactionPolicy, CompactionTarget, Compactor, CompactorStats};
 use crate::shard::{ShardRouter, ShardStats, ShardedStore};
 use crate::sparql::eval::{evaluate_prepared, prepare_seeded, PreparedQuery};
 use crate::sparql::{
     apply_update, constants_interned, evaluate, parse_select, parse_update, projected_vars,
     ResultSet, SelectQuery, SparqlParseError,
 };
-use crate::store::{IndexedStore, ReadOnlyReplica, TripleStore};
+use crate::store::{IndexedStore, ReadOnlyReplica, StoragePressure, TripleStore};
 use crate::term::{Term, TermId};
 
 /// One compiled knowledge-base probe: a pre-parsed `SELECT` plus variable
@@ -95,7 +98,10 @@ impl From<std::io::Error> for ServerError {
 /// threads that share one consistent all-shard read session.
 #[derive(Debug)]
 pub struct FusekiLite {
-    store: Backing,
+    /// Shared with the background [`Compactor`]'s watcher thread (when a
+    /// [`compaction_policy`](Self::compaction_policy) is installed), which
+    /// is why the backing sits behind an `Arc`.
+    store: Arc<Backing>,
     /// Seqlock-style mutation epoch (see
     /// [`mutation_epoch`](Self::mutation_epoch)): **odd** while a write is
     /// in flight, **even** and advanced by one generation (+2) once a
@@ -111,6 +117,10 @@ pub struct FusekiLite {
     /// client write endpoint rejects with a typed
     /// [`ReadOnlyReplica`] instead of applying.
     read_only: std::sync::atomic::AtomicBool,
+    /// The installed background compaction policy, if any (see
+    /// [`compaction_policy`](Self::compaction_policy)). Dropping the
+    /// endpoint stops and joins the watcher thread.
+    compactor: Mutex<Option<Compactor>>,
 }
 
 /// An open mutation window on a [`FusekiLite`] endpoint: created by
@@ -172,6 +182,33 @@ enum Backing {
     Sharded(ShardedStore),
 }
 
+/// What the background [`Compactor`] watches: a single backend is one
+/// "shard" (index 0); a sharded backend reports and compacts per shard,
+/// holding only the one shard's write lock per fold.
+impl CompactionTarget for Backing {
+    fn storage_pressures(&self) -> Vec<StoragePressure> {
+        match self {
+            Backing::Single(lock) => vec![lock.read().storage_pressure().unwrap_or_default()],
+            Backing::Sharded(s) => s.storage_pressures(),
+        }
+    }
+
+    fn compact_shard(&self, shard: usize) -> std::io::Result<()> {
+        match self {
+            Backing::Single(lock) => {
+                if shard != 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!("shard {shard} out of range (single backend)"),
+                    ));
+                }
+                lock.write().compact()
+            }
+            Backing::Sharded(s) => s.compact_shard(shard),
+        }
+    }
+}
+
 impl Default for FusekiLite {
     fn default() -> Self {
         Self::with_backend(Box::<IndexedStore>::default())
@@ -187,10 +224,11 @@ impl FusekiLite {
     /// An endpoint over a caller-supplied backend.
     pub fn with_backend(backend: Box<dyn TripleStore>) -> Self {
         FusekiLite {
-            store: Backing::Single(RwLock::new(backend)),
+            store: Arc::new(Backing::Single(RwLock::new(backend))),
             epoch: std::sync::atomic::AtomicU64::new(0),
             write_serial: Mutex::new(()),
             read_only: std::sync::atomic::AtomicBool::new(false),
+            compactor: Mutex::new(None),
         }
     }
 
@@ -256,10 +294,11 @@ impl FusekiLite {
     /// every write would serialize behind the endpoint's global lock).
     pub fn from_sharded(store: ShardedStore) -> Self {
         FusekiLite {
-            store: Backing::Sharded(store),
+            store: Arc::new(Backing::Sharded(store)),
             epoch: std::sync::atomic::AtomicU64::new(0),
             write_serial: Mutex::new(()),
             read_only: std::sync::atomic::AtomicBool::new(false),
+            compactor: Mutex::new(None),
         }
     }
 
@@ -349,7 +388,7 @@ impl FusekiLite {
 
     /// The sharded backend, when this endpoint has one.
     pub fn sharded(&self) -> Option<&ShardedStore> {
-        match &self.store {
+        match &*self.store {
             Backing::Single(_) => None,
             Backing::Sharded(s) => Some(s),
         }
@@ -365,10 +404,45 @@ impl FusekiLite {
     /// one — fanned out across shard directories on a sharded backend.
     /// Serializes with updates.
     pub fn compact(&self) -> std::io::Result<()> {
-        match &self.store {
+        match &*self.store {
             Backing::Single(lock) => lock.write().compact(),
             Backing::Sharded(s) => s.compact_all(),
         }
+    }
+
+    /// Install a background compaction policy: spawn a [`Compactor`]
+    /// watcher thread that polls per-shard WAL pressure and folds shards
+    /// off the write path (see [`crate::policy`] for thresholds,
+    /// hysteresis and failure back-off). Replaces — stopping and joining —
+    /// any previously installed compactor; the returned
+    /// [`CompactorStats`] handle stays readable for the endpoint's
+    /// lifetime. The thread is stopped and joined when the endpoint drops
+    /// (or on [`stop_compactor`](Self::stop_compactor)).
+    pub fn compaction_policy(&self, policy: CompactionPolicy) -> Arc<CompactorStats> {
+        let target: Arc<dyn CompactionTarget> = Arc::clone(&self.store) as _;
+        let compactor = Compactor::spawn(target, policy);
+        let stats = compactor.stats();
+        *self.compactor.lock() = Some(compactor);
+        stats
+    }
+
+    /// Counters of the installed background compactor (`None` when no
+    /// [`compaction_policy`](Self::compaction_policy) is installed).
+    pub fn compactor_stats(&self) -> Option<Arc<CompactorStats>> {
+        self.compactor.lock().as_ref().map(Compactor::stats)
+    }
+
+    /// Stop the background compactor, joining its watcher thread; a
+    /// no-op when none is installed.
+    pub fn stop_compactor(&self) {
+        *self.compactor.lock() = None;
+    }
+
+    /// Per-shard WAL pressure of the backing (one entry for a single
+    /// backend) — what the background compactor watches; exposed so
+    /// callers and tests can observe it through the endpoint too.
+    pub fn storage_pressures(&self) -> Vec<StoragePressure> {
+        self.store.storage_pressures()
     }
 
     /// Execute a SPARQL `SELECT` from text.
@@ -405,7 +479,7 @@ impl FusekiLite {
     /// [`probe_batch`](Self::probe_batch) with an explicit worker count
     /// (the shard bench pins it; `1` forces the sequential path).
     pub fn probe_batch_threads(&self, probes: &[Probe<'_>], threads: usize) -> Vec<ResultSet> {
-        match &self.store {
+        match &*self.store {
             Backing::Single(lock) => {
                 let guard = lock.read();
                 run_probes_parallel(guard.as_ref(), probes, threads)
@@ -441,7 +515,7 @@ impl FusekiLite {
     pub fn insert_triples(&self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
         self.assert_writable("insert_triples");
         let scope = self.mutation_scope();
-        let n = match &self.store {
+        let n = match &*self.store {
             Backing::Single(lock) => {
                 let mut store = lock.write();
                 store.begin_batch();
@@ -468,7 +542,7 @@ impl FusekiLite {
     ) -> usize {
         self.assert_writable("insert_triples_in");
         let scope = self.mutation_scope();
-        let n = match &self.store {
+        let n = match &*self.store {
             Backing::Single(lock) => {
                 let mut store = lock.write();
                 store.begin_batch();
@@ -520,7 +594,7 @@ impl FusekiLite {
         quads: impl IntoIterator<Item = crate::ntriples::Quad>,
     ) -> usize {
         self.assert_writable("insert_quads_raw");
-        match &self.store {
+        match &*self.store {
             Backing::Single(lock) => {
                 let mut store = lock.write();
                 store.begin_batch();
@@ -544,7 +618,7 @@ impl FusekiLite {
     pub fn remove_triples(&self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
         self.assert_writable("remove_triples");
         let scope = self.mutation_scope();
-        let n = match &self.store {
+        let n = match &*self.store {
             Backing::Single(lock) => {
                 let mut store = lock.write();
                 store.begin_batch();
@@ -570,7 +644,7 @@ impl FusekiLite {
     /// a sharded backend this is an all-shard read session: a stable
     /// view for the closure's lifetime.
     pub fn with_store<T>(&self, f: impl FnOnce(&dyn TripleStore) -> T) -> T {
-        match &self.store {
+        match &*self.store {
             Backing::Single(lock) => f(lock.read().as_ref()),
             Backing::Sharded(s) => {
                 let session = s.read_session();
@@ -587,7 +661,7 @@ impl FusekiLite {
     /// logical change (including any derived index) and commit it once
     /// fully applied, as the knowledge base's mutators do.
     pub fn with_store_mut<T>(&self, f: impl FnOnce(&mut dyn TripleStore) -> T) -> T {
-        match &self.store {
+        match &*self.store {
             Backing::Single(lock) => f(lock.write().as_mut()),
             Backing::Sharded(s) => {
                 let mut session = s.write_session();
@@ -1158,5 +1232,92 @@ mod tests {
             stats.iter().filter(|s| s.triples > 0).count() > 1,
             "writes must actually spread over shards: {stats:?}"
         );
+    }
+
+    /// Spin until `cond` holds or ~10 s pass (single-CPU CI is slow).
+    fn eventually(cond: impl Fn() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        cond()
+    }
+
+    fn test_policy() -> CompactionPolicy {
+        CompactionPolicy {
+            wal_records: 32,
+            wal_bytes: u64::MAX,
+            idle_divisor: 0,
+            min_interval: std::time::Duration::from_millis(1),
+            poll_interval: std::time::Duration::from_millis(1),
+            ..CompactionPolicy::default()
+        }
+    }
+
+    #[test]
+    fn background_compaction_policy_folds_a_sharded_backing() {
+        let dir = crate::persist::ScratchDir::new("server-policy-sharded");
+        {
+            let f = FusekiLite::open_sharded_durable(dir.path(), 2).unwrap();
+            let stats = f.compaction_policy(test_policy());
+            f.insert_triples((0..200u32).map(|i| {
+                (
+                    Term::iri(format!("http://galo/kb/template/{i:08x}")),
+                    Term::iri("http://p"),
+                    Term::lit(format!("{i}")),
+                )
+            }));
+            assert!(
+                eventually(|| stats.compacted() >= 1),
+                "the background thread must fold the hot shards: {stats:?}"
+            );
+            assert!(eventually(|| {
+                f.storage_pressures().iter().all(|p| p.wal_records < 32)
+            }));
+            assert_eq!(stats.failed(), 0);
+            assert!(f.compactor_stats().is_some());
+            f.stop_compactor();
+            assert!(f.compactor_stats().is_none());
+            assert_eq!(f.len(), 200, "compaction never loses content");
+        }
+        // Folded image survives reopen.
+        let g = FusekiLite::open_sharded_durable(dir.path(), 2).unwrap();
+        assert_eq!(g.len(), 200);
+    }
+
+    #[test]
+    fn background_compaction_policy_treats_single_backing_as_one_shard() {
+        let dir = crate::persist::ScratchDir::new("server-policy-single");
+        let f = FusekiLite::open_durable(dir.path()).unwrap();
+        let stats = f.compaction_policy(test_policy());
+        f.insert_triples((0..100u32).map(|i| {
+            (
+                Term::iri(format!("http://s/{i}")),
+                Term::iri("http://p"),
+                Term::lit(format!("{i}")),
+            )
+        }));
+        assert!(eventually(|| stats.compacted() >= 1));
+        let pressures = f.storage_pressures();
+        assert_eq!(pressures.len(), 1, "single backing is one shard");
+        assert!(eventually(|| f.storage_pressures()[0].wal_records < 32));
+        assert_eq!(f.len(), 100);
+        // Dropping the endpoint joins the watcher thread (no panic, no
+        // hang); content is intact on reopen.
+        drop(f);
+        let g = FusekiLite::open_durable(dir.path()).unwrap();
+        assert_eq!(g.len(), 100);
+    }
+
+    #[test]
+    fn in_memory_backing_reports_zero_pressure_and_never_folds() {
+        let f = seeded();
+        let stats = f.compaction_policy(test_policy());
+        assert_eq!(f.storage_pressures(), vec![StoragePressure::default()]);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(stats.triggered(), 0);
     }
 }

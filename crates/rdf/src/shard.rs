@@ -63,7 +63,7 @@ use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::fnv::{fnv1a, fnv1a_with, FNV_OFFSET};
 use crate::persist::{DurableOptions, DurableStore};
-use crate::store::{IndexedStore, Triple, TripleStore};
+use crate::store::{IndexedStore, StoragePressure, Triple, TripleStore};
 use crate::term::{Term, TermId};
 
 // ------------------------------------------------------ shared interner --
@@ -574,6 +574,13 @@ pub struct ShardStats {
     /// with per-workload datasets this is how many dataset memberships
     /// (e.g. learned templates) the shard holds.
     pub graph_triples: usize,
+    /// Records in the shard's current write-ahead log (0 when the shard
+    /// backend is not durable).
+    pub wal_records: u64,
+    /// Bytes in the shard's current write-ahead log (0 when not durable).
+    pub wal_bytes: u64,
+    /// Failed compaction attempts on the shard since open.
+    pub compactions_failed: u64,
 }
 
 const META_FILE: &str = "sharded.meta";
@@ -721,6 +728,7 @@ impl ShardedStore {
             .map(|(shard, lock)| {
                 let state = lock.read();
                 let graph_ids = state.store.graph_ids();
+                let pressure = state.store.storage_pressure().unwrap_or_default();
                 ShardStats {
                     shard,
                     triples: state.store.len(),
@@ -729,9 +737,37 @@ impl ShardedStore {
                         .iter()
                         .map(|&g| state.store.scan_in(g, None, None, None).len())
                         .sum(),
+                    wal_records: pressure.wal_records,
+                    wal_bytes: pressure.wal_bytes,
+                    compactions_failed: pressure.compactions_failed,
                 }
             })
             .collect()
+    }
+
+    /// Per-shard write-ahead-log pressure, cheap enough for a policy
+    /// thread to poll: one read lock and a couple of counter loads per
+    /// shard, no scans (unlike [`shard_stats`](Self::shard_stats)).
+    /// In-memory shards report [`StoragePressure::default`] (all zeros).
+    pub fn storage_pressures(&self) -> Vec<StoragePressure> {
+        self.shards
+            .iter()
+            .map(|lock| lock.read().store.storage_pressure().unwrap_or_default())
+            .collect()
+    }
+
+    /// Compact a single shard, holding only that shard's write lock — the
+    /// background [`Compactor`](crate::policy::Compactor) folds shards one
+    /// at a time so writers to other shards never stall behind a rotation
+    /// (unlike [`compact_all`](Self::compact_all)'s whole-store fan-out).
+    pub fn compact_shard(&self, shard: usize) -> io::Result<()> {
+        let lock = self.shards.get(shard).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard {shard} out of range ({} shards)", self.shards.len()),
+            )
+        })?;
+        lock.write().store.compact()
     }
 
     /// Route an interned triple through the placement policy.
@@ -1546,8 +1582,10 @@ mod tests {
                     [(tpl_iri(id), prop("hasProblemFingerprint"), Term::lit("fp"))],
                 );
             }
-            before = store.shard_stats();
             store.compact_all().unwrap();
+            // After the fold: stats (content *and* WAL counters — empty
+            // logs, header-only bytes) must survive reopen exactly.
+            before = store.shard_stats();
         }
         let store = ShardedStore::open_durable(dir.path(), 4).unwrap();
         assert_eq!(store.shard_stats(), before, "per-shard recovery is exact");
@@ -1687,5 +1725,47 @@ mod tests {
         for (i, &id) in ids[0].iter().enumerate() {
             assert_eq!(store.interner.resolve(id), &tpl_iri(i as u32 % 50));
         }
+    }
+
+    #[test]
+    fn per_shard_pressure_and_single_shard_compaction() {
+        let dir = ScratchDir::new("shard-pressure");
+        let store = ShardedStore::open_durable(dir.path(), 4).unwrap();
+        for id in 0..16u32 {
+            store.insert_terms_batch(template_triples(id));
+        }
+        let before = store.storage_pressures();
+        assert_eq!(before.len(), 4);
+        assert_eq!(
+            before.iter().map(|p| p.wal_records).sum::<u64>(),
+            store.len() as u64,
+            "every journaled record shows up in exactly one shard's pressure"
+        );
+        // shard_stats carries the same counters.
+        for (stat, pressure) in store.shard_stats().iter().zip(&before) {
+            assert_eq!(stat.wal_records, pressure.wal_records);
+            assert_eq!(stat.wal_bytes, pressure.wal_bytes);
+            assert_eq!(stat.compactions_failed, pressure.compactions_failed);
+        }
+        // Fold only the hottest shard; the other logs must be untouched.
+        let hot = (0..4)
+            .max_by_key(|&k| before[k].wal_records)
+            .expect("4 shards");
+        assert!(before[hot].wal_records > 0);
+        store.compact_shard(hot).unwrap();
+        let after = store.storage_pressures();
+        assert_eq!(after[hot].wal_records, 0);
+        for k in 0..4 {
+            if k != hot {
+                assert_eq!(after[k], before[k], "shard {k} must be untouched");
+            }
+        }
+        assert!(store.compact_shard(99).is_err(), "out of range is loud");
+        // In-memory shards report zero pressure (nothing to fold).
+        let mem = ShardedStore::new(2);
+        assert!(mem
+            .storage_pressures()
+            .iter()
+            .all(|p| *p == StoragePressure::default()));
     }
 }

@@ -16,6 +16,24 @@ use crate::term::{Interner, Term, TermId};
 /// A ground triple of interned terms.
 pub type Triple = (TermId, TermId, TermId);
 
+/// Write-ahead-log pressure a durable backend reports through
+/// [`TripleStore::storage_pressure`]: how much un-folded log the store is
+/// carrying, and whether recent compactions have been failing. The
+/// background [`Compactor`](crate::policy::Compactor) polls this to decide
+/// when to trigger [`TripleStore::compact`] off the write path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoragePressure {
+    /// Records journaled to the current log since the last rotation.
+    pub wal_records: u64,
+    /// Bytes in the current log (header included).
+    pub wal_bytes: u64,
+    /// Failed compaction attempts since open.
+    pub compactions_failed: u64,
+    /// Error text of the most recent failed compaction, cleared by the
+    /// next success.
+    pub last_compaction_error: Option<String>,
+}
+
 /// Storage contract for RDF triples.
 ///
 /// A store owns a term [`Interner`] and a default graph of triples, plus
@@ -129,6 +147,14 @@ pub trait TripleStore: fmt::Debug + Send + Sync {
     /// and must fail-stop if the flush fails (writes in the batch were
     /// already acknowledged to the in-memory image). No-op by default.
     fn end_batch(&mut self) {}
+
+    /// Write-ahead-log pressure of a durable backend — what a storage
+    /// policy (the background [`Compactor`](crate::policy::Compactor))
+    /// watches to decide when [`compact`](Self::compact) is worth its
+    /// cost. `None` for in-memory backends, which have nothing to fold.
+    fn storage_pressure(&self) -> Option<StoragePressure> {
+        None
+    }
 
     // ---- provided term-level API ----
 
@@ -642,6 +668,10 @@ impl TripleStore for ReadOnlyStore {
 
     fn compact(&mut self) -> std::io::Result<()> {
         Self::reject("compact")
+    }
+
+    fn storage_pressure(&self) -> Option<StoragePressure> {
+        self.inner.storage_pressure()
     }
 
     fn begin_batch(&mut self) {

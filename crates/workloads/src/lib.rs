@@ -16,12 +16,14 @@
 
 pub mod builder;
 pub mod client;
+pub mod scenario;
 pub mod tpcds;
 
 use galo_catalog::Database;
 use galo_sql::Query;
 
 pub use builder::QueryBuilder;
+pub use scenario::{OpMix, Scenario, ScenarioOp, ScenarioParseError, ScenarioSpec};
 
 /// A workload: a populated database plus its periodic query set
 /// (the paper's definition, §2).

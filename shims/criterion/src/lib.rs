@@ -112,6 +112,11 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Write the results file atomically: full contents to a sibling temp
+/// file, then rename over `path`. CI uploads whatever file exists at
+/// `GALO_BENCH_JSON` — a direct `fs::write` interrupted mid-way (or a
+/// partial run's artifact) would be uploaded as if it were valid, so the
+/// final path only ever holds a complete document.
 fn write_json(path: &std::path::Path, results: &[BenchRecord]) -> std::io::Result<()> {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
@@ -128,7 +133,13 @@ fn write_json(path: &std::path::Path, results: &[BenchRecord]) -> std::io::Resul
         ));
     }
     out.push_str("]\n");
-    std::fs::write(path, out)
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp-{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Top-level harness state.
@@ -156,6 +167,17 @@ impl Default for Criterion {
 impl Drop for Criterion {
     fn drop(&mut self) {
         let Some(path) = &self.json_path else { return };
+        // A panicking bench unwinds through this drop with a partial (or
+        // empty) result set. Publishing that would hand CI a truncated
+        // artifact that uploads as if the run succeeded — leave whatever
+        // artifact a previous good run produced untouched instead.
+        if std::thread::panicking() {
+            eprintln!(
+                "bench panicked; not writing partial results to {}",
+                path.display()
+            );
+            return;
+        }
         if let Err(e) = write_json(path, &self.results) {
             eprintln!("failed to write bench results to {}: {e}", path.display());
         } else {
@@ -454,6 +476,70 @@ mod tests {
         assert!(text.contains("\"p50_ns\":"), "{text}");
         assert!(text.contains("\"p99_ns\":"), "{text}");
         assert_eq!(text.matches("\"samples\":2").count(), 2, "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn panicking_bench_leaves_no_partial_artifact() {
+        let dir = std::env::temp_dir().join(format!(
+            "galo-criterion-panic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_panic.json");
+        // A previous good run's artifact must survive the panic untouched.
+        std::fs::write(&path, "[]\n").unwrap();
+        let path2 = path.clone();
+        let result = std::panic::catch_unwind(move || {
+            let mut c = Criterion::default().sample_size(2);
+            c.quick = false;
+            c.json_path = Some(path2);
+            c.bench_function("ok-before-panic", |b| b.iter(|| 1 + 1));
+            panic!("bench blew up");
+            // `c` drops here while unwinding.
+        });
+        assert!(result.is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "[]\n");
+        // No stray temp file either.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "{stray:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_write_is_atomic_rename_with_no_temp_left_behind() {
+        let dir = std::env::temp_dir().join(format!(
+            "galo-criterion-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_atomic.json");
+        // Stale artifact from an earlier run gets replaced wholesale.
+        std::fs::write(&path, "stale garbage").unwrap();
+        {
+            let mut c = Criterion::default().sample_size(2);
+            c.quick = false;
+            c.json_path = Some(path.clone());
+            c.metric("policy/p99_ns", 7);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"), "{text}");
+        assert!(text.contains("\"name\":\"policy/p99_ns\""), "{text}");
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(entries.len(), 1, "only the final artifact: {entries:?}");
+        // Writing into a missing directory fails cleanly (no temp litter
+        // anywhere we could check, but the error must surface).
+        let gone = dir.join("no-such-subdir").join("BENCH_x.json");
+        assert!(write_json(&gone, &[]).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -157,12 +157,15 @@ fn sharded_durable_kb_recovers_all_shards() {
     assert!(kb.candidate_templates(sig).contains(&iri));
     let report = match_plan(&db, &kb, &plan, &MatchConfig::default());
     assert!(!report.rewrites.is_empty(), "recovered KB serves matching");
-    // Compaction fans out per shard and is transparent.
+    // Compaction fans out per shard and is transparent (it rotates the
+    // WALs, so recapture the stats — the WAL-pressure counters reset).
     kb.compact().unwrap();
+    let stats_compacted = kb.shard_stats().unwrap();
+    assert!(stats_compacted.iter().all(|s| s.wal_records == 0));
     drop(kb);
     let kb = KnowledgeBase::open_sharded_durable(dir.path(), 4).unwrap();
     assert_eq!(kb.template_count(), 9);
-    assert_eq!(kb.shard_stats().unwrap(), stats_before);
+    assert_eq!(kb.shard_stats().unwrap(), stats_compacted);
 }
 
 #[test]
@@ -225,6 +228,114 @@ fn torn_wal_on_one_shard_keeps_checkpointed_templates_matchable() {
     drop(kb);
     let kb2 = KnowledgeBase::open_sharded_durable(dir.path(), 4).unwrap();
     assert_eq!(kb2.server().len(), count);
+}
+
+#[test]
+fn concurrent_writers_with_background_compactor_match_sequential_oracle() {
+    let (db, plan) = setup();
+    // Pre-build every template with explicit ids: both images must
+    // publish byte-identical triples, and `fresh_id` is allocation-order
+    // dependent. Thread `t` publishes its 12 templates and retracts
+    // every third one — threads touch disjoint templates, so any
+    // interleaving must converge to the same image.
+    let g = GuidelineDoc::new(vec![guideline_from_plan(&plan, plan.root()).unwrap()]);
+    let templates: Vec<Vec<Template>> = (0..4)
+        .map(|t| {
+            (0..12)
+                .map(|i| {
+                    let mut tpl =
+                        abstract_plan(&db, &plan, plan.root(), &g, format!("cw{t}_{i:02}"));
+                    tpl.improvement = 0.4;
+                    tpl.source_workload = "tpcds".to_string();
+                    tpl
+                })
+                .collect()
+        })
+        .collect();
+
+    let image = |kb: &KnowledgeBase| {
+        let mut fps = kb.fingerprints();
+        fps.sort();
+        let shard_triples: Vec<usize> = kb
+            .shard_stats()
+            .expect("sharded backend")
+            .iter()
+            .map(|s| s.triples)
+            .collect();
+        (kb.template_count(), kb.server().len(), fps, shard_triples)
+    };
+
+    // Concurrent run: 4 writer threads race while a background compactor
+    // folds WALs under them.
+    let dir = ScratchDir::new("sharded-kb-concurrent-policy");
+    let concurrent = {
+        let kb = galo_core::KbBuilder::new()
+            .durable_dir(dir.path())
+            .shards(4)
+            .compaction_policy(galo_rdf::CompactionPolicy {
+                wal_records: 64,
+                min_interval: std::time::Duration::from_millis(1),
+                poll_interval: std::time::Duration::from_millis(1),
+                idle_divisor: 2,
+                ..Default::default()
+            })
+            .build_kb()
+            .unwrap();
+        let stats = kb.compactor_stats().expect("policy installed");
+        std::thread::scope(|scope| {
+            for slots in &templates {
+                let kb = &kb;
+                scope.spawn(move || {
+                    for (i, tpl) in slots.iter().enumerate() {
+                        kb.insert(tpl);
+                        if i % 3 == 2 {
+                            kb.remove_template(vocab::template_iri(&tpl.id).str_value());
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            stats.compacted() + stats.idle_compacted() > 0,
+            "the compactor must have folded under the writers"
+        );
+        assert_eq!(stats.failed(), 0, "{:?}", stats.last_error());
+        assert!(kb
+            .storage_pressures()
+            .iter()
+            .all(|p| p.compactions_failed == 0));
+        image(&kb)
+    };
+    // What survives a full restart (compactor long gone).
+    let reopened = image(&KnowledgeBase::open_sharded_durable(dir.path(), 4).unwrap());
+    assert_eq!(reopened, concurrent, "reopen must reproduce the live image");
+
+    // Sequential oracle: same ops, one thread, no compactor, explicit
+    // checkpoint before reopen.
+    let oracle_dir = ScratchDir::new("sharded-kb-concurrent-oracle");
+    {
+        let kb = KnowledgeBase::open_sharded_durable(oracle_dir.path(), 4).unwrap();
+        for slots in &templates {
+            for (i, tpl) in slots.iter().enumerate() {
+                kb.insert(tpl);
+                if i % 3 == 2 {
+                    kb.remove_template(vocab::template_iri(&tpl.id).str_value());
+                }
+            }
+        }
+        kb.compact().unwrap();
+    }
+    let oracle_kb = KnowledgeBase::open_sharded_durable(oracle_dir.path(), 4).unwrap();
+    let oracle = image(&oracle_kb);
+    assert_eq!(
+        reopened, oracle,
+        "concurrent writers + background compaction must converge to the \
+         sequential image"
+    );
+    // 4 threads × (12 published − 4 retracted) = 32 live templates.
+    assert_eq!(oracle.0, 32);
+    let report = match_plan(&db, &oracle_kb, &plan, &MatchConfig::default());
+    assert!(!report.rewrites.is_empty());
 }
 
 #[test]
